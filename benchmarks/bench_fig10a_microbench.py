@@ -1,0 +1,40 @@
+"""Fig. 10a: microbenchmark slowdown vs nesting depth, SeMPE vs FaCT.
+
+Paper: SeMPE slowdown tracks the number of executed paths (about W+1,
+reaching 8.4-10.6x at W=10); FaCT/CTE starts at 3-32x at W=1 and grows
+super-linearly (12.9-187.3x at W=10); CTE is 1.6-18x slower than SeMPE.
+"""
+
+from repro.harness import fig10a_microbench, format_table
+
+
+def test_fig10a_microbench(benchmark, scale):
+    result = benchmark.pedantic(
+        fig10a_microbench,
+        kwargs={"w_sweep": scale["w_sweep"],
+                "workloads": scale["workloads"]},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(result.headers, result.rows, title=result.experiment))
+
+    w_last = scale["w_sweep"][-1]
+    for workload in scale["workloads"]:
+        sempe = result.series[(workload, "sempe")]
+        cte = result.series[(workload, "cte")]
+        # Monotone growth with W for both schemes.
+        assert sempe[-1] > sempe[0]
+        assert cte[-1] > cte[0]
+        # SeMPE tracks the path count W+1 within a factor (the
+        # mispredict-heavy queens baseline needs long runs to converge,
+        # hence the loose lower bound at quick scale).
+        assert 0.4 * (w_last + 1) < sempe[-1] < 1.6 * (w_last + 1)
+        # CTE is slower than SeMPE at depth.
+        assert cte[-1] > sempe[-1]
+
+    # The CTE-vs-SeMPE gap spans a wide range across workloads
+    # (paper: 1.6x to 18x).
+    gaps = [result.series[(w, "cte")][-1] / result.series[(w, "sempe")][-1]
+            for w in scale["workloads"]]
+    assert min(gaps) > 1.1
+    assert max(gaps) > 3.0

@@ -1,0 +1,29 @@
+"""Fig. 10b: average slowdown normalized to the ideal case.
+
+The ideal overhead of any SDBCB-removing scheme is the sum of the
+execution times of all branch paths (§IV-A).  Paper: SeMPE stays near
+(or slightly below, thanks to cross-path prefetching) the ideal, while
+CTE's normalized cost grows with nesting depth.
+"""
+
+from repro.harness import fig10b_normalized_to_ideal, format_table
+
+
+def test_fig10b_normalized_to_ideal(benchmark, scale):
+    result = benchmark.pedantic(
+        fig10b_normalized_to_ideal,
+        kwargs={"w_sweep": scale["w_sweep"],
+                "workloads": scale["workloads"]},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(result.headers, result.rows, title=result.experiment))
+
+    for value in result.series["sempe"]:
+        assert 0.6 < value < 1.7   # near-ideal at every depth
+    # CTE normalized cost exceeds SeMPE's everywhere and by a widening
+    # margin at depth.
+    for sempe_value, cte_value in zip(result.series["sempe"],
+                                      result.series["cte"]):
+        assert cte_value > sempe_value
+    assert result.series["cte"][-1] / result.series["sempe"][-1] > 1.5

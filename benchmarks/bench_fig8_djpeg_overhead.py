@@ -1,0 +1,27 @@
+"""Fig. 8: djpeg execution-time overhead, 3 formats x input sizes.
+
+Paper: overheads between 31% and 87%, ordered PPM > GIF > BMP, and
+essentially flat across image sizes (the secure-region work per block
+does not depend on the image size).
+"""
+
+from repro.harness import fig8_djpeg_overhead, format_table
+
+
+def test_fig8_djpeg_overhead(benchmark, scale):
+    result = benchmark.pedantic(
+        fig8_djpeg_overhead,
+        kwargs={"sizes": scale["djpeg_sizes"]},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(result.headers, result.rows, title=result.experiment))
+
+    series = result.series
+    for index in range(len(scale["djpeg_sizes"])):
+        assert series["ppm"][index] > series["gif"][index] > \
+            series["bmp"][index]
+    for fmt, overheads in series.items():
+        for overhead in overheads:
+            assert 0.05 < overhead < 1.5, (fmt, overhead)
+        assert max(overheads) - min(overheads) < 0.25, (fmt, overheads)

@@ -1,0 +1,28 @@
+"""Fig. 9: IL1 / DL1 / L2 miss rates, baseline vs SeMPE, on djpeg.
+
+Paper: IL1 miss rates low and size-independent; DL1 impact small (the
+ShadowMemory working sets of the two paths overlap, giving a prefetch
+effect); L2 rates higher overall but moving with the DL1.
+"""
+
+from repro.harness import fig9_cache_missrates, format_table
+
+
+def test_fig9_cache_missrates(benchmark, scale):
+    result = benchmark.pedantic(
+        fig9_cache_missrates,
+        kwargs={"sizes": scale["djpeg_sizes"]},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(result.headers, result.rows, title=result.experiment))
+
+    series = result.series
+    # IL1 stays low on both machines.
+    for rate in series["IL1"]["base"] + series["IL1"]["sempe"]:
+        assert rate < 0.10
+    # SeMPE never blows up a miss rate by more than a few points.
+    for level in ("IL1", "DL1", "L2"):
+        for base_rate, sempe_rate in zip(series[level]["base"],
+                                         series[level]["sempe"]):
+            assert abs(sempe_rate - base_rate) < 0.2, level

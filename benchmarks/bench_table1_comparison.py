@@ -1,0 +1,28 @@
+"""Table I: approach comparison (CTE, GhostRider, Raccoon, SeMPE).
+
+Regenerates the paper's comparison table: the qualitative rows plus an
+overhead row pairing the paper's reported numbers with overheads
+measured (SeMPE, CTE) or modelled (Raccoon, GhostRider) on our
+microbenchmarks.
+
+Expected shape: SeMPE lowest overhead; CTE substantially higher;
+Raccoon and GhostRider (per-memory-op transaction / ORAM penalties)
+higher still, GhostRider the worst.
+"""
+
+from repro.harness import format_table, table1_comparison
+
+
+def test_table1_comparison(benchmark, scale):
+    result = benchmark.pedantic(
+        table1_comparison,
+        kwargs={"w": scale["table1_w"], "workloads": scale["workloads"]},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(result.headers, result.rows, title=result.experiment))
+
+    series = result.series
+    assert max(series["SeMPE"]) < max(series["CTE"])
+    assert max(series["CTE"]) < max(series["GhostRider"])
+    assert max(series["Raccoon"]) > max(series["SeMPE"])

@@ -1,0 +1,24 @@
+"""Table II: the baseline machine configuration.
+
+Sanity benchmark: prints the configuration of the simulated core and
+asserts it matches the paper's parameters (2 GHz, 8-wide, 192-entry
+ROB, 31KB TAGE, 32KB/16KB/256KB caches, 30-snapshot SPM at 64 B/cycle).
+"""
+
+from repro.harness import format_table, table2_config
+from repro.uarch.branch.tage import Tage
+
+
+def test_table2_config(benchmark):
+    result = benchmark.pedantic(table2_config, rounds=1, iterations=1)
+    print()
+    print(format_table(result.headers, result.rows, title=result.experiment))
+    text = format_table(result.headers, result.rows)
+    for expected in ("2.0 GHz", "8 instructions / cycle", "192 uops",
+                     "256 INT, 256 FP", "32+32 entries",
+                     "32KB, 2-way assoc.", "16KB, 2-way assoc.",
+                     "256KB, 2-way assoc.", "stride (L1), stream (L2)",
+                     "30 snapshots", "64 B/cycle R/W"):
+        assert expected in text, expected
+    # The TAGE geometry lands in the paper's storage ballpark.
+    assert 8 <= Tage().storage_bits() / 8 / 1024 <= 64

@@ -1,0 +1,33 @@
+"""Benchmark configuration.
+
+Set ``REPRO_BENCH_SCALE=full`` to run the paper-scale sweeps
+(W = 1..10, djpeg up to 4096 pixels).  The default ``quick`` scale
+exercises every experiment end-to-end with smaller sweeps so the whole
+benchmark suite finishes in a few minutes of pure-Python simulation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+QUICK = {
+    "w_sweep": (1, 2, 4),
+    "djpeg_sizes": (256, 512, 1024),
+    "table1_w": 4,
+    "workloads": ("fibonacci", "ones", "quicksort", "queens"),
+}
+
+FULL = {
+    "w_sweep": (1, 2, 4, 6, 8, 10),
+    "djpeg_sizes": (512, 1024, 2048, 4096),
+    "table1_w": 10,
+    "workloads": ("fibonacci", "ones", "quicksort", "queens"),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    return FULL if name == "full" else QUICK

@@ -1,0 +1,5 @@
+"""Legacy setup shim (the environment's setuptools lacks PEP 660 support)."""
+
+from setuptools import setup
+
+setup()

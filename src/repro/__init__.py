@@ -1,0 +1,42 @@
+"""repro — reproduction of SeMPE (DAC 2021).
+
+Secure Multi-Path Execution: an architecture that removes the
+secret-dependent behavior of conditional branches (SDBCB) by executing
+and committing *both* paths of secret-dependent branches, NT path first,
+with register state managed by ArchRS snapshots in a scratchpad memory
+and sequencing by a small jump-back LIFO (jbTable).
+
+Top-level convenience API::
+
+    from repro import assemble, simulate
+
+    program = assemble(SOURCE)
+    secure = simulate(program, sempe=True)
+    base = simulate(program, sempe=False)
+    print(secure.overhead_vs(base))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.isa import assemble, Program, ProgramBuilder
+from repro.core import simulate, SempeMachine, SimulationReport, JumpBackTable
+from repro.uarch import MachineConfig, haswell_like
+from repro.arch import Executor, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "Program",
+    "ProgramBuilder",
+    "simulate",
+    "SempeMachine",
+    "SimulationReport",
+    "JumpBackTable",
+    "MachineConfig",
+    "haswell_like",
+    "Executor",
+    "run_program",
+    "__version__",
+]

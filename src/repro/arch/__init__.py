@@ -1,0 +1,34 @@
+"""Functional (architectural) simulator.
+
+Executes :class:`repro.isa.program.Program` objects, implementing both the
+legacy semantics (secure branches behave like ordinary branches, ``eosJMP``
+is a NOP) and the SeMPE semantics (both paths of a secure branch execute,
+NT path first, with ArchRS register snapshots in the SPM).  The executor
+produces the dynamic instruction trace consumed by the timing model and by
+the side-channel observers.
+"""
+
+from repro.arch.state import ArchState, to_signed, to_unsigned, MASK64
+from repro.arch.trace import DynInstr, DrainEvent, TraceRecord
+from repro.arch.executor import (
+    Executor,
+    ExecutionResult,
+    SimulationError,
+    InstructionLimitError,
+    run_program,
+)
+
+__all__ = [
+    "ArchState",
+    "to_signed",
+    "to_unsigned",
+    "MASK64",
+    "DynInstr",
+    "DrainEvent",
+    "TraceRecord",
+    "Executor",
+    "ExecutionResult",
+    "SimulationError",
+    "InstructionLimitError",
+    "run_program",
+]

@@ -1,0 +1,389 @@
+"""Functional executor with SeMPE multi-path semantics.
+
+In **legacy mode** (``sempe=False``) the executor models a processor that
+does not understand the SecPrefix: secure branches behave like ordinary
+branches and ``eosJMP`` is a NOP — exactly one path of every branch runs.
+
+In **SeMPE mode** (``sempe=True``) a secure branch (sJMP):
+
+1. evaluates its condition and pushes a jbTable entry (target address,
+   T/NT outcome) — the jbTable itself lives in :mod:`repro.core.jbtable`;
+2. saves an ArchRS snapshot of the architectural registers to the SPM and
+   drains the pipeline (drain #1, Fig. 6);
+3. continues down the **not-taken** path regardless of the outcome;
+4. at the first ``eosJMP``, saves the NT-modified registers, restores the
+   entry state, drains (drain #2) and jumps back to the taken path;
+5. at the second ``eosJMP``, restores registers according to the real
+   outcome in constant time, drains (drain #3), pops the jbTable entry
+   and falls through.
+
+Memory written inside SecBlocks is *not* snapshotted (matching the paper);
+the compiler's ShadowMemory pass privatizes such writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.jbtable import JumpBackTable
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op, OpClass, mem_width
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS
+from repro.mem.memory import FlatMemory
+from repro.mem.scratchpad import ScratchpadMemory
+from repro.arch.state import ArchState, to_signed, to_unsigned, MASK64
+from repro.arch.trace import DynInstr, DrainEvent, TraceRecord
+
+
+class SimulationError(Exception):
+    """Raised on runtime errors (bad PC, strict-mode div-by-zero ...)."""
+
+
+class InstructionLimitError(SimulationError):
+    """Raised when the dynamic instruction budget is exhausted."""
+
+
+@dataclass
+class ExecutionResult:
+    """Summary of one completed run."""
+
+    instructions: int = 0
+    secure_branches: int = 0
+    secure_regions: int = 0
+    max_nesting: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    secure_instructions: int = 0   # committed inside secure regions
+    secure_loads: int = 0
+    secure_stores: int = 0
+    drains: int = 0
+    spm_save_cycles: int = 0
+    spm_restore_cycles: int = 0
+    halted: bool = False
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+
+class _Region:
+    """Bookkeeping for one active SecBlock (one jbTable entry)."""
+
+    __slots__ = ("level", "target", "outcome", "phase")
+
+    def __init__(self, level: int, target: int, outcome: bool) -> None:
+        self.level = level
+        self.target = target
+        self.outcome = outcome   # True = branch taken (T path is correct)
+        self.phase = "NT"        # currently-executing path
+
+
+class Executor:
+    """Architectural simulator for one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        sempe: bool = True,
+        spm: ScratchpadMemory | None = None,
+        jbtable: JumpBackTable | None = None,
+        max_instructions: int = 50_000_000,
+        strict: bool = False,
+    ) -> None:
+        self.program = program
+        self.sempe = sempe
+        self.spm = spm if spm is not None else ScratchpadMemory(n_arch_regs=NUM_REGS)
+        self.jbtable = jbtable if jbtable is not None else JumpBackTable()
+        self.max_instructions = max_instructions
+        self.strict = strict
+        self.state = ArchState(FlatMemory(program.initial_memory()))
+        self.state.pc = program.entry
+        self.result = ExecutionResult()
+        self._regions: list[_Region] = []
+        self._seq = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self) -> Iterator[TraceRecord]:
+        """Execute to completion, yielding the dynamic trace."""
+        instructions = self.program.instructions
+        n_instructions = len(instructions)
+        state = self.state
+        while not state.halted:
+            if not 0 <= state.pc < n_instructions:
+                raise SimulationError(f"PC out of range: {state.pc}")
+            if self.result.instructions >= self.max_instructions:
+                raise InstructionLimitError(
+                    f"exceeded {self.max_instructions} dynamic instructions"
+                )
+            inst = instructions[state.pc]
+            yield from self._step(inst)
+        self.result.halted = True
+
+    def run_to_completion(self) -> ExecutionResult:
+        """Execute, discarding the trace; returns the summary."""
+        for _record in self.run():
+            pass
+        return self.result
+
+    # -- execution core -----------------------------------------------------------
+
+    def _step(self, inst: Instruction) -> Iterator[TraceRecord]:
+        state = self.state
+        pc = state.pc
+        op = inst.op
+        self.result.instructions += 1
+        self.result.op_counts[op.value] = self.result.op_counts.get(op.value, 0) + 1
+        in_region = bool(self._regions)
+        if in_region:
+            self.result.secure_instructions += 1
+
+        taken: bool | None = None
+        target: int | None = None
+        mem_addr: int | None = None
+        width = 0
+        is_store = False
+        next_pc = pc + 1
+        drains: list[DrainEvent] = []
+
+        opclass = inst.opclass
+        if opclass is OpClass.ALU or opclass is OpClass.MUL or opclass is OpClass.DIV:
+            self._write_reg(inst.rd, self._alu(inst))
+        elif opclass is OpClass.LOAD:
+            width = mem_width(op)
+            mem_addr = to_unsigned(state.read(inst.rs1) + inst.imm)
+            self.result.loads += 1
+            if in_region:
+                self.result.secure_loads += 1
+            value = state.memory.load(mem_addr, width)
+            self._write_reg(inst.rd, value)
+        elif opclass is OpClass.STORE:
+            width = mem_width(op)
+            mem_addr = to_unsigned(state.read(inst.rs1) + inst.imm)
+            is_store = True
+            self.result.stores += 1
+            if in_region:
+                self.result.secure_stores += 1
+            state.memory.store(mem_addr, state.read(inst.rs2), width)
+        elif opclass is OpClass.BRANCH:
+            taken = self._branch_condition(inst)
+            target = inst.target
+            self.result.branches += 1
+            if inst.secure and self.sempe:
+                drains.extend(self._enter_secure_region(inst, taken))
+                next_pc = pc + 1           # NT path always first
+            else:
+                if taken:
+                    self.result.taken_branches += 1
+                    next_pc = target
+        elif opclass is OpClass.JUMP:
+            taken = True
+            target = inst.target
+            self.result.taken_branches += 1
+            self.result.branches += 1
+            if op is Op.JAL:
+                self._write_reg(inst.rd, pc + 1)
+            next_pc = target
+        elif opclass is OpClass.IJUMP:
+            taken = True
+            target = state.read(inst.rs1)
+            self.result.taken_branches += 1
+            self.result.branches += 1
+            self._write_reg(inst.rd, pc + 1)
+            next_pc = target
+        elif opclass is OpClass.CMOV:
+            if state.read(inst.rs2) != 0:
+                self._write_reg(inst.rd, state.read(inst.rs1))
+            else:
+                # CMOV always "writes" its destination (with the old value)
+                # so its timing/dependence behaviour is condition-independent.
+                self._write_reg(inst.rd, state.read(inst.rd))
+        elif opclass is OpClass.EOSJMP:
+            if self.sempe and self._regions:
+                next_pc, eos_drains = self._handle_eosjmp(pc)
+                drains.extend(eos_drains)
+            # else: NOP on legacy processors / outside secure regions.
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            state.halted = True
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unimplemented opcode {op}")
+
+        yield DynInstr(
+            seq=self._seq,
+            pc=pc,
+            op=op,
+            opclass=opclass,
+            srcs=inst.src_regs(),
+            dst=inst.dst_reg(),
+            mem_addr=mem_addr,
+            mem_width=width,
+            is_store=is_store,
+            taken=taken,
+            target=target,
+            secure=inst.secure,
+        )
+        self._seq += 1
+        for drain in drains:
+            drain.seq = self._seq
+            self._seq += 1
+            yield drain
+
+        state.pc = next_pc
+
+    # -- SeMPE region handling -----------------------------------------------------
+
+    def _enter_secure_region(
+        self, inst: Instruction, taken: bool
+    ) -> list[DrainEvent]:
+        level = len(self._regions)
+        self.jbtable.push(target=inst.target, taken=taken)
+        self.jbtable.set_valid(inst.target)
+        save_cycles = self.spm.save_entry_state(level, self.state.snapshot_regs())
+        self._regions.append(_Region(level, inst.target, taken))
+        self.result.secure_branches += 1
+        self.result.secure_regions += 1
+        self.result.max_nesting = max(self.result.max_nesting, level + 1)
+        self.result.drains += 1
+        self.result.spm_save_cycles += save_cycles
+        return [DrainEvent(0, "secblock-entry", save_cycles, level)]
+
+    def _handle_eosjmp(self, pc: int) -> tuple[int, list[DrainEvent]]:
+        region = self._regions[-1]
+        slot = self.spm.slot(region.level)
+        if region.phase == "NT":
+            # First eosJMP: save NT results, rewind to entry state, jump back.
+            save_cycles = self.spm.save_nt_state(
+                region.level, self.state.snapshot_regs(), slot.nt_modified
+            )
+            restore_cycles = self.spm.entry_save_cycles()  # read entry state back
+            self.state.restore_regs(slot.entry_regs)
+            self.jbtable.take_jump_back()
+            region.phase = "T"
+            self.result.drains += 1
+            self.result.spm_save_cycles += save_cycles
+            self.result.spm_restore_cycles += restore_cycles
+            drain = DrainEvent(0, "nt-path-end", save_cycles + restore_cycles,
+                               region.level)
+            return region.target, [drain]
+
+        # Second eosJMP: constant-time merge, pop the region.
+        restore_cycles = self.spm.restore_cycles_for(region.level)
+        if region.outcome:
+            # Taken path (executed second) is correct: registers already
+            # hold the T-path results; SPM values are read but discarded.
+            pass
+        else:
+            # Not-taken path is correct.
+            for reg in slot.nt_modified:
+                self.state.regs[reg] = slot.nt_regs[reg]
+            for reg in slot.t_modified - slot.nt_modified:
+                self.state.regs[reg] = slot.entry_regs[reg]
+        self.jbtable.pop()
+        self.spm.release(region.level)
+        self._regions.pop()
+        self.result.drains += 1
+        self.result.spm_restore_cycles += restore_cycles
+        drain = DrainEvent(0, "secblock-exit", restore_cycles, region.level)
+        return pc + 1, [drain]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _write_reg(self, reg: int | None, value: int) -> None:
+        if reg is None or reg == 0:
+            return
+        self.state.write(reg, value)
+        for region in self._regions:
+            slot = self.spm.slot(region.level)
+            if region.phase == "NT":
+                slot.nt_modified.add(reg)
+            else:
+                slot.t_modified.add(reg)
+
+    def _alu(self, inst: Instruction) -> int:
+        read = self.state.read
+        op = inst.op
+        a = read(inst.rs1) if inst.rs1 is not None else 0
+        if inst.imm is not None and inst.rs2 is None:
+            b = inst.imm
+        else:
+            b = read(inst.rs2) if inst.rs2 is not None else 0
+
+        if op in (Op.ADD, Op.ADDI):
+            return to_unsigned(a + b)
+        if op is Op.SUB:
+            return to_unsigned(a - b)
+        if op is Op.MUL:
+            return to_unsigned(to_signed(a) * to_signed(b))
+        if op in (Op.DIV, Op.REM):
+            return self._divide(op, a, b)
+        if op in (Op.AND, Op.ANDI):
+            return to_unsigned(a & b)
+        if op in (Op.OR, Op.ORI):
+            return to_unsigned(a | b)
+        if op in (Op.XOR, Op.XORI):
+            return to_unsigned(a ^ b)
+        if op in (Op.SLL, Op.SLLI):
+            return to_unsigned(a << (b & 63))
+        if op in (Op.SRL, Op.SRLI):
+            return to_unsigned(a) >> (b & 63)
+        if op in (Op.SRA, Op.SRAI):
+            return to_unsigned(to_signed(a) >> (b & 63))
+        if op in (Op.SLT, Op.SLTI):
+            return 1 if to_signed(a) < to_signed(b & MASK64 if op is Op.SLT else b) else 0
+        if op is Op.SLTU:
+            return 1 if to_unsigned(a) < to_unsigned(b) else 0
+        if op is Op.LUI:
+            return to_unsigned(inst.imm)
+        raise SimulationError(f"not an ALU op: {op}")  # pragma: no cover
+
+    def _divide(self, op: Op, a: int, b: int) -> int:
+        """RISC-V-style deterministic division.
+
+        A zero divisor on a wrong path must not crash the machine (§III:
+        such exceptions are the programmer's responsibility); we adopt the
+        RISC-V convention: x/0 == -1, x%0 == x.  ``strict=True`` raises
+        instead, modelling the compiler's reject-at-compile-time option.
+        """
+        sa, sb = to_signed(a), to_signed(b)
+        if sb == 0:
+            if self.strict:
+                raise SimulationError("division by zero in strict mode")
+            return to_unsigned(-1) if op is Op.DIV else to_unsigned(sa)
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        if op is Op.DIV:
+            return to_unsigned(quotient)
+        return to_unsigned(sa - quotient * sb)
+
+    def _branch_condition(self, inst: Instruction) -> bool:
+        a = self.state.read(inst.rs1)
+        b = self.state.read(inst.rs2)
+        op = inst.op
+        if op is Op.BEQ:
+            return a == b
+        if op is Op.BNE:
+            return a != b
+        if op is Op.BLT:
+            return to_signed(a) < to_signed(b)
+        if op is Op.BGE:
+            return to_signed(a) >= to_signed(b)
+        if op is Op.BLTU:
+            return to_unsigned(a) < to_unsigned(b)
+        if op is Op.BGEU:
+            return to_unsigned(a) >= to_unsigned(b)
+        raise SimulationError(f"not a branch: {op}")  # pragma: no cover
+
+
+def run_program(
+    program: Program,
+    sempe: bool = True,
+    max_instructions: int = 50_000_000,
+) -> tuple[Executor, ExecutionResult]:
+    """Convenience: execute *program* and return (executor, result)."""
+    executor = Executor(program, sempe=sempe, max_instructions=max_instructions)
+    result = executor.run_to_completion()
+    return executor, result

@@ -1,0 +1,51 @@
+"""Architectural machine state: registers, PC, and value helpers."""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_REGS, SP, GP, ZERO
+from repro.isa.program import DATA_BASE, STACK_BASE
+from repro.mem.memory import FlatMemory
+
+MASK64 = (1 << 64) - 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit value as signed."""
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def to_unsigned(value: int) -> int:
+    """Mask to 64 bits."""
+    return value & MASK64
+
+
+class ArchState:
+    """Registers + PC + memory for one hardware context."""
+
+    def __init__(self, memory: FlatMemory | None = None) -> None:
+        self.regs: list[int] = [0] * NUM_REGS
+        self.pc: int = 0
+        self.memory = memory if memory is not None else FlatMemory()
+        self.halted = False
+        # Conventional initialisation.
+        self.regs[SP] = STACK_BASE
+        self.regs[GP] = DATA_BASE
+
+    # -- register access ---------------------------------------------------
+
+    def read(self, reg: int) -> int:
+        if reg == ZERO:
+            return 0
+        return self.regs[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        if reg == ZERO:
+            return
+        self.regs[reg] = value & MASK64
+
+    def snapshot_regs(self) -> list[int]:
+        return list(self.regs)
+
+    def restore_regs(self, saved: list[int]) -> None:
+        self.regs = list(saved)

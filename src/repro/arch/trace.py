@@ -1,0 +1,91 @@
+"""Dynamic trace records.
+
+The functional executor emits a stream of :class:`DynInstr` (one per
+committed instruction) interleaved with :class:`DrainEvent` markers for
+the SeMPE pipeline drains and SPM transfers.  The out-of-order timing
+model, the side-channel observers, and the statistics collectors all
+consume this common stream.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Op, OpClass
+
+
+class DynInstr:
+    """One committed dynamic instruction."""
+
+    __slots__ = (
+        "seq", "pc", "op", "opclass", "srcs", "dst",
+        "mem_addr", "mem_width", "is_store",
+        "taken", "target", "secure",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        op: Op,
+        opclass: OpClass,
+        srcs: tuple[int, ...],
+        dst: int | None,
+        mem_addr: int | None = None,
+        mem_width: int = 0,
+        is_store: bool = False,
+        taken: bool | None = None,
+        target: int | None = None,
+        secure: bool = False,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.opclass = opclass
+        self.srcs = srcs
+        self.dst = dst
+        self.mem_addr = mem_addr
+        self.mem_width = mem_width
+        self.is_store = is_store
+        self.taken = taken
+        self.target = target
+        self.secure = secure
+
+    @property
+    def kind(self) -> str:
+        return "inst"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.mem_addr is not None:
+            extra = f" addr=0x{self.mem_addr:x}"
+        if self.taken is not None:
+            extra += f" taken={self.taken}"
+        return f"<DynInstr #{self.seq} pc={self.pc} {self.op.value}{extra}>"
+
+
+class DrainEvent:
+    """A SeMPE pipeline drain, optionally with SPM transfer cycles.
+
+    ``reason`` is one of ``"secblock-entry"``, ``"nt-path-end"`` or
+    ``"secblock-exit"`` (the three drains of Fig. 6).
+    """
+
+    __slots__ = ("seq", "reason", "spm_cycles", "level")
+
+    def __init__(self, seq: int, reason: str, spm_cycles: int, level: int) -> None:
+        self.seq = seq
+        self.reason = reason
+        self.spm_cycles = spm_cycles
+        self.level = level
+
+    @property
+    def kind(self) -> str:
+        return "drain"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Drain #{self.seq} {self.reason} level={self.level} "
+            f"spm={self.spm_cycles}cyc>"
+        )
+
+
+TraceRecord = DynInstr | DrainEvent

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile``  — compile a mini-C file and print the assembly listing;
+* ``run``      — compile and simulate, printing cycles/IPC/miss rates;
+* ``check``    — noninterference report for a named secret across values;
+* ``disasm``   — encode a compiled program and show the SeMPE vs legacy
+  decode of the same bytes (the backward-compatibility story);
+* ``experiments`` — regenerate a paper table/figure by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import simulate
+from repro.isa.encoding import encode_program
+from repro.isa.disassembler import disassemble, disassemble_binary
+from repro.lang.compiler import MODES, compile_source
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    compiled = compile_source(_read_source(args.file), mode=args.mode,
+                              collapse_ifs=args.collapse_ifs)
+    print(f"; mode={args.mode}  instructions={len(compiled.program)}  "
+          f"sJMPs={compiled.program.count_secure_branches()}")
+    print(compiled.program.listing())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    compiled = compile_source(_read_source(args.file), mode=args.mode,
+                              collapse_ifs=args.collapse_ifs)
+    sempe = args.mode == "sempe" and not args.legacy
+    report = simulate(compiled.program, sempe=sempe)
+    machine = "SeMPE" if sempe else "baseline"
+    print(f"machine:       {machine}")
+    print(f"instructions:  {report.instructions}")
+    print(f"cycles:        {report.cycles}")
+    print(f"IPC:           {report.ipc:.3f}")
+    print(f"secure regions:{report.functional.secure_regions:6d}  "
+          f"drains: {report.functional.drains}")
+    for level, rate in report.miss_rates.items():
+        print(f"{level} miss rate: {rate * 100:6.2f}%")
+    if args.globals:
+        from repro.arch.executor import Executor
+
+        executor = Executor(compiled.program, sempe=sempe)
+        executor.run_to_completion()
+        for name in args.globals.split(","):
+            name = name.strip()
+            address = compiled.program.symbols.get(name)
+            if address is None:
+                print(f"{name}: <no such global>")
+            else:
+                value = executor.state.memory.load_signed(address)
+                print(f"{name} = {value}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.security.leakage import noninterference_report
+
+    compiled = compile_source(_read_source(args.file), mode=args.mode)
+    sempe = args.mode == "sempe"
+    values = [int(token, 0) for token in args.values.split(",")]
+    report = noninterference_report(compiled.program, args.secret, values,
+                                    sempe=sempe)
+    print(report.summary())
+    print()
+    print("verdict:", "SECURE (all channels closed)" if report.secure
+          else f"LEAKS via {', '.join(report.leaking_channels())}")
+    return 0 if report.secure else 1
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    compiled = compile_source(_read_source(args.file), mode=args.mode)
+    blob = encode_program(compiled.program)
+    print(f"; binary size: {len(blob)} bytes")
+    print(disassemble_binary(blob, legacy=False))
+    print()
+    print(disassemble_binary(blob, legacy=True))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        fig8_djpeg_overhead, fig9_cache_missrates, fig10a_microbench,
+        fig10b_normalized_to_ideal, format_table, table1_comparison,
+        table2_config,
+    )
+
+    registry = {
+        "table1": lambda: table1_comparison(w=args.w),
+        "table2": table2_config,
+        "fig8": fig8_djpeg_overhead,
+        "fig9": fig9_cache_missrates,
+        "fig10a": lambda: fig10a_microbench(w_sweep=tuple(
+            range(1, args.w + 1))),
+        "fig10b": lambda: fig10b_normalized_to_ideal(w_sweep=tuple(
+            range(1, args.w + 1))),
+    }
+    maker = registry.get(args.name)
+    if maker is None:
+        print(f"unknown experiment {args.name!r}; "
+              f"choose from {sorted(registry)}", file=sys.stderr)
+        return 2
+    result = maker()
+    print(format_table(result.headers, result.rows, title=result.experiment))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SeMPE reproduction toolchain",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("file", help="mini-C source file ('-' for stdin)")
+        sub.add_argument("--mode", choices=MODES, default="sempe")
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile and print the assembly listing")
+    add_common(compile_parser)
+    compile_parser.add_argument("--collapse-ifs", action="store_true",
+                                help="apply the nesting-reduction pass")
+    compile_parser.set_defaults(func=cmd_compile)
+
+    run_parser = subparsers.add_parser("run", help="compile and simulate")
+    add_common(run_parser)
+    run_parser.add_argument("--legacy", action="store_true",
+                            help="run the binary on the non-SeMPE machine")
+    run_parser.add_argument("--collapse-ifs", action="store_true")
+    run_parser.add_argument("--globals", default="",
+                            help="comma-separated globals to print")
+    run_parser.set_defaults(func=cmd_run)
+
+    check_parser = subparsers.add_parser(
+        "check", help="noninterference report across secret values")
+    add_common(check_parser)
+    check_parser.add_argument("--secret", required=True,
+                              help="name of the secret global to vary")
+    check_parser.add_argument("--values", default="0,1,2",
+                              help="comma-separated secret values")
+    check_parser.set_defaults(func=cmd_check)
+
+    disasm_parser = subparsers.add_parser(
+        "disasm", help="show SeMPE vs legacy decode of the same bytes")
+    add_common(disasm_parser)
+    disasm_parser.set_defaults(func=cmd_disasm)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="regenerate a paper table/figure")
+    experiments_parser.add_argument(
+        "name", help="table1|table2|fig8|fig9|fig10a|fig10b")
+    experiments_parser.add_argument("--w", type=int, default=3,
+                                    help="max nesting depth for sweeps")
+    experiments_parser.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

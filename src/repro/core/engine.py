@@ -1,0 +1,141 @@
+"""The SeMPE machine: functional execution + timing in one call.
+
+:func:`simulate` is the main entry point of the library::
+
+    from repro import simulate
+    report = simulate(program, sempe=True)
+    print(report.cycles, report.pipeline.ipc)
+
+``sempe=False`` models the unprotected baseline machine running the same
+binary (SecPrefix ignored, ``eosJMP`` decoded as NOP), which is exactly
+the paper's baseline: identical core, no security.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.executor import ExecutionResult, Executor
+from repro.core.jbtable import JumpBackTable
+from repro.core.snapshots import make_snapshot_mechanism
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS
+from repro.mem.scratchpad import ScratchpadMemory
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import OutOfOrderPipeline, PipelineStats
+
+
+@dataclass
+class SimulationReport:
+    """Everything a benchmark or experiment needs from one run."""
+
+    program_name: str
+    sempe: bool
+    cycles: int
+    functional: ExecutionResult
+    pipeline: PipelineStats
+    miss_rates: dict[str, float] = field(default_factory=dict)
+    final_regs: list[int] = field(default_factory=list)
+
+    @property
+    def instructions(self) -> int:
+        return self.functional.instructions
+
+    @property
+    def ipc(self) -> float:
+        return self.pipeline.ipc
+
+    def overhead_vs(self, baseline: "SimulationReport") -> float:
+        """Execution-time ratio against *baseline* (1.0 = equal)."""
+        if baseline.cycles == 0:
+            return float("inf")
+        return self.cycles / baseline.cycles
+
+
+class SempeMachine:
+    """A configured machine that can run programs."""
+
+    def __init__(self, config: MachineConfig | None = None,
+                 sempe: bool = True) -> None:
+        self.config = config or MachineConfig()
+        self.sempe = sempe
+
+    def run(self, program: Program,
+            max_instructions: int = 50_000_000) -> SimulationReport:
+        """Execute *program* functionally and through the timing model."""
+        config = self.config
+        spm = ScratchpadMemory(
+            n_slots=config.spm_slots,
+            n_arch_regs=NUM_REGS,
+            bytes_per_cycle=config.spm_bytes_per_cycle,
+        )
+        # The SPM *timing* uses the paper's architectural state size so
+        # snapshot traffic matches the paper's machine even though our ISA
+        # has fewer registers.
+        mechanism = make_snapshot_mechanism(
+            config.snapshot_mechanism,
+            n_arch_regs=config.spm_arch_regs,
+            n_phys_regs=config.int_phys_regs,
+            spm_bytes_per_cycle=config.spm_bytes_per_cycle,
+        )
+        jbtable = JumpBackTable(depth=config.jbtable_depth)
+        executor = Executor(
+            program,
+            sempe=self.sempe,
+            spm=spm,
+            jbtable=jbtable,
+            max_instructions=max_instructions,
+        )
+        pipeline = OutOfOrderPipeline(config, sempe=self.sempe)
+        pipeline.rename_overhead = mechanism.rename_overhead_per_instruction()
+        scale = _drain_scale(mechanism, spm)
+        trace = _scale_drains(executor.run(), scale) if scale != 1.0 \
+            else executor.run()
+        stats = pipeline.run(trace)
+        return SimulationReport(
+            program_name=program.name,
+            sempe=self.sempe,
+            cycles=stats.cycles,
+            functional=executor.result,
+            pipeline=stats,
+            miss_rates=pipeline.hierarchy.miss_rates(),
+            final_regs=executor.state.snapshot_regs(),
+        )
+
+
+def _drain_scale(mechanism, spm: ScratchpadMemory) -> float:
+    """SPM-traffic ratio of the configured mechanism vs ArchRS.
+
+    The functional executor charges ArchRS-shaped SPM cycles into its
+    drain events; alternative mechanisms (PhyRS, LRS) scale that traffic
+    by the ratio of their per-snapshot footprint.
+    """
+    if mechanism.name == "ArchRS":
+        return 1.0
+    from repro.core.snapshots import ArchRS
+
+    reference = ArchRS(
+        n_arch_regs=mechanism.n_arch_regs,
+        n_phys_regs=mechanism.n_phys_regs,
+        reg_bytes=mechanism.reg_bytes,
+        spm_bytes_per_cycle=mechanism.spm_bytes_per_cycle,
+    )
+    return mechanism.snapshot_bytes() / max(reference.snapshot_bytes(), 1)
+
+
+def _scale_drains(trace, scale: float):
+    for record in trace:
+        if record.kind == "drain":
+            record.spm_cycles = max(1, int(round(record.spm_cycles * scale)))
+        yield record
+
+
+def simulate(
+    program: Program,
+    sempe: bool = True,
+    config: MachineConfig | None = None,
+    max_instructions: int = 50_000_000,
+) -> SimulationReport:
+    """Run *program* on a SeMPE (or baseline) machine and report."""
+    machine = SempeMachine(config=config, sempe=sempe)
+    return machine.run(program, max_instructions=max_instructions)

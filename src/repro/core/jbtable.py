@@ -1,0 +1,120 @@
+"""The Jump-Back Table (jbTable).
+
+A small hardware LIFO (Fig. 5 of the paper).  Each entry describes one
+in-flight secure branch:
+
+* ``target`` — the sJMP destination address, written when the sJMP
+  commits (step 2), consumed by the first ``eosJMP`` commit to set the
+  nextPC (step 4);
+* ``taken`` — the real branch outcome (the T/NT bit field);
+* ``valid`` — set once the target address has been computed; a nested
+  sJMP may only issue when the previous entry is valid (step 6),
+  keeping the LIFO faithful;
+* ``jump_back`` — set by the first ``eosJMP`` (step 5); a set bit tells
+  the second ``eosJMP`` to retire the entry instead of jumping back.
+
+The default depth of 30 follows Table II (SPM sized for 30 snapshots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class JbTableError(Exception):
+    """Raised on protocol violations (overflow, pop of live entry ...)."""
+
+
+@dataclass
+class JbEntry:
+    """One jbTable row."""
+
+    target: int | None = None
+    taken: bool = False
+    valid: bool = False
+    jump_back: bool = False
+
+
+class JumpBackTable:
+    """LIFO of :class:`JbEntry` with the paper's issue/commit protocol."""
+
+    def __init__(self, depth: int = 30) -> None:
+        self.depth = depth
+        self._entries: list[JbEntry] = []
+        self.pushes = 0
+        self.max_occupancy = 0
+
+    # -- protocol steps --------------------------------------------------------
+
+    def can_issue_sjmp(self) -> bool:
+        """A nested sJMP may issue only if the table is empty or the most
+        recent entry has its Valid bit set (step 6)."""
+        return not self._entries or self._entries[-1].valid
+
+    def push(self, target: int | None = None, taken: bool = False) -> JbEntry:
+        """Allocate an entry at sJMP issue (step 1); Valid/jb start clear."""
+        if len(self._entries) >= self.depth:
+            raise JbTableError(
+                f"jbTable overflow: nesting exceeds depth {self.depth}"
+            )
+        if not self.can_issue_sjmp():
+            raise JbTableError("sJMP issued while previous entry is not valid")
+        entry = JbEntry(target=target, taken=taken, valid=False, jump_back=False)
+        self._entries.append(entry)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return entry
+
+    def set_valid(self, target: int) -> None:
+        """Record the computed target at sJMP commit (step 2)."""
+        entry = self.top()
+        entry.target = target
+        entry.valid = True
+
+    def take_jump_back(self) -> int:
+        """First eosJMP commit: return nextPC and set the jb bit (4-5)."""
+        entry = self.top()
+        if not entry.valid:
+            raise JbTableError("eosJMP reached before sJMP target was valid")
+        if entry.jump_back:
+            raise JbTableError("jump-back taken twice for the same entry")
+        entry.jump_back = True
+        return entry.target
+
+    def pop(self) -> JbEntry:
+        """Second eosJMP commit: retire the most recent entry."""
+        if not self._entries:
+            raise JbTableError("pop from empty jbTable")
+        entry = self._entries[-1]
+        if not entry.jump_back:
+            raise JbTableError("pop before the jump-back was taken")
+        return self._entries.pop()
+
+    def squash_youngest(self) -> JbEntry | None:
+        """Branch-misprediction recovery: delete the most recent entry for
+        each squashed sJMP, newest to oldest (§IV-E)."""
+        if not self._entries:
+            return None
+        return self._entries.pop()
+
+    # -- queries -------------------------------------------------------------
+
+    def top(self) -> JbEntry:
+        if not self._entries:
+            raise JbTableError("jbTable is empty")
+        return self._entries[-1]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def size_bytes(self) -> int:
+        """Hardware cost: 64-bit address + T/NT + valid + jb per entry."""
+        bits_per_entry = 64 + 3
+        return (self.depth * bits_per_entry + 7) // 8
+
+    def reset(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,34 @@
+"""Experiment harness: sweeps, result caching, and table/figure rendering.
+
+Every table and figure of the paper's evaluation has a function in
+:mod:`repro.harness.experiments` that regenerates it; the benchmark
+modules under ``benchmarks/`` are thin wrappers that time these and
+print the rows.
+"""
+
+from repro.harness.runner import RunResult, run_microbench, run_djpeg, clear_cache
+from repro.harness.report import format_table
+from repro.harness.experiments import (
+    table1_comparison,
+    table2_config,
+    fig8_djpeg_overhead,
+    fig9_cache_missrates,
+    fig10a_microbench,
+    fig10b_normalized_to_ideal,
+    DEFAULT_W_SWEEP,
+)
+
+__all__ = [
+    "RunResult",
+    "run_microbench",
+    "run_djpeg",
+    "clear_cache",
+    "format_table",
+    "table1_comparison",
+    "table2_config",
+    "fig8_djpeg_overhead",
+    "fig9_cache_missrates",
+    "fig10a_microbench",
+    "fig10b_normalized_to_ideal",
+    "DEFAULT_W_SWEEP",
+]

@@ -1,0 +1,250 @@
+"""One function per table/figure of the paper's evaluation.
+
+Each function returns a ``(headers, rows)`` pair plus derived data so
+the benchmark modules can both print the regenerated table and assert
+on its shape.  EXPERIMENTS.md records the paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.runner import run_djpeg, run_microbench
+from repro.models.priorwork import GhostRiderModel, RaccoonModel
+from repro.uarch.config import MachineConfig, haswell_like
+from repro.workloads.djpeg import FORMATS, DjpegSpec
+from repro.workloads.microbench import WORKLOADS, MicrobenchSpec
+
+# Default sweep parameters, sized so the pure-Python timing model
+# finishes in benchmark-friendly time (see DESIGN.md substitution 4).
+DEFAULT_W_SWEEP = (1, 2, 4, 6, 8, 10)
+DEFAULT_DJPEG_SIZES = (512, 1024, 2048, 4096)   # paper: 256k..2048k pixels
+
+_MICRO_ITERS = {
+    "fibonacci": 12,
+    "ones": 10,
+    "quicksort": 4,
+    "queens": 3,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: table plus raw series for assertions."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list[object]]
+    series: dict = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------
+# Table I — approach comparison
+# --------------------------------------------------------------------------
+
+def table1_comparison(w: int = 10, workloads=WORKLOADS) -> ExperimentResult:
+    """Regenerate Table I.
+
+    Qualitative columns come from each design; the overhead column pairs
+    the paper's *reported* numbers with overheads measured (SeMPE, CTE)
+    or modelled (Raccoon, GhostRider) on our microbenchmarks at W=*w*.
+    """
+    raccoon = RaccoonModel()
+    ghostrider = GhostRiderModel()
+    measured: dict[str, list[float]] = {
+        "CTE": [], "SeMPE": [], "Raccoon": [], "GhostRider": []}
+    for workload in workloads:
+        iters = _MICRO_ITERS[workload]
+        natural = MicrobenchSpec(workload, w=w, iters=iters)
+        oblivious = MicrobenchSpec(workload, w=w, iters=iters,
+                                   variant="oblivious")
+        base = run_microbench(natural, "plain")
+        sempe = run_microbench(natural, "sempe")
+        cte = run_microbench(oblivious, "cte")
+        measured["SeMPE"].append(sempe.cycles / base.cycles)
+        measured["CTE"].append(cte.cycles / base.cycles)
+        measured["Raccoon"].append(
+            raccoon.estimate(sempe.report, base.cycles).slowdown)
+        measured["GhostRider"].append(
+            ghostrider.estimate(sempe.report, base.cycles).slowdown)
+
+    def worst(name: str) -> float:
+        return max(measured[name])
+
+    headers = ["Aspect", "CTE", "GhostRider", "Raccoon", "SeMPE"]
+    rows = [
+        ["Approach", "elim. cond. branch", "equalize path",
+         "execute both paths", "execute both paths"],
+        ["Technique", "SW", "HW/SW", "SW", "HW/SW"],
+        ["Programming complexity", "High", "Low", "Low", "Low"],
+        ["Reported overheads (paper)", "187.3x", "1987x", "452x", "10.6x"],
+        ["Measured/modelled here (worst)",
+         f"{worst('CTE'):.1f}x", f"{worst('GhostRider'):.0f}x",
+         f"{worst('Raccoon'):.0f}x", f"{worst('SeMPE'):.1f}x"],
+        ["Simple architecture", "Yes", "No", "Yes", "Yes"],
+        ["Backward compatible", "Yes", "No", "No", "Yes"],
+    ]
+    return ExperimentResult("Table I", headers, rows, series=measured)
+
+
+# --------------------------------------------------------------------------
+# Table II — configuration echo (sanity: we model the paper's machine)
+# --------------------------------------------------------------------------
+
+def table2_config(config: MachineConfig | None = None) -> ExperimentResult:
+    config = config or haswell_like()
+    hierarchy = config.hierarchy
+    rows = [
+        ["clock frequency", f"{config.clock_ghz:.1f} GHz"],
+        ["branch predictor", f"{config.predictor} "
+                             f"(~{config.tage_storage_kb}KB) + ITTAGE"],
+        ["fetch", f"{config.fetch_width} instructions / cycle"],
+        ["decode", f"{config.decode_width} uops / cycle"],
+        ["rename", f"{config.rename_width} uops / cycle"],
+        ["issue", f"{config.issue_width} uops"],
+        ["load issue", f"{config.load_issue_width} loads / cycle"],
+        ["retire", f"{config.retire_width} uops / cycle"],
+        ["reorder buffer", f"{config.rob_entries} uops"],
+        ["physical registers",
+         f"{config.int_phys_regs} INT, {config.fp_phys_regs} FP"],
+        ["issue buffers",
+         f"{config.int_issue_buffer} INT / {config.fp_issue_buffer} FP uops"],
+        ["load/store queue",
+         f"{config.load_queue}+{config.store_queue} entries"],
+        ["DL1 cache", _cache_text(hierarchy.dl1)],
+        ["IL1 cache", _cache_text(hierarchy.il1)],
+        ["L2 cache", _cache_text(hierarchy.l2)],
+        ["prefetcher", "stride (L1), stream (L2)"],
+        ["SPM slots", f"{config.spm_slots} snapshots"],
+        ["SPM throughput", f"{config.spm_bytes_per_cycle} B/cycle R/W"],
+        ["jbTable depth", str(config.jbtable_depth)],
+    ]
+    return ExperimentResult("Table II", ["parameter", "value"], rows)
+
+
+def _cache_text(cache_config) -> str:
+    return (f"{cache_config.size_bytes // 1024}KB, "
+            f"{cache_config.assoc}-way assoc.")
+
+
+# --------------------------------------------------------------------------
+# Fig. 8 — djpeg execution-time overhead
+# --------------------------------------------------------------------------
+
+def fig8_djpeg_overhead(sizes=DEFAULT_DJPEG_SIZES,
+                        formats=FORMATS) -> ExperimentResult:
+    headers = ["format"] + [f"{size}px" for size in sizes]
+    rows = []
+    series: dict[str, list[float]] = {}
+    for fmt in formats:
+        overheads = []
+        for size in sizes:
+            spec = DjpegSpec(fmt, size)
+            base = run_djpeg(spec, "plain")
+            sempe = run_djpeg(spec, "sempe")
+            overheads.append(sempe.cycles / base.cycles - 1.0)
+        series[fmt] = overheads
+        rows.append([fmt.upper()] + [f"{o * 100:.0f}%" for o in overheads])
+    return ExperimentResult("Fig. 8", headers, rows, series=series)
+
+
+# --------------------------------------------------------------------------
+# Fig. 9 — cache miss rates (baseline vs SeMPE)
+# --------------------------------------------------------------------------
+
+def fig9_cache_missrates(sizes=DEFAULT_DJPEG_SIZES,
+                         formats=FORMATS) -> ExperimentResult:
+    headers = ["config", "IL1 base", "IL1 sempe", "DL1 base", "DL1 sempe",
+               "L2 base", "L2 sempe"]
+    rows = []
+    series: dict[str, dict[str, list[float]]] = {
+        level: {"base": [], "sempe": []} for level in ("IL1", "DL1", "L2")
+    }
+    for fmt in formats:
+        for size in sizes:
+            spec = DjpegSpec(fmt, size)
+            base = run_djpeg(spec, "plain")
+            sempe = run_djpeg(spec, "sempe")
+            row = [f"{fmt}-{size}px"]
+            for level in ("IL1", "DL1", "L2"):
+                base_rate = base.miss_rates[level]
+                sempe_rate = sempe.miss_rates[level]
+                series[level]["base"].append(base_rate)
+                series[level]["sempe"].append(sempe_rate)
+                row.extend([f"{base_rate * 100:.2f}%",
+                            f"{sempe_rate * 100:.2f}%"])
+            # interleave per-level columns in the right order
+            rows.append([row[0], row[1], row[2], row[3], row[4],
+                         row[5], row[6]])
+    return ExperimentResult("Fig. 9", headers, rows, series=series)
+
+
+# --------------------------------------------------------------------------
+# Fig. 10a — microbenchmark slowdown vs nesting depth, SeMPE vs FaCT
+# --------------------------------------------------------------------------
+
+def fig10a_microbench(w_sweep=DEFAULT_W_SWEEP,
+                      workloads=WORKLOADS) -> ExperimentResult:
+    headers = ["workload", "scheme"] + [f"W={w}" for w in w_sweep]
+    rows = []
+    series: dict[tuple[str, str], list[float]] = {}
+    for workload in workloads:
+        iters = _MICRO_ITERS[workload]
+        sempe_row: list[object] = [workload, "SeMPE"]
+        cte_row: list[object] = [workload, "FaCT/CTE"]
+        sempe_series: list[float] = []
+        cte_series: list[float] = []
+        for w in w_sweep:
+            natural = MicrobenchSpec(workload, w=w, iters=iters)
+            oblivious = MicrobenchSpec(workload, w=w, iters=iters,
+                                       variant="oblivious")
+            base = run_microbench(natural, "plain")
+            sempe = run_microbench(natural, "sempe")
+            cte = run_microbench(oblivious, "cte")
+            sempe_slowdown = sempe.cycles / base.cycles
+            cte_slowdown = cte.cycles / base.cycles
+            sempe_series.append(sempe_slowdown)
+            cte_series.append(cte_slowdown)
+            sempe_row.append(f"{sempe_slowdown:.1f}x")
+            cte_row.append(f"{cte_slowdown:.1f}x")
+        rows.append(sempe_row)
+        rows.append(cte_row)
+        series[(workload, "sempe")] = sempe_series
+        series[(workload, "cte")] = cte_series
+    return ExperimentResult("Fig. 10a", headers, rows, series=series)
+
+
+# --------------------------------------------------------------------------
+# Fig. 10b — slowdown normalized to the ideal (sum of all paths)
+# --------------------------------------------------------------------------
+
+def fig10b_normalized_to_ideal(w_sweep=DEFAULT_W_SWEEP,
+                               workloads=WORKLOADS) -> ExperimentResult:
+    headers = ["scheme"] + [f"W={w}" for w in w_sweep]
+    sempe_norms: list[float] = []
+    cte_norms: list[float] = []
+    for w in w_sweep:
+        sempe_vals = []
+        cte_vals = []
+        for workload in workloads:
+            iters = _MICRO_ITERS[workload]
+            natural = MicrobenchSpec(workload, w=w, iters=iters)
+            oblivious = MicrobenchSpec(workload, w=w, iters=iters,
+                                       variant="oblivious")
+            ideal_spec = MicrobenchSpec(workload, w=w, iters=iters,
+                                        variant="unconditional")
+            ideal = run_microbench(ideal_spec, "plain")
+            sempe = run_microbench(natural, "sempe")
+            cte = run_microbench(oblivious, "cte")
+            sempe_vals.append(sempe.cycles / ideal.cycles)
+            cte_vals.append(cte.cycles / ideal.cycles)
+        sempe_norms.append(sum(sempe_vals) / len(sempe_vals))
+        cte_norms.append(sum(cte_vals) / len(cte_vals))
+    rows = [
+        ["SeMPE / ideal"] + [f"{value:.2f}" for value in sempe_norms],
+        ["FaCT/CTE / ideal"] + [f"{value:.2f}" for value in cte_norms],
+    ]
+    return ExperimentResult(
+        "Fig. 10b", headers, rows,
+        series={"sempe": sempe_norms, "cte": cte_norms},
+    )

@@ -1,0 +1,31 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[object]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width text table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, text in enumerate(row):
+            widths[column] = max(widths[column], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(text.ljust(w) for text, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)

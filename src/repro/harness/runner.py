@@ -1,0 +1,75 @@
+"""Run management with in-process caching.
+
+Fig. 8 and Fig. 9 come from the same djpeg sweep and Fig. 10a/10b share
+the microbenchmark sweep, so runs are cached by configuration key —
+each (program, machine) pair is simulated once per session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import SimulationReport, simulate
+from repro.uarch.config import MachineConfig
+from repro.workloads.djpeg import DjpegSpec, compile_djpeg
+from repro.workloads.microbench import MicrobenchSpec, compile_microbench
+
+_CACHE: dict[tuple, "RunResult"] = {}
+
+
+@dataclass
+class RunResult:
+    """One simulated configuration."""
+
+    name: str
+    mode: str          # plain | sempe | cte
+    report: SimulationReport
+
+    @property
+    def cycles(self) -> int:
+        return self.report.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.report.instructions
+
+    @property
+    def miss_rates(self) -> dict[str, float]:
+        return self.report.miss_rates
+
+
+def clear_cache() -> None:
+    """Drop all cached runs (used by tests)."""
+    _CACHE.clear()
+
+
+def run_microbench(spec: MicrobenchSpec, mode: str,
+                   config: MachineConfig | None = None) -> RunResult:
+    """Simulate one microbenchmark configuration (cached).
+
+    ``mode`` selects both the compiler mode and the machine: ``sempe``
+    runs on the SeMPE machine, ``plain`` and ``cte`` on the baseline.
+    """
+    key = ("micro", spec.workload, spec.w, spec.iters, spec.size,
+           spec.variant, mode, id(config) if config else None)
+    if key in _CACHE:
+        return _CACHE[key]
+    compiled = compile_microbench(spec, mode)
+    report = simulate(compiled.program, sempe=(mode == "sempe"), config=config)
+    result = RunResult(name=spec.name, mode=mode, report=report)
+    _CACHE[key] = result
+    return result
+
+
+def run_djpeg(spec: DjpegSpec, mode: str,
+              config: MachineConfig | None = None) -> RunResult:
+    """Simulate one djpeg configuration (cached)."""
+    key = ("djpeg", spec.fmt, spec.npixels, spec.seed, mode,
+           id(config) if config else None)
+    if key in _CACHE:
+        return _CACHE[key]
+    compiled = compile_djpeg(spec, mode)
+    report = simulate(compiled.program, sempe=(mode == "sempe"), config=config)
+    result = RunResult(name=spec.name, mode=mode, report=report)
+    _CACHE[key] = result
+    return result

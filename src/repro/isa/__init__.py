@@ -1,0 +1,100 @@
+"""Instruction set architecture for the SeMPE reproduction.
+
+The paper extends x86_64 with a ``SecPrefix`` byte that turns an ordinary
+conditional branch into a secure jump (``sJMP``) and a new ``eosJMP``
+instruction encoded so that legacy processors see a NOP.  Running real x86
+is out of scope for a pure-Python reproduction, so this package defines a
+small 64-bit RISC-style ISA with the same two extensions:
+
+* conditional branches carry a ``secure`` flag (the SecPrefix);
+* an ``EOSJMP`` opcode marks the join point of a secure branch.
+
+The :mod:`repro.isa.encoding` module provides a byte-level encoding in
+which the SecPrefix is a genuine prefix byte (``0x2e``) and ``eosJMP`` is
+``0x2e 0x90``, so the paper's backward-compatibility argument can be
+demonstrated: a legacy decoder ignores the prefix and reads ``eosJMP`` as
+a NOP.
+"""
+
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ABI_NAMES,
+    ZERO,
+    RA,
+    SP,
+    GP,
+    A0,
+    A1,
+    A2,
+    A3,
+    A4,
+    A5,
+    T0,
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+    S0,
+    S1,
+    S2,
+    S3,
+    S4,
+    S5,
+    reg_name,
+    parse_reg,
+)
+from repro.isa.opcodes import Op, OpClass
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program, DataItem
+from repro.isa.builder import ProgramBuilder
+from repro.isa.assembler import assemble, AssemblerError
+from repro.isa.encoding import (
+    encode_program,
+    decode_program,
+    encode_instruction,
+    SEC_PREFIX,
+    NOP_BYTE,
+)
+
+__all__ = [
+    "NUM_REGS",
+    "REG_ABI_NAMES",
+    "ZERO",
+    "RA",
+    "SP",
+    "GP",
+    "A0",
+    "A1",
+    "A2",
+    "A3",
+    "A4",
+    "A5",
+    "T0",
+    "T1",
+    "T2",
+    "T3",
+    "T4",
+    "T5",
+    "S0",
+    "S1",
+    "S2",
+    "S3",
+    "S4",
+    "S5",
+    "reg_name",
+    "parse_reg",
+    "Op",
+    "OpClass",
+    "Instruction",
+    "Program",
+    "DataItem",
+    "ProgramBuilder",
+    "assemble",
+    "AssemblerError",
+    "encode_program",
+    "decode_program",
+    "encode_instruction",
+    "SEC_PREFIX",
+    "NOP_BYTE",
+]

@@ -1,0 +1,231 @@
+"""Two-pass textual assembler.
+
+Syntax example::
+
+        .data
+    arr:    .quad 5, 3, 8
+    buf:    .space 16          # 16 zero quads
+    msg:    .byte 1, 2, 3
+        .text
+    main:
+        la   a0, arr
+        ld   a1, 0(a0)
+        sbne a1, zero, Lelse   # secure branch (SecPrefix)
+        addi a2, zero, 1
+        jmp  Ljoin
+    Lelse:
+        addi a2, zero, 2
+    Ljoin:
+        eosjmp
+        halt
+
+Secure branches use the ``s`` mnemonic prefix (``sbeq``, ``sbne`` ...),
+mirroring the paper's SecPrefix on an ordinary branch.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op, is_cond_branch
+from repro.isa.program import DataItem, Program
+from repro.isa.builder import _align, ProgramBuilder
+from repro.isa.program import DATA_BASE
+from repro.isa.registers import parse_reg
+
+
+class AssemblerError(Exception):
+    """Raised on malformed assembly input."""
+
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+_RR_OPS = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "div": Op.DIV,
+    "rem": Op.REM, "and": Op.AND, "or": Op.OR, "xor": Op.XOR,
+    "sll": Op.SLL, "srl": Op.SRL, "sra": Op.SRA, "slt": Op.SLT,
+    "sltu": Op.SLTU,
+}
+_RI_OPS = {
+    "addi": Op.ADDI, "andi": Op.ANDI, "ori": Op.ORI, "xori": Op.XORI,
+    "slli": Op.SLLI, "srli": Op.SRLI, "srai": Op.SRAI, "slti": Op.SLTI,
+}
+_BRANCH_OPS = {
+    "beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT, "bge": Op.BGE,
+    "bltu": Op.BLTU, "bgeu": Op.BGEU,
+}
+_LOAD_OPS = {"ld": Op.LD, "lb": Op.LB}
+_STORE_OPS = {"st": Op.ST, "sb": Op.SB}
+
+
+def assemble(source: str, name: str = "program", entry: str | int | None = None) -> Program:
+    """Assemble *source* text into a sealed :class:`Program`.
+
+    If *entry* is ``None``, the ``main`` label is used when present,
+    otherwise instruction 0.
+    """
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    data: list[DataItem] = []
+    data_cursor = DATA_BASE
+    section = ".text"
+    pending_data_label: str | None = None
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("."):
+            directive_parts = line.split(None, 1)
+            directive = directive_parts[0]
+            if directive in (".text", ".data"):
+                section = directive
+                continue
+            if section == ".data" and directive in (".quad", ".byte", ".space"):
+                if pending_data_label is None:
+                    raise AssemblerError(
+                        f"line {line_number}: data directive without a label"
+                    )
+                item = _parse_data_directive(
+                    pending_data_label, directive, directive_parts, data_cursor,
+                    line_number,
+                )
+                data.append(item)
+                data_cursor = _align(item.address + item.size, 8)
+                pending_data_label = None
+                continue
+            raise AssemblerError(f"line {line_number}: unknown directive {directive!r}")
+
+        # Labels (possibly followed by code/data on the same line).
+        while True:
+            match = re.match(r"^([A-Za-z_.][\w.]*)\s*:\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2).strip()
+            if section == ".text":
+                if label in labels:
+                    raise AssemblerError(f"line {line_number}: duplicate label {label!r}")
+                labels[label] = len(instructions)
+            else:
+                pending_data_label = label
+            if not line:
+                break
+        if not line:
+            continue
+
+        if section == ".data":
+            if line.startswith("."):
+                directive_parts = line.split(None, 1)
+                item = _parse_data_directive(
+                    pending_data_label, directive_parts[0], directive_parts,
+                    data_cursor, line_number,
+                )
+                data.append(item)
+                data_cursor = _align(item.address + item.size, 8)
+                pending_data_label = None
+                continue
+            raise AssemblerError(f"line {line_number}: unexpected text in .data")
+
+        instructions.append(_parse_instruction(line, line_number))
+
+    if entry is None:
+        entry = labels.get("main", 0)
+    return Program(instructions, labels, data, entry=entry, name=name)
+
+
+def _parse_data_directive(
+    label: str | None,
+    directive: str,
+    parts: list[str],
+    cursor: int,
+    line_number: int,
+) -> DataItem:
+    if label is None:
+        raise AssemblerError(f"line {line_number}: data directive without a label")
+    arg_text = parts[1] if len(parts) > 1 else ""
+    if directive == ".space":
+        count = int(arg_text, 0)
+        return DataItem(name=label, address=cursor, values=[0] * count, width=8)
+    values = [int(token.strip(), 0) for token in arg_text.split(",") if token.strip()]
+    width = 8 if directive == ".quad" else 1
+    return DataItem(name=label, address=cursor, values=values, width=width)
+
+
+def _parse_instruction(line: str, line_number: int) -> Instruction:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = [token.strip() for token in operand_text.split(",") if token.strip()]
+
+    secure = False
+    if mnemonic.startswith("s") and mnemonic[1:] in _BRANCH_OPS:
+        secure = True
+        mnemonic = mnemonic[1:]
+
+    try:
+        return _build_instruction(mnemonic, operands, secure)
+    except (ValueError, KeyError, IndexError) as exc:
+        raise AssemblerError(f"line {line_number}: {exc}") from exc
+
+
+def _build_instruction(mnemonic: str, ops: list[str], secure: bool) -> Instruction:
+    if mnemonic in _RR_OPS:
+        return Instruction(_RR_OPS[mnemonic], rd=parse_reg(ops[0]),
+                           rs1=parse_reg(ops[1]), rs2=parse_reg(ops[2]))
+    if mnemonic in _RI_OPS:
+        return Instruction(_RI_OPS[mnemonic], rd=parse_reg(ops[0]),
+                           rs1=parse_reg(ops[1]), imm=int(ops[2], 0))
+    if mnemonic in _BRANCH_OPS:
+        return Instruction(_BRANCH_OPS[mnemonic], rs1=parse_reg(ops[0]),
+                           rs2=parse_reg(ops[1]), label=ops[2], secure=secure)
+    if mnemonic in _LOAD_OPS:
+        base, offset = _parse_mem_operand(ops[1])
+        return Instruction(_LOAD_OPS[mnemonic], rd=parse_reg(ops[0]),
+                           rs1=base, imm=offset)
+    if mnemonic in _STORE_OPS:
+        base, offset = _parse_mem_operand(ops[1])
+        return Instruction(_STORE_OPS[mnemonic], rs2=parse_reg(ops[0]),
+                           rs1=base, imm=offset)
+    if mnemonic == "lui":
+        try:
+            return Instruction(Op.LUI, rd=parse_reg(ops[0]), imm=int(ops[1], 0))
+        except ValueError:
+            return Instruction(Op.LUI, rd=parse_reg(ops[0]), label=ops[1])
+    if mnemonic == "la":
+        return Instruction(Op.LUI, rd=parse_reg(ops[0]), label=ops[1])
+    if mnemonic == "li":
+        return Instruction(Op.ADDI, rd=parse_reg(ops[0]), rs1=0, imm=int(ops[1], 0))
+    if mnemonic == "mv":
+        return Instruction(Op.ADDI, rd=parse_reg(ops[0]), rs1=parse_reg(ops[1]), imm=0)
+    if mnemonic == "jmp":
+        return Instruction(Op.JMP, label=ops[0])
+    if mnemonic == "jal":
+        if len(ops) == 1:
+            return Instruction(Op.JAL, rd=1, label=ops[0])
+        return Instruction(Op.JAL, rd=parse_reg(ops[0]), label=ops[1])
+    if mnemonic == "jalr":
+        if len(ops) == 1:
+            return Instruction(Op.JALR, rd=0, rs1=parse_reg(ops[0]))
+        return Instruction(Op.JALR, rd=parse_reg(ops[0]), rs1=parse_reg(ops[1]))
+    if mnemonic == "ret":
+        return Instruction(Op.JALR, rd=0, rs1=1)
+    if mnemonic == "cmov":
+        return Instruction(Op.CMOV, rd=parse_reg(ops[0]), rs1=parse_reg(ops[1]),
+                           rs2=parse_reg(ops[2]))
+    if mnemonic == "eosjmp":
+        return Instruction(Op.EOSJMP)
+    if mnemonic == "nop":
+        return Instruction(Op.NOP)
+    if mnemonic == "halt":
+        return Instruction(Op.HALT)
+    raise ValueError(f"unknown mnemonic {mnemonic!r}")
+
+
+def _parse_mem_operand(text: str) -> tuple[int, int]:
+    match = _MEM_OPERAND.match(text.replace(" ", ""))
+    if not match:
+        raise ValueError(f"bad memory operand {text!r}")
+    offset_text, base_text = match.group(1), match.group(2)
+    return parse_reg(base_text), int(offset_text, 0)

@@ -1,0 +1,54 @@
+"""Disassembler: decoded instruction streams back to assembly text.
+
+Complements :mod:`repro.isa.encoding`: a SeMPE binary can be decoded
+with either the SeMPE-aware or the legacy decoder and printed, which is
+how the backward-compatibility example shows that the *same bytes* read
+as secure code on one machine and plain code on the other.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import decode_program
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import reg_name
+
+
+def disassemble_instruction(inst: Instruction, index: int | None = None) -> str:
+    """One instruction as assembler text (branch targets as @index)."""
+    text = str(inst)
+    if index is not None:
+        return f"{index:5d}:  {text}"
+    return text
+
+
+def disassemble(instructions: list[Instruction],
+                annotate_regions: bool = True) -> str:
+    """Render an instruction list.
+
+    With ``annotate_regions`` the output marks secure branches and their
+    join points, making SecBlock extents visible in the listing.
+    """
+    lines = []
+    for index, inst in enumerate(instructions):
+        line = disassemble_instruction(inst, index)
+        if annotate_regions:
+            if inst.is_secure_branch:
+                line += "    ; sJMP (SecPrefix) -> @%s" % inst.target
+            elif inst.op is Op.EOSJMP:
+                line += "    ; eosJMP (join point; NOP on legacy)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def disassemble_binary(blob: bytes, legacy: bool = False) -> str:
+    """Decode *blob* (from :func:`encode_program`) and render it.
+
+    ``legacy=True`` shows what a non-SeMPE processor executes: the same
+    program with SecPrefixes ignored and ``eosJMP`` read as NOP.
+    """
+    instructions = decode_program(blob, legacy=legacy)
+    header = "; legacy decode (SecPrefix ignored)" if legacy else \
+        "; SeMPE decode"
+    return header + "\n" + disassemble(instructions,
+                                       annotate_regions=not legacy)

@@ -1,0 +1,150 @@
+"""Byte-level encoding with the paper's backward-compatible extensions.
+
+The paper encodes a secure branch as an ordinary branch preceded by the
+``SecPrefix`` byte ``0x2e`` (an x86 segment-override/branch-hint byte that
+legacy parts ignore), and ``eosJMP`` as ``0x2e 0x90`` (prefix + NOP, i.e. a
+NOP on legacy parts).  We mirror that exactly:
+
+* instructions encode to a 5-byte body ``[opcode, rd, rs1, rs2/flags,
+  imm-index]`` preceded by ``0x2e`` when the SecPrefix flag is set;
+* ``EOSJMP`` encodes to exactly ``0x2e 0x90``;
+* ``NOP`` encodes to ``0x90``.
+
+:func:`decode_program` has a ``legacy`` mode that ignores ``0x2e`` and
+decodes ``0x90`` as NOP, demonstrating the binary-compatibility claim: a
+SeMPE binary decodes on a legacy machine to the same program with all
+security annotations erased.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+SEC_PREFIX = 0x2E
+NOP_BYTE = 0x90
+
+_OPCODE_BYTES = {op: index + 1 for index, op in enumerate(Op)}
+_BYTE_OPCODES = {byte: op for op, byte in _OPCODE_BYTES.items()}
+# EOSJMP and NOP are special-cased to their x86-compatible encodings.
+_SPECIAL_OPS = (Op.EOSJMP, Op.NOP)
+
+
+class EncodingError(Exception):
+    """Raised on undecodable byte streams."""
+
+
+def encode_instruction(inst: Instruction, imm_table: list[int]) -> bytes:
+    """Encode one instruction; immediates are interned in *imm_table*."""
+    if inst.op is Op.EOSJMP:
+        return bytes([SEC_PREFIX, NOP_BYTE])
+    if inst.op is Op.NOP:
+        return bytes([NOP_BYTE])
+
+    body = bytearray()
+    if inst.secure:
+        body.append(SEC_PREFIX)
+    body.append(_OPCODE_BYTES[inst.op])
+    body.append(inst.rd if inst.rd is not None else 0xFF)
+    body.append(inst.rs1 if inst.rs1 is not None else 0xFF)
+    body.append(inst.rs2 if inst.rs2 is not None else 0xFF)
+
+    imm = inst.imm
+    if inst.is_control and inst.target is not None:
+        imm = inst.target
+    if imm is None:
+        body.append(0xFF)
+    else:
+        if imm not in _imm_index_cache(imm_table):
+            imm_table.append(imm)
+            _imm_index_cache(imm_table)[imm] = len(imm_table) - 1
+        index = _imm_index_cache(imm_table)[imm]
+        if index >= 0xFF:
+            raise EncodingError("immediate table overflow (>254 distinct values)")
+        body.append(index)
+    return bytes(body)
+
+
+# The immediate-intern cache is attached to the table list itself so that
+# encode_instruction stays a pure function of (inst, imm_table).
+_IMM_CACHES: dict[int, dict[int, int]] = {}
+
+
+def _imm_index_cache(imm_table: list[int]) -> dict[int, int]:
+    cache = _IMM_CACHES.get(id(imm_table))
+    if cache is None or len(cache) != len(imm_table):
+        cache = {value: index for index, value in enumerate(imm_table)}
+        _IMM_CACHES[id(imm_table)] = cache
+    return cache
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode *program* to a flat binary image.
+
+    Layout: ``u32 n_instructions | u32 n_imms | imm table (i64 each) |
+    instruction stream``.
+    """
+    imm_table: list[int] = []
+    chunks = [encode_instruction(inst, imm_table) for inst in program.instructions]
+    header = struct.pack("<II", len(program.instructions), len(imm_table))
+    imms = b"".join(struct.pack("<q", value) for value in imm_table)
+    return header + imms + b"".join(chunks)
+
+
+def decode_program(blob: bytes, legacy: bool = False) -> list[Instruction]:
+    """Decode a binary image back to instructions.
+
+    With ``legacy=True`` the decoder models a non-SeMPE processor: the
+    SecPrefix byte is skipped (treated as a meaningless hint) and the
+    ``0x2e 0x90`` pair therefore decodes as a plain NOP.  The resulting
+    instruction list is the same program with ``secure`` flags cleared and
+    ``EOSJMP`` replaced by ``NOP``.
+    """
+    n_insts, n_imms = struct.unpack_from("<II", blob, 0)
+    offset = 8
+    imm_table = [
+        struct.unpack_from("<q", blob, offset + 8 * index)[0]
+        for index in range(n_imms)
+    ]
+    offset += 8 * n_imms
+
+    instructions: list[Instruction] = []
+    while len(instructions) < n_insts:
+        saw_prefix = False
+        byte = blob[offset]
+        if byte == SEC_PREFIX:
+            saw_prefix = True
+            offset += 1
+            byte = blob[offset]
+        if byte == NOP_BYTE:
+            offset += 1
+            if saw_prefix and not legacy:
+                instructions.append(Instruction(Op.EOSJMP))
+            else:
+                instructions.append(Instruction(Op.NOP))
+            continue
+        op = _BYTE_OPCODES.get(byte)
+        if op is None or op in _SPECIAL_OPS:
+            raise EncodingError(f"bad opcode byte 0x{byte:02x} at offset {offset}")
+        rd, rs1, rs2, imm_index = blob[offset + 1: offset + 5]
+        offset += 5
+        imm = None if imm_index == 0xFF else imm_table[imm_index]
+        inst = Instruction(
+            op,
+            rd=None if rd == 0xFF else rd,
+            rs1=None if rs1 == 0xFF else rs1,
+            rs2=None if rs2 == 0xFF else rs2,
+            secure=saw_prefix and not legacy and op.name in _COND_BRANCH_NAMES,
+        )
+        if inst.is_control:
+            inst.target = imm
+        else:
+            inst.imm = imm
+        instructions.append(inst)
+    return instructions
+
+
+_COND_BRANCH_NAMES = {"BEQ", "BNE", "BLT", "BGE", "BLTU", "BGEU"}

@@ -1,0 +1,162 @@
+"""Instruction objects.
+
+An :class:`Instruction` is a fully-resolved machine instruction.  Branch
+targets are kept symbolically (label name) until the program is sealed by
+:class:`repro.isa.program.Program`, which resolves them to instruction
+indices.  Every instruction occupies 4 bytes of (simulated) instruction
+memory; the variable-length backward-compatible byte encoding lives in
+:mod:`repro.isa.encoding` and is used only for the compatibility story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import (
+    Op,
+    OpClass,
+    is_cond_branch,
+    is_branch_or_jump,
+    is_load,
+    is_store,
+    op_class,
+)
+from repro.isa.registers import ZERO, reg_name
+
+INSTRUCTION_BYTES = 4
+
+
+@dataclass
+class Instruction:
+    """One machine instruction.
+
+    Attributes:
+        op: opcode.
+        rd: destination register (or ``None``).
+        rs1: first source register (or ``None``).
+        rs2: second source register (or ``None``).
+        imm: immediate operand (or ``None``).
+        label: symbolic control-flow target (branches, JAL, JMP) or the
+            symbolic address for LUI-style data references.
+        target: resolved control-flow target (instruction index); filled
+            in by :meth:`repro.isa.program.Program.seal`.
+        secure: the SecPrefix flag.  Only meaningful on conditional
+            branches; a secure branch is the paper's ``sJMP``.
+        comment: free-form annotation carried through the toolchain.
+    """
+
+    op: Op
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int | None = None
+    label: str | None = None
+    target: int | None = None
+    secure: bool = False
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.secure and not is_cond_branch(self.op):
+            raise ValueError(
+                f"SecPrefix is only valid on conditional branches, not {self.op}"
+            )
+
+    # -- static classification helpers ------------------------------------
+
+    @property
+    def opclass(self) -> OpClass:
+        return op_class(self.op)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return is_cond_branch(self.op)
+
+    @property
+    def is_secure_branch(self) -> bool:
+        return self.secure and is_cond_branch(self.op)
+
+    @property
+    def is_control(self) -> bool:
+        return is_branch_or_jump(self.op)
+
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.op)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.op)
+
+    @property
+    def is_mem(self) -> bool:
+        return is_load(self.op) or is_store(self.op)
+
+    # -- register usage ----------------------------------------------------
+
+    def src_regs(self) -> tuple[int, ...]:
+        """Source registers actually read by this instruction."""
+        srcs = []
+        if self.rs1 is not None and self.rs1 != ZERO:
+            srcs.append(self.rs1)
+        if self.rs2 is not None and self.rs2 != ZERO:
+            srcs.append(self.rs2)
+        # CMOV also reads its old destination value.
+        if self.op is Op.CMOV and self.rd is not None and self.rd != ZERO:
+            srcs.append(self.rd)
+        return tuple(srcs)
+
+    def dst_reg(self) -> int | None:
+        """Destination register, or ``None`` (writes to x0 are discarded)."""
+        if self.rd is None or self.rd == ZERO:
+            return None
+        if self.is_store or self.is_cond_branch or self.op in (
+            Op.JMP,
+            Op.EOSJMP,
+            Op.NOP,
+            Op.HALT,
+        ):
+            return None
+        return self.rd
+
+    # -- printing ------------------------------------------------------------
+
+    def mnemonic(self) -> str:
+        """Assembler mnemonic, with the ``s`` prefix for secure branches."""
+        base = self.op.value
+        if self.is_secure_branch:
+            return "s" + base
+        return base
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.mnemonic()]
+        operands = []
+        if self.op in (Op.LD, Op.LB):
+            operands = [reg_name(self.rd), f"{self.imm}({reg_name(self.rs1)})"]
+        elif self.op in (Op.ST, Op.SB):
+            operands = [reg_name(self.rs2), f"{self.imm}({reg_name(self.rs1)})"]
+        elif self.is_cond_branch:
+            tgt = self.label if self.label is not None else f"@{self.target}"
+            operands = [reg_name(self.rs1), reg_name(self.rs2), str(tgt)]
+        elif self.op in (Op.JMP,):
+            operands = [self.label if self.label is not None else f"@{self.target}"]
+        elif self.op is Op.JAL:
+            tgt = self.label if self.label is not None else f"@{self.target}"
+            operands = [reg_name(self.rd), str(tgt)]
+        elif self.op is Op.JALR:
+            operands = [reg_name(self.rd), reg_name(self.rs1)]
+        else:
+            if self.dst_reg() is not None or self.rd == ZERO:
+                if self.rd is not None:
+                    operands.append(reg_name(self.rd))
+            if self.rs1 is not None:
+                operands.append(reg_name(self.rs1))
+            if self.rs2 is not None:
+                operands.append(reg_name(self.rs2))
+            if self.imm is not None:
+                operands.append(str(self.imm))
+        text = parts[0]
+        if operands:
+            text += " " + ", ".join(operands)
+        if self.comment:
+            text += f"  # {self.comment}"
+        return text

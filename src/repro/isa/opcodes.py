@@ -1,0 +1,146 @@
+"""Opcode definitions and static properties.
+
+Opcodes are grouped into :class:`OpClass` categories used by the timing
+model to pick functional units and latencies, and by the functional
+simulator to dispatch execution.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Coarse instruction category."""
+
+    ALU = "alu"            # single-cycle integer ops
+    MUL = "mul"            # integer multiply
+    DIV = "div"            # integer divide / remainder
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"      # conditional branches
+    JUMP = "jump"          # unconditional direct jumps / calls
+    IJUMP = "ijump"        # indirect jumps (returns)
+    CMOV = "cmov"
+    EOSJMP = "eosjmp"      # end-of-secure-jump marker
+    SYS = "sys"            # nop / halt / print
+
+
+class Op(enum.Enum):
+    """Machine opcodes."""
+
+    # Register-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLTU = "sltu"
+
+    # Register-immediate ALU.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    SLTI = "slti"
+    LUI = "lui"
+
+    # Memory (8-byte words and single bytes).
+    LD = "ld"
+    ST = "st"
+    LB = "lb"
+    SB = "sb"
+
+    # Control flow.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    JMP = "jmp"
+    JAL = "jal"
+    JALR = "jalr"
+
+    # Conditional move: rd = (rs2 != 0) ? rs1 : rd.
+    CMOV = "cmov"
+
+    # SeMPE join marker (NOP on legacy decoders).
+    EOSJMP = "eosjmp"
+
+    # System.
+    NOP = "nop"
+    HALT = "halt"
+
+
+_COND_BRANCHES = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU}
+_ALU_RR = {
+    Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.SRA,
+    Op.SLT, Op.SLTU,
+}
+_ALU_RI = {
+    Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI, Op.SRAI,
+    Op.SLTI, Op.LUI,
+}
+
+_OP_CLASS = {}
+for _op in _ALU_RR | _ALU_RI:
+    _OP_CLASS[_op] = OpClass.ALU
+_OP_CLASS[Op.MUL] = OpClass.MUL
+_OP_CLASS[Op.DIV] = OpClass.DIV
+_OP_CLASS[Op.REM] = OpClass.DIV
+_OP_CLASS[Op.LD] = OpClass.LOAD
+_OP_CLASS[Op.LB] = OpClass.LOAD
+_OP_CLASS[Op.ST] = OpClass.STORE
+_OP_CLASS[Op.SB] = OpClass.STORE
+for _op in _COND_BRANCHES:
+    _OP_CLASS[_op] = OpClass.BRANCH
+_OP_CLASS[Op.JMP] = OpClass.JUMP
+_OP_CLASS[Op.JAL] = OpClass.JUMP
+_OP_CLASS[Op.JALR] = OpClass.IJUMP
+_OP_CLASS[Op.CMOV] = OpClass.CMOV
+_OP_CLASS[Op.EOSJMP] = OpClass.EOSJMP
+_OP_CLASS[Op.NOP] = OpClass.SYS
+_OP_CLASS[Op.HALT] = OpClass.SYS
+
+
+def op_class(op: Op) -> OpClass:
+    """Return the :class:`OpClass` of *op*."""
+    return _OP_CLASS[op]
+
+
+def is_cond_branch(op: Op) -> bool:
+    """True for conditional branch opcodes (the ones SecPrefix applies to)."""
+    return op in _COND_BRANCHES
+
+
+def is_branch_or_jump(op: Op) -> bool:
+    """True for any control-flow opcode (excluding EOSJMP)."""
+    return op in _COND_BRANCHES or op in (Op.JMP, Op.JAL, Op.JALR)
+
+
+def is_load(op: Op) -> bool:
+    return op in (Op.LD, Op.LB)
+
+
+def is_store(op: Op) -> bool:
+    return op in (Op.ST, Op.SB)
+
+
+def mem_width(op: Op) -> int:
+    """Access width in bytes for memory opcodes."""
+    if op in (Op.LD, Op.ST):
+        return 8
+    if op in (Op.LB, Op.SB):
+        return 1
+    raise ValueError(f"{op} is not a memory opcode")

@@ -1,0 +1,131 @@
+"""Programs: code, data, and symbol resolution.
+
+A :class:`Program` couples an instruction list with an initial data image.
+Instruction addresses are ``index * 4``.  Data lives in a separate address
+range starting at :data:`DATA_BASE`, with the stack placed above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Op
+
+CODE_BASE = 0x0000_0000
+DATA_BASE = 0x0010_0000
+STACK_BASE = 0x0080_0000   # initial stack pointer (grows down)
+SHADOW_BASE = 0x0040_0000  # compiler-managed ShadowMemory region
+HEAP_BASE = 0x0020_0000    # bump-allocated dynamic memory
+
+
+@dataclass
+class DataItem:
+    """A named, initialised chunk of the data segment."""
+
+    name: str
+    address: int
+    values: list[int]
+    width: int = 8  # bytes per element (8 for .quad, 1 for .byte)
+
+    @property
+    def size(self) -> int:
+        return len(self.values) * self.width
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (duplicate/undefined labels ...)."""
+
+
+class Program:
+    """A sealed program ready for simulation.
+
+    Attributes:
+        instructions: the instruction list.
+        labels: label name -> instruction index.
+        data: list of :class:`DataItem` in the data segment.
+        symbols: data symbol name -> byte address.
+        entry: instruction index where execution begins.
+        name: human-readable program name.
+    """
+
+    def __init__(
+        self,
+        instructions: list[Instruction],
+        labels: dict[str, int] | None = None,
+        data: list[DataItem] | None = None,
+        entry: str | int = 0,
+        name: str = "program",
+    ) -> None:
+        self.instructions = instructions
+        self.labels = dict(labels or {})
+        self.data = list(data or [])
+        self.symbols = {item.name: item.address for item in self.data}
+        self.name = name
+        if isinstance(entry, str):
+            if entry not in self.labels:
+                raise ProgramError(f"entry label {entry!r} not defined")
+            self.entry = self.labels[entry]
+        else:
+            self.entry = entry
+        self._seal()
+
+    # -- construction ------------------------------------------------------
+
+    def _seal(self) -> None:
+        """Resolve symbolic branch targets and data references."""
+        for index, inst in enumerate(self.instructions):
+            if inst.label is None:
+                continue
+            if inst.is_control:
+                if inst.label not in self.labels:
+                    raise ProgramError(
+                        f"undefined label {inst.label!r} at instruction {index}"
+                    )
+                inst.target = self.labels[inst.label]
+            elif inst.op is Op.LUI:
+                if inst.label not in self.symbols:
+                    raise ProgramError(
+                        f"undefined data symbol {inst.label!r} at instruction {index}"
+                    )
+                inst.imm = self.symbols[inst.label]
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def address_of(self, index: int) -> int:
+        """Byte address of instruction *index*."""
+        return CODE_BASE + index * INSTRUCTION_BYTES
+
+    def index_of_address(self, address: int) -> int:
+        return (address - CODE_BASE) // INSTRUCTION_BYTES
+
+    def initial_memory(self) -> dict[int, int]:
+        """Byte address -> byte value map for the initial data image."""
+        image: dict[int, int] = {}
+        for item in self.data:
+            addr = item.address
+            for value in item.values:
+                masked = value & ((1 << (8 * item.width)) - 1)
+                for byte_index in range(item.width):
+                    image[addr + byte_index] = (masked >> (8 * byte_index)) & 0xFF
+                addr += item.width
+        return image
+
+    def count_secure_branches(self) -> int:
+        """Static count of sJMP instructions in the program."""
+        return sum(1 for inst in self.instructions if inst.is_secure_branch)
+
+    def listing(self) -> str:
+        """Human-readable assembly listing."""
+        index_to_labels: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            index_to_labels.setdefault(index, []).append(label)
+        lines = []
+        for index, inst in enumerate(self.instructions):
+            for label in sorted(index_to_labels.get(index, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    {inst}")
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Architectural register file description.
+
+The machine has 32 64-bit general-purpose registers with RISC-V-flavoured
+ABI names.  Register ``x0`` is hardwired to zero.  The paper's x86_64
+target has 48 architectural registers; the snapshot *size* used for SPM
+timing is configurable independently of this count (see
+:class:`repro.uarch.config.MachineConfig`).
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+# Hardwired and ABI registers.
+ZERO = 0
+RA = 1   # return address
+SP = 2   # stack pointer
+GP = 3   # global pointer (base of .data)
+
+# Argument / return registers a0..a7 = x10..x17 (a0 doubles as return value).
+A0, A1, A2, A3, A4, A5, A6, A7 = range(10, 18)
+
+# Callee-saved s0..s7 = x18..x25.
+S0, S1, S2, S3, S4, S5, S6, S7 = range(18, 26)
+
+# Caller-saved temporaries t0..t5 = x26..x31, plus x4..x9 as extra temps.
+T0, T1, T2, T3, T4, T5 = range(26, 32)
+
+REG_ABI_NAMES = {
+    0: "zero",
+    1: "ra",
+    2: "sp",
+    3: "gp",
+    4: "x4",
+    5: "x5",
+    6: "x6",
+    7: "x7",
+    8: "x8",
+    9: "x9",
+    10: "a0",
+    11: "a1",
+    12: "a2",
+    13: "a3",
+    14: "a4",
+    15: "a5",
+    16: "a6",
+    17: "a7",
+    18: "s0",
+    19: "s1",
+    20: "s2",
+    21: "s3",
+    22: "s4",
+    23: "s5",
+    24: "s6",
+    25: "s7",
+    26: "t0",
+    27: "t1",
+    28: "t2",
+    29: "t3",
+    30: "t4",
+    31: "t5",
+}
+
+_NAME_TO_REG = {name: num for num, name in REG_ABI_NAMES.items()}
+_NAME_TO_REG.update({f"x{i}": i for i in range(NUM_REGS)})
+
+
+def reg_name(reg: int) -> str:
+    """Return the ABI name of register number *reg*."""
+    if reg not in REG_ABI_NAMES:
+        raise ValueError(f"no such register: {reg}")
+    return REG_ABI_NAMES[reg]
+
+
+def parse_reg(text: str) -> int:
+    """Parse a register name (``x7``, ``a0``, ``sp`` ...) to its number."""
+    key = text.strip().lower()
+    if key not in _NAME_TO_REG:
+        raise ValueError(f"unknown register name: {text!r}")
+    return _NAME_TO_REG[key]

@@ -1,0 +1,43 @@
+"""mini-C: the source language and compiler of the reproduction.
+
+The paper compiles C with clang, hand-instrumenting SecBlocks with sJMP /
+``eosJMP`` and manually privatizing local variables (ShadowMemory +
+CMOV).  We reproduce the whole flow with a small C-like language and
+three compilation modes:
+
+* ``plain`` — ordinary code generation; secret-dependent branches remain
+  normal conditional branches (the vulnerable baseline);
+* ``sempe`` — secret-dependent ``if`` statements are compiled to secure
+  branches (sJMP) with an ``eosJMP`` join, and scalars assigned inside
+  the paths are privatized into per-path shadow copies merged with CMOV
+  after the region (the paper's ShadowMemory discipline);
+* ``cte`` — the FaCT-like Constant-Time-Expression transformation: every
+  secret ``if`` becomes a predication context and every assignment under
+  a secret context becomes a select over the full product of enclosing
+  condition bits (Fig. 2b of the paper), with FaCT's restrictions (no
+  calls / no while-loops / no returns under a secret context).
+
+Example::
+
+    from repro.lang import compile_source
+
+    program = compile_source(SOURCE, mode="sempe")
+"""
+
+from repro.lang.errors import CompileError, TaintError
+from repro.lang.lexer import tokenize, Token
+from repro.lang.parser import parse
+from repro.lang.compiler import compile_source, CompiledProgram
+from repro.lang.taint import analyze_taint, TaintInfo
+
+__all__ = [
+    "CompileError",
+    "TaintError",
+    "tokenize",
+    "Token",
+    "parse",
+    "compile_source",
+    "CompiledProgram",
+    "analyze_taint",
+    "TaintInfo",
+]

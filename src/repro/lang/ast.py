@@ -1,0 +1,309 @@
+"""Abstract syntax tree for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+    def __init__(self, value: int, line: int = 0) -> None:
+        self.value = value
+        self.line = line
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+    def __init__(self, name: str, line: int = 0) -> None:
+        self.name = name
+        self.line = line
+
+
+@dataclass
+class Index(Expr):
+    """Array element reference ``name[index]``."""
+
+    name: str = ""
+    index: Expr | None = None
+
+    def __init__(self, name: str, index: Expr, line: int = 0) -> None:
+        self.name = name
+        self.index = index
+        self.line = line
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+    def __init__(self, op: str, operand: Expr, line: int = 0) -> None:
+        self.op = op
+        self.operand = operand
+        self.line = line
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int = 0) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+        self.line = line
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+    def __init__(self, name: str, args: list[Expr], line: int = 0) -> None:
+        self.name = name
+        self.args = args
+        self.line = line
+
+
+@dataclass
+class Cmov(Expr):
+    """Internal: constant-time select ``cond ? if_true : if_false``."""
+
+    cond: Expr | None = None
+    if_true: Expr | None = None
+    if_false: Expr | None = None
+
+    def __init__(self, cond: Expr, if_true: Expr, if_false: Expr,
+                 line: int = 0) -> None:
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+        self.line = line
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+    def __init__(self, stmts: list[Stmt], line: int = 0) -> None:
+        self.stmts = stmts
+        self.line = line
+
+
+@dataclass
+class VarDeclStmt(Stmt):
+    """``int name;`` / ``int name = init;`` / ``int name[size];``."""
+
+    name: str = ""
+    size: int | None = None     # None for scalars
+    init: Expr | None = None
+
+    def __init__(self, name: str, size: int | None = None,
+                 init: Expr | None = None, line: int = 0) -> None:
+        self.name = name
+        self.size = size
+        self.init = init
+        self.line = line
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr | None = None   # Var or Index
+    value: Expr | None = None
+
+    def __init__(self, target: Expr, value: Expr, line: int = 0) -> None:
+        self.target = target
+        self.value = value
+        self.line = line
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    els: Stmt | None = None
+    secure: bool = False         # set by the SeMPE transform
+
+    def __init__(self, cond: Expr, then: Stmt, els: Stmt | None = None,
+                 secure: bool = False, line: int = 0) -> None:
+        self.cond = cond
+        self.then = then
+        self.els = els
+        self.secure = secure
+        self.line = line
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+    def __init__(self, cond: Expr, body: Stmt, line: int = 0) -> None:
+        self.cond = cond
+        self.body = body
+        self.line = line
+
+
+@dataclass
+class For(Stmt):
+    """Normalized counting loop: ``for (var = init; var OP bound; var = step)``.
+
+    The counter is loop *scaffolding*: the CTE transform leaves its
+    updates unpredicated (FaCT-style public loops), so the loop executes
+    a public number of iterations regardless of secrets.
+    """
+
+    var: str = ""
+    declares: bool = False       # ``for (int i = ...`` declares the counter
+    init: Expr | None = None
+    bound_op: str = "<"
+    bound: Expr | None = None
+    step: Expr | None = None     # full RHS of ``var = step``
+    body: Stmt | None = None
+
+    def __init__(self, var: str, declares: bool, init: Expr, bound_op: str,
+                 bound: Expr, step: Expr, body: Stmt, line: int = 0) -> None:
+        self.var = var
+        self.declares = declares
+        self.init = init
+        self.bound_op = bound_op
+        self.bound = bound
+        self.step = step
+        self.body = body
+        self.line = line
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+    def __init__(self, value: Expr | None, line: int = 0) -> None:
+        self.value = value
+        self.line = line
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+    def __init__(self, expr: Expr, line: int = 0) -> None:
+        self.expr = expr
+        self.line = line
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    is_array: bool = False
+
+
+@dataclass
+class Func:
+    name: str
+    params: list[Param]
+    body: Block
+    returns_value: bool
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    size: int | None          # None for scalars
+    init_values: list[int]
+    is_secret: bool
+    line: int = 0
+
+
+@dataclass
+class Module:
+    globals: list[GlobalDecl]
+    funcs: list[Func]
+
+    def func(self, name: str) -> Func:
+        for func in self.funcs:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+
+def walk_stmts(stmt: Stmt):
+    """Yield *stmt* and every statement nested inside it."""
+    yield stmt
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            yield from walk_stmts(child)
+    elif isinstance(stmt, If):
+        yield from walk_stmts(stmt.then)
+        if stmt.els is not None:
+            yield from walk_stmts(stmt.els)
+    elif isinstance(stmt, (While, For)):
+        yield from walk_stmts(stmt.body)
+
+
+def walk_exprs(expr: Expr):
+    """Yield *expr* and every sub-expression."""
+    yield expr
+    if isinstance(expr, Unary):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, Index):
+        yield from walk_exprs(expr.index)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_exprs(arg)
+    elif isinstance(expr, Cmov):
+        yield from walk_exprs(expr.cond)
+        yield from walk_exprs(expr.if_true)
+        yield from walk_exprs(expr.if_false)
+
+
+def stmt_exprs(stmt: Stmt):
+    """Yield the expressions directly attached to *stmt* (not nested stmts)."""
+    if isinstance(stmt, VarDeclStmt) and stmt.init is not None:
+        yield stmt.init
+    elif isinstance(stmt, Assign):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, While):
+        yield stmt.cond
+    elif isinstance(stmt, For):
+        yield stmt.init
+        yield stmt.bound
+        yield stmt.step
+    elif isinstance(stmt, Return) and stmt.value is not None:
+        yield stmt.value
+    elif isinstance(stmt, ExprStmt):
+        yield stmt.expr

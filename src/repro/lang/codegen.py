@@ -1,0 +1,417 @@
+"""Code generation: mini-C AST -> repro ISA.
+
+Conventions:
+
+* stack frames: ``[saved ra][12 temp spill slots][locals...]``, 16-byte
+  aligned, addressed sp-relative (no frame pointer — no dynamic allocas);
+* arguments in ``a0..a5``, result in ``a0``; all temporaries are
+  caller-saved (spilled around calls);
+* expression evaluation uses a 12-register temporary pool
+  (``t0..t5, x4..x9``) with dedicated spill slots;
+* logical operators are compiled *branch-free* (normalised with SLTU and
+  combined with AND/OR) so the compiler never reintroduces hidden
+  secret-dependent branches — the pitfall the paper warns CTE code
+  reviewers about;
+* secure ``if`` statements (marked by the SeMPE pass) compile to a
+  SecPrefix'ed branch with an ``eosJMP`` at the join point;
+* ``Cmov`` expressions compile to the CMOV instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import (
+    A0, RA, SP, T0, T1, T2, T3, T4, T5, ZERO,
+)
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.sema import ModuleInfo, check
+
+_POOL_REGS = [T0, T1, T2, T3, T4, T5, 4, 5, 6, 7, 8, 9]
+_ARG_REGS = [10, 11, 12, 13, 14, 15]   # a0..a5
+_MAX_ARGS = len(_ARG_REGS)
+
+
+class _RegPool:
+    """Temporary-register allocator with dedicated spill slots."""
+
+    def __init__(self) -> None:
+        self.free = list(_POOL_REGS)
+        self.in_use: list[int] = []
+
+    def alloc(self) -> int:
+        if not self.free:
+            raise CompileError(
+                "expression too complex (temporary register pool exhausted)"
+            )
+        reg = self.free.pop(0)
+        self.in_use.append(reg)
+        return reg
+
+    def release(self, reg: int) -> None:
+        if reg in self.in_use:
+            self.in_use.remove(reg)
+            self.free.insert(0, reg)
+
+    def live(self) -> list[int]:
+        return list(self.in_use)
+
+
+@dataclass
+class _Slot:
+    offset: int
+    is_array: bool
+    size: int          # quads
+    is_array_param: bool = False
+
+
+class _FuncGen:
+    """Code generator for one function."""
+
+    def __init__(self, module_info: ModuleInfo, builder: ProgramBuilder,
+                 func: ast.Func) -> None:
+        self.info = module_info
+        self.builder = builder
+        self.func = func
+        self.pool = _RegPool()
+        self.slots: dict[str, _Slot] = {}
+        self.frame_size = 0
+        self.epilogue_label = builder.fresh_label(f"ret_{func.name}_")
+        self._layout_frame()
+
+    # -- frame layout -----------------------------------------------------------
+
+    def _layout_frame(self) -> None:
+        offset = 8  # 0 holds the saved ra
+        self._spill_base = offset
+        offset += 8 * len(_POOL_REGS)
+        for param in self.func.params:
+            self.slots[param.name] = _Slot(offset, param.is_array, 1,
+                                           is_array_param=param.is_array)
+            offset += 8
+        for stmt in ast.walk_stmts(self.func.body):
+            if isinstance(stmt, ast.VarDeclStmt):
+                size = stmt.size if stmt.size is not None else 1
+                self.slots[stmt.name] = _Slot(offset, stmt.size is not None,
+                                              size)
+                offset += 8 * size
+            elif isinstance(stmt, ast.For) and stmt.declares:
+                self.slots[stmt.var] = _Slot(offset, False, 1)
+                offset += 8
+        self.frame_size = (offset + 15) // 16 * 16
+
+    def _spill_slot(self, reg: int) -> int:
+        return self._spill_base + 8 * _POOL_REGS.index(reg)
+
+    # -- entry ---------------------------------------------------------------------
+
+    def generate(self) -> None:
+        builder = self.builder
+        builder.label(self.func.name)
+        builder.op(Op.ADDI, rd=SP, rs1=SP, imm=-self.frame_size,
+                   comment=f"enter {self.func.name}")
+        builder.op(Op.ST, rs1=SP, rs2=RA, imm=0)
+        for index, param in enumerate(self.func.params):
+            if index >= _MAX_ARGS:
+                raise CompileError(
+                    f"{self.func.name!r} has too many parameters",
+                    line=self.func.line,
+                )
+            builder.op(Op.ST, rs1=SP, rs2=_ARG_REGS[index],
+                       imm=self.slots[param.name].offset,
+                       comment=f"param {param.name}")
+        self.gen_stmt(self.func.body)
+        builder.label(self.epilogue_label)
+        if self.func.name == "main":
+            builder.halt()
+            return
+        builder.op(Op.LD, rd=RA, rs1=SP, imm=0)
+        builder.op(Op.ADDI, rd=SP, rs1=SP, imm=self.frame_size)
+        builder.op(Op.JALR, rd=ZERO, rs1=RA, comment=f"return {self.func.name}")
+
+    # -- statements -----------------------------------------------------------------
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        builder = self.builder
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self.gen_stmt(child)
+        elif isinstance(stmt, ast.VarDeclStmt):
+            if stmt.init is not None:
+                reg = self.gen_expr(stmt.init)
+                self._store_scalar(stmt.name, reg)
+                self.pool.release(reg)
+        elif isinstance(stmt, ast.Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            head = builder.fresh_label("wh")
+            end = builder.fresh_label("we")
+            builder.label(head)
+            cond = self.gen_expr(stmt.cond)
+            builder.branch(Op.BEQ, cond, ZERO, end)
+            self.pool.release(cond)
+            self.gen_stmt(stmt.body)
+            builder.jmp(head)
+            builder.label(end)
+        elif isinstance(stmt, ast.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg = self.gen_expr(stmt.value)
+                builder.op(Op.ADDI, rd=A0, rs1=reg, imm=0)
+                self.pool.release(reg)
+            builder.jmp(self.epilogue_label)
+        elif isinstance(stmt, ast.ExprStmt):
+            reg = self.gen_expr(stmt.expr)
+            self.pool.release(reg)
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"unhandled statement {type(stmt).__name__}")
+
+    def gen_assign(self, stmt: ast.Assign) -> None:
+        value = self.gen_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            self._store_scalar(target.name, value)
+        else:
+            addr = self._element_address(target)
+            self.builder.op(Op.ST, rs1=addr, rs2=value, imm=0)
+            self.pool.release(addr)
+        self.pool.release(value)
+
+    def gen_if(self, stmt: ast.If) -> None:
+        builder = self.builder
+        else_label = builder.fresh_label("ie")
+        join_label = builder.fresh_label("ij")
+        cond = self.gen_expr(stmt.cond)
+        builder.branch(Op.BEQ, cond, ZERO, else_label, secure=stmt.secure)
+        self.pool.release(cond)
+        self.gen_stmt(stmt.then)
+        builder.jmp(join_label)
+        builder.label(else_label)
+        if stmt.els is not None:
+            self.gen_stmt(stmt.els)
+        builder.label(join_label)
+        if stmt.secure:
+            builder.eosjmp(comment="join of secure region")
+
+    def gen_for(self, stmt: ast.For) -> None:
+        builder = self.builder
+        head = builder.fresh_label("fh")
+        end = builder.fresh_label("fe")
+        init = self.gen_expr(stmt.init)
+        self._store_scalar(stmt.var, init)
+        self.pool.release(init)
+        builder.label(head)
+        cond = self.gen_expr(
+            ast.Binary(stmt.bound_op, ast.Var(stmt.var), stmt.bound,
+                       line=stmt.line)
+        )
+        builder.branch(Op.BEQ, cond, ZERO, end)
+        self.pool.release(cond)
+        self.gen_stmt(stmt.body)
+        step = self.gen_expr(stmt.step)
+        self._store_scalar(stmt.var, step)
+        self.pool.release(step)
+        builder.jmp(head)
+        builder.label(end)
+
+    # -- lvalues ---------------------------------------------------------------------
+
+    def _store_scalar(self, name: str, reg: int) -> None:
+        builder = self.builder
+        slot = self.slots.get(name)
+        if slot is not None:
+            builder.op(Op.ST, rs1=SP, rs2=reg, imm=slot.offset,
+                       comment=f"{name} =")
+            return
+        addr = self.pool.alloc()
+        builder.la(addr, name)
+        builder.op(Op.ST, rs1=addr, rs2=reg, imm=0, comment=f"{name} =")
+        self.pool.release(addr)
+
+    def _load_scalar(self, name: str) -> int:
+        builder = self.builder
+        reg = self.pool.alloc()
+        slot = self.slots.get(name)
+        if slot is not None:
+            builder.op(Op.LD, rd=reg, rs1=SP, imm=slot.offset,
+                       comment=f"read {name}")
+            return reg
+        builder.la(reg, name)
+        builder.op(Op.LD, rd=reg, rs1=reg, imm=0, comment=f"read {name}")
+        return reg
+
+    def _array_base(self, name: str) -> int:
+        """Register holding the byte address of array *name*'s element 0."""
+        builder = self.builder
+        reg = self.pool.alloc()
+        slot = self.slots.get(name)
+        if slot is None:
+            builder.la(reg, name)
+        elif slot.is_array_param:
+            builder.op(Op.LD, rd=reg, rs1=SP, imm=slot.offset,
+                       comment=f"array param {name}")
+        else:
+            builder.op(Op.ADDI, rd=reg, rs1=SP, imm=slot.offset,
+                       comment=f"&{name}")
+        return reg
+
+    def _element_address(self, node: ast.Index) -> int:
+        builder = self.builder
+        index = self.gen_expr(node.index)
+        builder.op(Op.SLLI, rd=index, rs1=index, imm=3)
+        base = self._array_base(node.name)
+        builder.op(Op.ADD, rd=index, rs1=index, rs2=base)
+        self.pool.release(base)
+        return index
+
+    # -- expressions -----------------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr) -> int:
+        builder = self.builder
+        if isinstance(expr, ast.Num):
+            reg = self.pool.alloc()
+            value = expr.value
+            if -(1 << 31) <= value < (1 << 31):
+                builder.op(Op.ADDI, rd=reg, rs1=ZERO, imm=value)
+            else:
+                builder.op(Op.ADDI, rd=reg, rs1=ZERO, imm=value >> 32)
+                builder.op(Op.SLLI, rd=reg, rs1=reg, imm=32)
+                low = self.pool.alloc()
+                builder.op(Op.ADDI, rd=low, rs1=ZERO,
+                           imm=value & 0xFFFF_FFFF)
+                builder.op(Op.OR, rd=reg, rs1=reg, rs2=low)
+                self.pool.release(low)
+            return reg
+        if isinstance(expr, ast.Var):
+            return self._load_scalar(expr.name)
+        if isinstance(expr, ast.Index):
+            addr = self._element_address(expr)
+            builder.op(Op.LD, rd=addr, rs1=addr, imm=0,
+                       comment=f"read {expr.name}[]")
+            return addr
+        if isinstance(expr, ast.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self.gen_call(expr)
+        if isinstance(expr, ast.Cmov):
+            result = self.gen_expr(expr.if_false)
+            if_true = self.gen_expr(expr.if_true)
+            cond = self.gen_expr(expr.cond)
+            builder.op(Op.CMOV, rd=result, rs1=if_true, rs2=cond,
+                       comment="constant-time select")
+            self.pool.release(if_true)
+            self.pool.release(cond)
+            return result
+        raise CompileError(f"unhandled expression {type(expr).__name__}")
+
+    def gen_unary(self, expr: ast.Unary) -> int:
+        builder = self.builder
+        operand = self.gen_expr(expr.operand)
+        if expr.op == "-":
+            builder.op(Op.SUB, rd=operand, rs1=ZERO, rs2=operand)
+        elif expr.op == "~":
+            builder.op(Op.XORI, rd=operand, rs1=operand, imm=-1)
+        elif expr.op == "!":
+            builder.op(Op.SLTU, rd=operand, rs1=ZERO, rs2=operand)
+            builder.op(Op.XORI, rd=operand, rs1=operand, imm=1)
+        else:  # pragma: no cover - parser restricts
+            raise CompileError(f"unknown unary operator {expr.op!r}")
+        return operand
+
+    _SIMPLE_BINOPS = {
+        "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.REM,
+        "&": Op.AND, "|": Op.OR, "^": Op.XOR, "<<": Op.SLL, ">>": Op.SRL,
+    }
+
+    def gen_binary(self, expr: ast.Binary) -> int:
+        builder = self.builder
+        op = expr.op
+        left = self.gen_expr(expr.left)
+        right = self.gen_expr(expr.right)
+        if op in self._SIMPLE_BINOPS:
+            builder.op(self._SIMPLE_BINOPS[op], rd=left, rs1=left, rs2=right)
+        elif op == "<":
+            builder.op(Op.SLT, rd=left, rs1=left, rs2=right)
+        elif op == ">":
+            builder.op(Op.SLT, rd=left, rs1=right, rs2=left)
+        elif op == "<=":
+            builder.op(Op.SLT, rd=left, rs1=right, rs2=left)
+            builder.op(Op.XORI, rd=left, rs1=left, imm=1)
+        elif op == ">=":
+            builder.op(Op.SLT, rd=left, rs1=left, rs2=right)
+            builder.op(Op.XORI, rd=left, rs1=left, imm=1)
+        elif op == "==":
+            builder.op(Op.XOR, rd=left, rs1=left, rs2=right)
+            builder.op(Op.SLTU, rd=left, rs1=ZERO, rs2=left)
+            builder.op(Op.XORI, rd=left, rs1=left, imm=1)
+        elif op == "!=":
+            builder.op(Op.XOR, rd=left, rs1=left, rs2=right)
+            builder.op(Op.SLTU, rd=left, rs1=ZERO, rs2=left)
+        elif op == "&&":
+            # Branch-free logical and: (l != 0) & (r != 0).
+            builder.op(Op.SLTU, rd=left, rs1=ZERO, rs2=left)
+            builder.op(Op.SLTU, rd=right, rs1=ZERO, rs2=right)
+            builder.op(Op.AND, rd=left, rs1=left, rs2=right)
+        elif op == "||":
+            builder.op(Op.OR, rd=left, rs1=left, rs2=right)
+            builder.op(Op.SLTU, rd=left, rs1=ZERO, rs2=left)
+        else:  # pragma: no cover - parser restricts
+            raise CompileError(f"unknown binary operator {op!r}")
+        self.pool.release(right)
+        return left
+
+    def gen_call(self, expr: ast.Call) -> int:
+        builder = self.builder
+        if len(expr.args) > _MAX_ARGS:
+            raise CompileError(f"too many arguments to {expr.name!r}",
+                               line=expr.line)
+        callee = self.info.funcs[expr.name]
+        arg_regs: list[int] = []
+        for arg, param in zip(expr.args, callee.params):
+            if param.is_array:
+                arg_regs.append(self._array_base(arg.name))
+            else:
+                arg_regs.append(self.gen_expr(arg))
+
+        # Spill every live temporary (caller-saved discipline).
+        live = self.pool.live()
+        for reg in live:
+            builder.op(Op.ST, rs1=SP, rs2=reg, imm=self._spill_slot(reg),
+                       comment="spill across call")
+        for index, reg in enumerate(arg_regs):
+            builder.op(Op.ADDI, rd=_ARG_REGS[index], rs1=reg, imm=0)
+            self.pool.release(reg)
+        builder.op(Op.JAL, rd=RA, label=expr.name, comment=f"call {expr.name}")
+        # Restore the temporaries that remain live.
+        for reg in self.pool.live():
+            builder.op(Op.LD, rd=reg, rs1=SP, imm=self._spill_slot(reg),
+                       comment="restore after call")
+        result = self.pool.alloc()
+        builder.op(Op.ADDI, rd=result, rs1=A0, imm=0)
+        return result
+
+
+def generate(module: ast.Module, name: str = "program") -> Program:
+    """Generate a sealed :class:`Program` from a (transformed) module."""
+    info = check(module)
+    builder = ProgramBuilder(name=name)
+    for decl in module.globals:
+        values = list(decl.init_values)
+        size = decl.size if decl.size is not None else 1
+        if len(values) < size:
+            values.extend([0] * (size - len(values)))
+        builder.data_quads(decl.name, values)
+    # main() first so the entry point is instruction 0 of the image.
+    funcs = sorted(module.funcs, key=lambda f: f.name != "main")
+    for func in funcs:
+        _FuncGen(info, builder, func).generate()
+    return builder.build(entry="main")

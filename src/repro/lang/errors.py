@@ -1,0 +1,23 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Any front-end or back-end compilation failure."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class TaintError(CompileError):
+    """A secret reached a construct the mode cannot protect.
+
+    Mirrors the paper's restrictions: secret-dependent loop bounds,
+    returns escaping a secure region, calls inside CTE regions, writes
+    to non-path-local arrays inside SeMPE regions, and recursion through
+    secure regions deeper than the jbTable.
+    """

@@ -1,0 +1,59 @@
+"""Tokenizer for mini-C."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lang.errors import CompileError
+
+KEYWORDS = {
+    "int", "void", "secret", "if", "else", "while", "for", "return",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+    | (?P<name>[A-Za-z_]\w*)
+    | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=(){}\[\],;])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass
+class Token:
+    kind: str       # 'num' | 'name' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, raising :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise CompileError(
+                f"unexpected character {source[position]!r}", line=line
+            )
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind == "ws" or kind == "comment":
+            line += text.count("\n")
+            position = match.end()
+            continue
+        if kind == "name" and text in KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+        position = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,320 @@
+"""Recursive-descent parser for mini-C.
+
+Grammar (see the package docstring for the language description)::
+
+    module      := (global_decl | func)*
+    global_decl := ['secret'] 'int' NAME ('[' NUM ']')?
+                   ('=' (expr | '{' num_list '}'))? ';'
+    func        := ('int' | 'void') NAME '(' params ')' block
+    stmt        := block | decl | if | while | for | return
+                 | assign | expr ';'
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text if text is not None else kind
+            raise CompileError(
+                f"expected {wanted!r}, found {actual.text!r}", line=actual.line
+            )
+        return token
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        globals_: list[ast.GlobalDecl] = []
+        funcs: list[ast.Func] = []
+        while self.peek().kind != "eof":
+            if self.peek().text == "secret":
+                globals_.append(self.parse_global())
+            elif self.peek().text in ("int", "void"):
+                # Distinguish function definitions from globals by the
+                # token after the name.
+                if self.peek(2).text == "(":
+                    funcs.append(self.parse_func())
+                else:
+                    globals_.append(self.parse_global())
+            else:
+                token = self.peek()
+                raise CompileError(
+                    f"unexpected top-level token {token.text!r}", line=token.line
+                )
+        return ast.Module(globals_, funcs)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        is_secret = self.accept("keyword", "secret") is not None
+        self.expect("keyword", "int")
+        name_token = self.expect("name")
+        size: int | None = None
+        init_values: list[int] = []
+        if self.accept("op", "["):
+            size = self._const_int()
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                init_values.append(self._const_int())
+                while self.accept("op", ","):
+                    init_values.append(self._const_int())
+                self.expect("op", "}")
+            else:
+                init_values.append(self._const_int())
+        self.expect("op", ";")
+        if size is not None and len(init_values) > size:
+            raise CompileError(
+                f"too many initializers for {name_token.text!r}",
+                line=name_token.line,
+            )
+        return ast.GlobalDecl(
+            name=name_token.text,
+            size=size,
+            init_values=init_values,
+            is_secret=is_secret,
+            line=name_token.line,
+        )
+
+    def _const_int(self) -> int:
+        negative = self.accept("op", "-") is not None
+        token = self.expect("num")
+        value = int(token.text, 0)
+        return -value if negative else value
+
+    def parse_func(self) -> ast.Func:
+        ret_token = self.next()
+        returns_value = ret_token.text == "int"
+        name_token = self.expect("name")
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        if self.peek().text != ")":
+            while True:
+                self.expect("keyword", "int")
+                param_name = self.expect("name").text
+                is_array = False
+                if self.accept("op", "["):
+                    self.expect("op", "]")
+                    is_array = True
+                params.append(ast.Param(param_name, is_array))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.Func(
+            name=name_token.text,
+            params=params,
+            body=body,
+            returns_value=returns_value,
+            line=name_token.line,
+        )
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        open_token = self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while self.peek().text != "}":
+            if self.peek().kind == "eof":
+                raise CompileError("unterminated block", line=open_token.line)
+            stmts.append(self.parse_stmt())
+        self.expect("op", "}")
+        return ast.Block(stmts, line=open_token.line)
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.text == "{":
+            return self.parse_block()
+        if token.text == "int":
+            return self.parse_decl()
+        if token.text == "if":
+            return self.parse_if()
+        if token.text == "while":
+            return self.parse_while()
+        if token.text == "for":
+            return self.parse_for()
+        if token.text == "return":
+            self.next()
+            value = None
+            if self.peek().text != ";":
+                value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(value, line=token.line)
+        # assignment or expression statement
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise CompileError("invalid assignment target", line=token.line)
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Assign(expr, value, line=token.line)
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, line=token.line)
+
+    def parse_decl(self) -> ast.VarDeclStmt:
+        self.expect("keyword", "int")
+        name_token = self.expect("name")
+        size: int | None = None
+        init: ast.Expr | None = None
+        if self.accept("op", "["):
+            size_token = self.expect("num")
+            size = int(size_token.text, 0)
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return ast.VarDeclStmt(name_token.text, size, init, line=name_token.line)
+
+    def parse_if(self) -> ast.If:
+        token = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_stmt()
+        els = None
+        if self.accept("keyword", "else"):
+            els = self.parse_stmt()
+        return ast.If(cond, then, els, line=token.line)
+
+    def parse_while(self) -> ast.While:
+        token = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.While(cond, body, line=token.line)
+
+    def parse_for(self) -> ast.For:
+        """``for ([int] var = init; var OP bound; var = step) body``."""
+        token = self.expect("keyword", "for")
+        self.expect("op", "(")
+        declares = self.accept("keyword", "int") is not None
+        var_token = self.expect("name")
+        self.expect("op", "=")
+        init = self.parse_expr()
+        self.expect("op", ";")
+        cond_var = self.expect("name")
+        if cond_var.text != var_token.text:
+            raise CompileError(
+                "for-loop condition must test the loop counter",
+                line=cond_var.line,
+            )
+        op_token = self.next()
+        if op_token.text not in ("<", "<=", ">", ">=", "!="):
+            raise CompileError(
+                f"unsupported for-loop comparison {op_token.text!r}",
+                line=op_token.line,
+            )
+        bound = self.parse_expr()
+        self.expect("op", ";")
+        step_var = self.expect("name")
+        if step_var.text != var_token.text:
+            raise CompileError(
+                "for-loop step must assign the loop counter",
+                line=step_var.line,
+            )
+        self.expect("op", "=")
+        step = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.For(
+            var=var_token.text,
+            declares=declares,
+            init=init,
+            bound_op=op_token.text,
+            bound=bound,
+            step=step,
+            body=body,
+            line=token.line,
+        )
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        left = self.parse_expr(level + 1)
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op_token = self.next()
+            right = self.parse_expr(level + 1)
+            left = ast.Binary(op_token.text, left, right, line=op_token.line)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.next()
+            operand = self.parse_unary()
+            return ast.Unary(token.text, operand, line=token.line)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.next()
+        if token.kind == "num":
+            return ast.Num(int(token.text, 0), line=token.line)
+        if token.kind == "name":
+            if self.peek().text == "(":
+                self.next()
+                args: list[ast.Expr] = []
+                if self.peek().text != ")":
+                    args.append(self.parse_expr())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                return ast.Call(token.text, args, line=token.line)
+            if self.peek().text == "[":
+                self.next()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return ast.Index(token.text, index, line=token.line)
+            return ast.Var(token.text, line=token.line)
+        if token.text == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise CompileError(f"unexpected token {token.text!r}", line=token.line)
+
+
+def parse(source: str) -> ast.Module:
+    """Parse mini-C *source* into a :class:`repro.lang.ast.Module`."""
+    return _Parser(tokenize(source)).parse_module()

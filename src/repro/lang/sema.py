@@ -1,0 +1,203 @@
+"""Semantic checks: name resolution, shapes, arity.
+
+mini-C restrictions enforced here (documented in the package docstring):
+
+* local names are unique within a function (no shadowing) — this keeps
+  the taint analysis and the SeMPE/CTE transforms simple and is easy to
+  satisfy in generated code;
+* arrays are used only as ``a[i]`` or passed whole as call arguments;
+* scalars are never indexed;
+* calls reference defined functions with matching arity and array-ness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+
+
+@dataclass
+class FuncInfo:
+    """Per-function symbol information collected by :func:`check`."""
+
+    name: str
+    params: list[ast.Param]
+    locals_: dict[str, bool] = field(default_factory=dict)  # name -> is_array
+    returns_value: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """Module-level symbol information."""
+
+    globals_: dict[str, bool] = field(default_factory=dict)  # name -> is_array
+    secret_globals: set[str] = field(default_factory=set)
+    funcs: dict[str, FuncInfo] = field(default_factory=dict)
+
+    def is_array(self, func: FuncInfo, name: str) -> bool:
+        if name in func.locals_:
+            return func.locals_[name]
+        if name in self.globals_:
+            return self.globals_[name]
+        raise KeyError(name)
+
+    def is_defined(self, func: FuncInfo, name: str) -> bool:
+        return name in func.locals_ or name in self.globals_
+
+
+def check(module: ast.Module) -> ModuleInfo:
+    """Validate *module*; returns symbol info or raises CompileError."""
+    info = ModuleInfo()
+    for decl in module.globals:
+        if decl.name in info.globals_:
+            raise CompileError(f"duplicate global {decl.name!r}", line=decl.line)
+        info.globals_[decl.name] = decl.size is not None
+        if decl.is_secret:
+            info.secret_globals.add(decl.name)
+        if decl.is_secret and decl.size is not None and not decl.init_values:
+            # Secret arrays are fine; just note they default to zeros.
+            pass
+
+    for func in module.funcs:
+        if func.name in info.funcs:
+            raise CompileError(f"duplicate function {func.name!r}", line=func.line)
+        if func.name in info.globals_:
+            raise CompileError(
+                f"function {func.name!r} collides with a global", line=func.line
+            )
+        func_info = FuncInfo(func.name, func.params,
+                             returns_value=func.returns_value)
+        for param in func.params:
+            if param.name in func_info.locals_:
+                raise CompileError(
+                    f"duplicate parameter {param.name!r}", line=func.line
+                )
+            func_info.locals_[param.name] = param.is_array
+        info.funcs[func.name] = func_info
+
+    if "main" not in info.funcs:
+        raise CompileError("no main() function")
+    if info.funcs["main"].params:
+        raise CompileError("main() must take no parameters")
+
+    for func in module.funcs:
+        _check_func(module, info, func)
+    return info
+
+
+def _check_func(module: ast.Module, info: ModuleInfo, func: ast.Func) -> None:
+    func_info = info.funcs[func.name]
+
+    # Collect locals first (uniqueness), then resolve uses.
+    for stmt in ast.walk_stmts(func.body):
+        if isinstance(stmt, ast.VarDeclStmt):
+            if stmt.name in func_info.locals_:
+                raise CompileError(
+                    f"duplicate local {stmt.name!r} in {func.name!r} "
+                    "(mini-C forbids shadowing)",
+                    line=stmt.line,
+                )
+            func_info.locals_[stmt.name] = stmt.size is not None
+        elif isinstance(stmt, ast.For) and stmt.declares:
+            if stmt.var in func_info.locals_:
+                raise CompileError(
+                    f"duplicate loop counter {stmt.var!r} in {func.name!r}",
+                    line=stmt.line,
+                )
+            func_info.locals_[stmt.var] = False
+
+    for stmt in ast.walk_stmts(func.body):
+        for expr in ast.stmt_exprs(stmt):
+            _check_expr(info, func_info, expr)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None and not func.returns_value:
+                raise CompileError(
+                    f"void function {func.name!r} returns a value", line=stmt.line
+                )
+            if stmt.value is None and func.returns_value:
+                raise CompileError(
+                    f"function {func.name!r} must return a value", line=stmt.line
+                )
+        if isinstance(stmt, ast.Assign):
+            target = stmt.target
+            if isinstance(target, ast.Var):
+                if info.is_array(func_info, target.name):
+                    raise CompileError(
+                        f"cannot assign whole array {target.name!r}",
+                        line=stmt.line,
+                    )
+
+
+def _check_expr(info: ModuleInfo, func_info: FuncInfo, expr: ast.Expr) -> None:
+    for node in ast.walk_exprs(expr):
+        if isinstance(node, ast.Var):
+            if not info.is_defined(func_info, node.name):
+                raise CompileError(f"undefined name {node.name!r}", line=node.line)
+        elif isinstance(node, ast.Index):
+            if not info.is_defined(func_info, node.name):
+                raise CompileError(f"undefined name {node.name!r}", line=node.line)
+            if not info.is_array(func_info, node.name):
+                raise CompileError(
+                    f"{node.name!r} is a scalar, cannot index", line=node.line
+                )
+        elif isinstance(node, ast.Call):
+            callee = info.funcs.get(node.name)
+            if callee is None:
+                raise CompileError(
+                    f"call to undefined function {node.name!r}", line=node.line
+                )
+            if len(node.args) != len(callee.params):
+                raise CompileError(
+                    f"{node.name!r} expects {len(callee.params)} args, "
+                    f"got {len(node.args)}",
+                    line=node.line,
+                )
+            for arg, param in zip(node.args, callee.params):
+                arg_is_array = (
+                    isinstance(arg, ast.Var)
+                    and info.is_defined(func_info, arg.name)
+                    and info.is_array(func_info, arg.name)
+                )
+                if param.is_array and not arg_is_array:
+                    raise CompileError(
+                        f"argument for array parameter {param.name!r} "
+                        "must be an array name",
+                        line=node.line,
+                    )
+                if not param.is_array and arg_is_array:
+                    raise CompileError(
+                        f"array {getattr(arg, 'name', '?')!r} passed to "
+                        f"scalar parameter {param.name!r}",
+                        line=node.line,
+                    )
+
+    # Whole-array Var references are only legal as call arguments.
+    _check_bare_arrays(info, func_info, expr, allow=False)
+
+
+def _check_bare_arrays(info: ModuleInfo, func_info: FuncInfo,
+                       expr: ast.Expr, allow: bool) -> None:
+    if isinstance(expr, ast.Var):
+        if info.is_defined(func_info, expr.name) and \
+                info.is_array(func_info, expr.name) and not allow:
+            raise CompileError(
+                f"array {expr.name!r} used as a scalar value", line=expr.line
+            )
+        return
+    if isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _check_bare_arrays(info, func_info, arg, allow=True)
+        return
+    if isinstance(expr, ast.Unary):
+        _check_bare_arrays(info, func_info, expr.operand, allow=False)
+    elif isinstance(expr, ast.Binary):
+        _check_bare_arrays(info, func_info, expr.left, allow=False)
+        _check_bare_arrays(info, func_info, expr.right, allow=False)
+    elif isinstance(expr, ast.Index):
+        _check_bare_arrays(info, func_info, expr.index, allow=False)
+    elif isinstance(expr, ast.Cmov):
+        _check_bare_arrays(info, func_info, expr.cond, allow=False)
+        _check_bare_arrays(info, func_info, expr.if_true, allow=False)
+        _check_bare_arrays(info, func_info, expr.if_false, allow=False)

@@ -1,0 +1,431 @@
+"""Secret-taint analysis.
+
+Computes, to a fixpoint, which variables carry secret values and which
+``if`` statements therefore have secret-dependent conditions (these are
+the branches the SeMPE pass turns into sJMPs and the CTE pass turns into
+predication contexts).
+
+Taint rules:
+
+* globals declared ``secret`` are tainted;
+* explicit flow — an assignment whose RHS reads a tainted name taints
+  the target;
+* implicit flow — an assignment under a secret ``if`` taints the target
+  *if the target outlives the region*:
+  in **SeMPE mode** a variable declared inside the secret path is
+  path-local (both paths always execute, so its value within the path
+  does not depend on the secret) and is exempt; in **CTE mode** every
+  predicated assignment literally mixes the condition bit into the
+  value, so all targets are tainted (loop-counter scaffolding of
+  ``for`` loops excepted);
+* calls — tainted arguments taint parameters; a function whose return
+  expression is tainted yields tainted call results.
+
+Mode constraint enforcement (raises :class:`TaintError`):
+
+* secret-dependent ``while`` conditions and ``for`` bounds (all modes
+  except ``plain``) — the trip count would leak the secret;
+* ``return`` under a secret context (control escape from the region);
+* in CTE mode: calls and ``while`` loops under a secret context
+  (FaCT's restrictions);
+* in SeMPE mode: writes to arrays declared outside the secure path
+  (ShadowMemory privatizes scalars; whole-array privatization is
+  rejected rather than silently made expensive), array arguments that
+  are not path-local, and calls to functions that write globals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.errors import TaintError
+from repro.lang.sema import ModuleInfo, check
+
+
+@dataclass
+class TaintInfo:
+    """Result of the analysis."""
+
+    tainted: set[tuple[str, str]] = field(default_factory=set)
+    secret_ifs: set[int] = field(default_factory=set)        # id(If)
+    func_return_tainted: set[str] = field(default_factory=set)
+    global_writers: set[str] = field(default_factory=set)    # transitively
+    module_info: ModuleInfo | None = None
+
+    def is_secret_if(self, node: ast.If) -> bool:
+        return id(node) in self.secret_ifs
+
+    def is_tainted(self, func_name: str, name: str) -> bool:
+        key = self._key(func_name, name)
+        return key in self.tainted
+
+    def _key(self, func_name: str, name: str) -> tuple[str, str]:
+        func_info = self.module_info.funcs.get(func_name)
+        if func_info is not None and name in func_info.locals_:
+            return (func_name, name)
+        return ("", name)   # global scope
+
+
+def analyze_taint(module: ast.Module, mode: str = "sempe") -> TaintInfo:
+    """Run the fixpoint analysis and (unless ``plain``) the mode checks."""
+    info = check(module)
+    taint = TaintInfo(module_info=info)
+    for name in info.secret_globals:
+        taint.tainted.add(("", name))
+
+    _compute_global_writers(module, taint)
+
+    changed = True
+    iterations = 0
+    while changed:
+        iterations += 1
+        if iterations > 100:  # pragma: no cover - defensive
+            raise TaintError("taint analysis failed to converge")
+        changed = False
+        for func in module.funcs:
+            visitor = _FuncVisitor(module, info, taint, func.name, mode)
+            visitor.visit_block(func.body, secret_depth=0)
+            changed = changed or visitor.changed
+
+    if mode != "plain":
+        _enforce(module, info, taint, mode)
+        if mode == "sempe":
+            _reject_recursive_secure_branches(module, taint)
+    return taint
+
+
+# --------------------------------------------------------------------------
+# Fixpoint visitor
+# --------------------------------------------------------------------------
+
+
+class _FuncVisitor:
+    def __init__(self, module: ast.Module, info: ModuleInfo, taint: TaintInfo,
+                 func_name: str, mode: str) -> None:
+        self.module = module
+        self.info = info
+        self.taint = taint
+        self.func_name = func_name
+        self.mode = mode
+        self.changed = False
+        # Names declared at each secret depth; used for the SeMPE
+        # path-local exemption.
+        self.decl_depth: dict[str, int] = {}
+        func_info = info.funcs[func_name]
+        for param in func_info.params:
+            self.decl_depth[param.name] = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _key(self, name: str) -> tuple[str, str]:
+        return self.taint._key(self.func_name, name)
+
+    def _is_tainted_name(self, name: str) -> bool:
+        return self._key(name) in self.taint.tainted
+
+    def _taint_name(self, name: str) -> None:
+        key = self._key(name)
+        if key not in self.taint.tainted:
+            self.taint.tainted.add(key)
+            self.changed = True
+
+    def expr_tainted(self, expr: ast.Expr) -> bool:
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, (ast.Var, ast.Index)):
+                if self._is_tainted_name(node.name):
+                    return True
+            elif isinstance(node, ast.Call):
+                self._propagate_call(node)
+                if node.name in self.taint.func_return_tainted:
+                    return True
+        return False
+
+    def _propagate_call(self, call: ast.Call) -> None:
+        callee = self.info.funcs.get(call.name)
+        if callee is None:
+            return
+        for arg, param in zip(call.args, callee.params):
+            if self.expr_arg_tainted(arg):
+                key = (call.name, param.name)
+                if key not in self.taint.tainted:
+                    self.taint.tainted.add(key)
+                    self.changed = True
+
+    def expr_arg_tainted(self, expr: ast.Expr) -> bool:
+        # Like expr_tainted but without re-walking nested calls (they are
+        # handled when walk_exprs reaches them via expr_tainted).
+        return self.expr_tainted(expr)
+
+    def _context_taints(self, name: str, secret_depth: int) -> bool:
+        """Does implicit flow at *secret_depth* taint *name*?"""
+        if secret_depth == 0:
+            return False
+        if self.mode == "cte":
+            return True
+        declared_at = self.decl_depth.get(name, 0)
+        return declared_at < secret_depth
+
+    # -- traversal ----------------------------------------------------------------
+
+    def visit_block(self, block: ast.Block, secret_depth: int) -> None:
+        for stmt in block.stmts:
+            self.visit_stmt(stmt, secret_depth)
+
+    def visit_stmt(self, stmt: ast.Stmt, secret_depth: int) -> None:
+        if isinstance(stmt, ast.Block):
+            self.visit_block(stmt, secret_depth)
+        elif isinstance(stmt, ast.VarDeclStmt):
+            self.decl_depth[stmt.name] = secret_depth
+            if stmt.init is not None:
+                if self.expr_tainted(stmt.init):
+                    self._taint_name(stmt.name)
+                elif self._context_taints(stmt.name, secret_depth):
+                    # Declared at this depth, so exempt in SeMPE mode;
+                    # CTE predication does not predicate fresh-decl inits.
+                    pass
+        elif isinstance(stmt, ast.Assign):
+            target_name = stmt.target.name  # Var or Index both carry .name
+            if isinstance(stmt.target, ast.Index):
+                self.expr_tainted(stmt.target.index)
+            if self.expr_tainted(stmt.value) or self._context_taints(
+                    target_name, secret_depth):
+                self._taint_name(target_name)
+        elif isinstance(stmt, ast.If):
+            secret = self.expr_tainted(stmt.cond)
+            if secret:
+                if id(stmt) not in self.taint.secret_ifs:
+                    self.taint.secret_ifs.add(id(stmt))
+                    self.changed = True
+            depth = secret_depth + (1 if secret else 0)
+            self.visit_stmt(stmt.then, depth)
+            if stmt.els is not None:
+                self.visit_stmt(stmt.els, depth)
+        elif isinstance(stmt, ast.While):
+            self.expr_tainted(stmt.cond)
+            self.visit_stmt(stmt.body, secret_depth)
+        elif isinstance(stmt, ast.For):
+            if stmt.declares:
+                self.decl_depth[stmt.var] = secret_depth
+            self.expr_tainted(stmt.init)
+            self.expr_tainted(stmt.bound)
+            self.expr_tainted(stmt.step)
+            self.visit_stmt(stmt.body, secret_depth)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and self.expr_tainted(stmt.value):
+                if self.func_name not in self.taint.func_return_tainted:
+                    self.taint.func_return_tainted.add(self.func_name)
+                    self.changed = True
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expr_tainted(stmt.expr)
+
+
+# --------------------------------------------------------------------------
+# Transitive global writers (used by the SeMPE call restriction)
+# --------------------------------------------------------------------------
+
+
+def _compute_global_writers(module: ast.Module, taint: TaintInfo) -> None:
+    info = taint.module_info
+    direct: set[str] = set()
+    calls: dict[str, set[str]] = {}
+    for func in module.funcs:
+        func_info = info.funcs[func.name]
+        callees: set[str] = set()
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.Assign):
+                name = stmt.target.name
+                if name not in func_info.locals_:
+                    direct.add(func.name)
+            for expr in ast.stmt_exprs(stmt):
+                for node in ast.walk_exprs(expr):
+                    if isinstance(node, ast.Call):
+                        callees.add(node.name)
+        calls[func.name] = callees
+
+    writers = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for func_name, callees in calls.items():
+            if func_name not in writers and callees & writers:
+                writers.add(func_name)
+                changed = True
+    taint.global_writers = writers
+
+
+# --------------------------------------------------------------------------
+# Recursion through secure branches (§IV-E: reject at compile time)
+# --------------------------------------------------------------------------
+
+
+def _reject_recursive_secure_branches(module: ast.Module,
+                                      taint: TaintInfo) -> None:
+    """A recursive function containing a secret branch could nest sJMPs
+    to an unbounded depth and overflow the jbTable; the paper's compiler
+    rejects this case, and so do we."""
+    calls: dict[str, set[str]] = {}
+    has_secret_if: set[str] = set()
+    for func in module.funcs:
+        callees: set[str] = set()
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.If) and taint.is_secret_if(stmt):
+                has_secret_if.add(func.name)
+            for expr in ast.stmt_exprs(stmt):
+                for node in ast.walk_exprs(expr):
+                    if isinstance(node, ast.Call):
+                        callees.add(node.name)
+        calls[func.name] = callees
+
+    def reaches(start: str, goal: str) -> bool:
+        seen: set[str] = set()
+        frontier = [start]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for callee in calls.get(name, ()):
+                if callee == goal:
+                    return True
+                frontier.append(callee)
+        return False
+
+    for func_name in has_secret_if:
+        if reaches(func_name, func_name):
+            raise TaintError(
+                f"{func_name!r} contains a secret-dependent branch and is "
+                "recursive: sJMP nesting would be unbounded (the paper "
+                "rejects recursion through secure branches at compile time)"
+            )
+
+
+# --------------------------------------------------------------------------
+# Mode constraint enforcement
+# --------------------------------------------------------------------------
+
+
+def _enforce(module: ast.Module, info: ModuleInfo, taint: TaintInfo,
+             mode: str) -> None:
+    for func in module.funcs:
+        _Enforcer(module, info, taint, func.name, mode).run(func.body)
+
+
+class _Enforcer:
+    def __init__(self, module: ast.Module, info: ModuleInfo, taint: TaintInfo,
+                 func_name: str, mode: str) -> None:
+        self.module = module
+        self.info = info
+        self.taint = taint
+        self.func_name = func_name
+        self.mode = mode
+
+    def _tainted_expr(self, expr: ast.Expr) -> bool:
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, (ast.Var, ast.Index)):
+                if self.taint.is_tainted(self.func_name, node.name):
+                    return True
+            elif isinstance(node, ast.Call):
+                if node.name in self.taint.func_return_tainted:
+                    return True
+        return False
+
+    def run(self, block: ast.Block) -> None:
+        self._visit(block, secret_depth=0, path_locals=set())
+
+    def _visit(self, stmt: ast.Stmt, secret_depth: int,
+               path_locals: set[str]) -> None:
+        in_region = secret_depth > 0
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self._visit(child, secret_depth, path_locals)
+        elif isinstance(stmt, ast.VarDeclStmt):
+            if in_region:
+                path_locals.add(stmt.name)
+            if stmt.init is not None:
+                self._check_calls(stmt.init, in_region, path_locals, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._check_calls(stmt.value, in_region, path_locals, stmt.line)
+            if in_region and isinstance(stmt.target, ast.Index):
+                if self.mode == "sempe" and stmt.target.name not in path_locals:
+                    raise TaintError(
+                        f"write to non-path-local array "
+                        f"{stmt.target.name!r} inside a secure region "
+                        "(declare the array inside the path or hoist the "
+                        "store out of the region)",
+                        line=stmt.line,
+                    )
+        elif isinstance(stmt, ast.If):
+            secret = self.taint.is_secret_if(stmt)
+            depth = secret_depth + (1 if secret else 0)
+            locals_for_paths = set() if secret else path_locals
+            self._visit(stmt.then, depth, locals_for_paths)
+            if stmt.els is not None:
+                self._visit(stmt.els, depth,
+                            set() if secret else path_locals)
+        elif isinstance(stmt, ast.While):
+            if self._tainted_expr(stmt.cond):
+                raise TaintError(
+                    "secret-dependent while-loop condition "
+                    "(trip count would leak the secret)",
+                    line=stmt.line,
+                )
+            if in_region and self.mode == "cte":
+                raise TaintError(
+                    "while-loop inside a secret context is not expressible "
+                    "in CTE (FaCT requires public loop structure)",
+                    line=stmt.line,
+                )
+            self._visit(stmt.body, secret_depth, path_locals)
+        elif isinstance(stmt, ast.For):
+            if self._tainted_expr(stmt.bound):
+                raise TaintError(
+                    "secret-dependent for-loop bound "
+                    "(trip count would leak the secret)",
+                    line=stmt.line,
+                )
+            if stmt.declares and in_region:
+                path_locals.add(stmt.var)
+            self._visit(stmt.body, secret_depth, path_locals)
+        elif isinstance(stmt, ast.Return):
+            if in_region:
+                raise TaintError(
+                    "return inside a secure region (control would escape "
+                    "before the region's join point)",
+                    line=stmt.line,
+                )
+            if stmt.value is not None:
+                self._check_calls(stmt.value, in_region, path_locals, stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_calls(stmt.expr, in_region, path_locals, stmt.line)
+
+    def _check_calls(self, expr: ast.Expr, in_region: bool,
+                     path_locals: set[str], line: int) -> None:
+        for node in ast.walk_exprs(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            if not in_region:
+                continue
+            if self.mode == "cte":
+                raise TaintError(
+                    f"call to {node.name!r} inside a secret context is not "
+                    "expressible in CTE (FaCT forbids function calls)",
+                    line=line,
+                )
+            if node.name in self.taint.global_writers:
+                raise TaintError(
+                    f"{node.name!r} writes globals and is called inside a "
+                    "secure region (its stores cannot be privatized)",
+                    line=line,
+                )
+            callee = self.info.funcs.get(node.name)
+            if callee is None:
+                continue
+            for arg, param in zip(node.args, callee.params):
+                if param.is_array and isinstance(arg, ast.Var):
+                    if arg.name not in path_locals:
+                        raise TaintError(
+                            f"array {arg.name!r} passed into a secure region "
+                            "call must be declared inside the path",
+                            line=line,
+                        )

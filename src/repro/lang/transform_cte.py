@@ -1,0 +1,205 @@
+"""The Constant-Time-Expression (FaCT-like) pass — the CTE baseline.
+
+Secret ``if`` statements become *predication contexts*: a fresh 0/1
+temporary ``b`` captures the condition, the then-branch is transformed
+under the factor ``b`` and the else-branch under ``(1 - b)``, and both
+are emitted unconditionally (straight-line).  Every assignment under a
+secret context becomes a select over the **full product** of enclosing
+factors, mirroring the paper's Fig. 2b where each statement spells out
+the complete logical combination of the condition bits::
+
+    x = e;      ==>      x = P * (e) + (1 - P) * x;
+
+with ``P = f1 * f2 * ... * fd`` rebuilt inline per assignment.  This is
+what makes CTE cost grow super-linearly with nesting depth: at depth
+``d`` each original statement pays ``O(d)`` extra multiplies.
+
+Public ``if`` statements inside a secret context remain real branches
+(their conditions are public, so they do not leak), but the assignments
+inside them still carry the secret product.
+
+``for`` loops keep their public scaffolding (counter updates are not
+predicated; FaCT-style public loops), so the loop body executes a
+public number of times whatever the secret is.  ``while`` loops, calls
+and ``return`` under a secret context were already rejected by the
+taint enforcement (FaCT restrictions).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.lang import ast
+from repro.lang.errors import TaintError
+from repro.lang.taint import TaintInfo
+
+
+def transform_cte(module: ast.Module, taint: TaintInfo) -> ast.Module:
+    """Return a new, straight-line-predicated module."""
+    counter = itertools.count()
+    funcs = [
+        ast.Func(
+            name=func.name,
+            params=func.params,
+            body=_CteTransformer(taint, counter).block(func.body, []),
+            returns_value=func.returns_value,
+            line=func.line,
+        )
+        for func in module.funcs
+    ]
+    return ast.Module(list(module.globals), funcs)
+
+
+class _CteTransformer:
+    def __init__(self, taint: TaintInfo, counter) -> None:
+        self.taint = taint
+        self.counter = counter
+
+    # -- factors -------------------------------------------------------------
+
+    @staticmethod
+    def _product(factors: list[ast.Expr]) -> ast.Expr:
+        product = factors[0]
+        for factor in factors[1:]:
+            product = ast.Binary("*", product, _clone(factor))
+        return product
+
+    def _predicate(self, target_read: ast.Expr, value: ast.Expr,
+                   factors: list[ast.Expr], line: int) -> ast.Expr:
+        """Build ``P*(value) + (1-P)*target`` with P rebuilt inline."""
+        product = self._product([_clone(f) for f in factors])
+        complement = ast.Binary(
+            "-", ast.Num(1), self._product([_clone(f) for f in factors])
+        )
+        return ast.Binary(
+            "+",
+            ast.Binary("*", product, value, line=line),
+            ast.Binary("*", complement, target_read, line=line),
+            line=line,
+        )
+
+    # -- statements ------------------------------------------------------------
+
+    def block(self, block: ast.Block, factors: list[ast.Expr]) -> ast.Block:
+        stmts: list[ast.Stmt] = []
+        for child in block.stmts:
+            result = self.stmt(child, factors)
+            if isinstance(result, list):
+                stmts.extend(result)
+            else:
+                stmts.append(result)
+        return ast.Block(stmts, line=block.line)
+
+    def stmt(self, stmt: ast.Stmt, factors: list[ast.Expr]):
+        if isinstance(stmt, ast.Block):
+            return self.block(stmt, factors)
+        if isinstance(stmt, ast.VarDeclStmt):
+            # Fresh declaration: the initializer may run unconditionally
+            # (the variable did not exist when the predicate is false).
+            return stmt
+        if isinstance(stmt, ast.Assign):
+            if not factors:
+                return stmt
+            target_read = _clone(stmt.target)
+            value = self._predicate(target_read, stmt.value, factors,
+                                    stmt.line)
+            return ast.Assign(_clone(stmt.target), value, line=stmt.line)
+        if isinstance(stmt, ast.If):
+            if self.taint.is_secret_if(stmt):
+                return self.secret_if(stmt, factors)
+            return ast.If(
+                stmt.cond,
+                self._as_block(self.stmt(stmt.then, factors), stmt.line),
+                self._as_block(self.stmt(stmt.els, factors), stmt.line)
+                if stmt.els is not None else None,
+                line=stmt.line,
+            )
+        if isinstance(stmt, ast.While):
+            if factors:
+                raise TaintError(
+                    "while-loop inside a CTE secret context", line=stmt.line
+                )
+            return ast.While(stmt.cond, self._as_block(
+                self.stmt(stmt.body, factors), stmt.line), line=stmt.line)
+        if isinstance(stmt, ast.For):
+            # Loop scaffolding is public: init/step stay unpredicated.
+            return ast.For(
+                var=stmt.var,
+                declares=stmt.declares,
+                init=stmt.init,
+                bound_op=stmt.bound_op,
+                bound=stmt.bound,
+                step=stmt.step,
+                body=self._as_block(self.stmt(stmt.body, factors), stmt.line),
+                line=stmt.line,
+            )
+        if isinstance(stmt, ast.Return):
+            if factors:
+                raise TaintError("return inside a CTE secret context",
+                                 line=stmt.line)
+            return stmt
+        if isinstance(stmt, ast.ExprStmt):
+            if factors:
+                raise TaintError(
+                    "side-effecting expression inside a CTE secret context",
+                    line=stmt.line,
+                )
+            return stmt
+        raise TaintError(f"unhandled statement {type(stmt).__name__}")
+
+    def secret_if(self, stmt: ast.If,
+                  factors: list[ast.Expr]) -> list[ast.Stmt]:
+        tag = next(self.counter)
+        bit_name = f"__cb{tag}"
+        decl = ast.VarDeclStmt(
+            bit_name,
+            init=ast.Binary("!=", stmt.cond, ast.Num(0), line=stmt.line),
+            line=stmt.line,
+        )
+        then_factors = factors + [ast.Var(bit_name)]
+        else_factors = factors + [
+            ast.Binary("-", ast.Num(1), ast.Var(bit_name))
+        ]
+        out: list[ast.Stmt] = [decl]
+        out.extend(self._flatten(self.stmt(stmt.then, then_factors)))
+        if stmt.els is not None:
+            out.extend(self._flatten(self.stmt(stmt.els, else_factors)))
+        return out
+
+    @staticmethod
+    def _flatten(result) -> list[ast.Stmt]:
+        if isinstance(result, list):
+            return result
+        if isinstance(result, ast.Block):
+            return result.stmts
+        return [result]
+
+    @staticmethod
+    def _as_block(result, line: int) -> ast.Block:
+        if isinstance(result, ast.Block):
+            return result
+        if isinstance(result, list):
+            return ast.Block(result, line=line)
+        return ast.Block([result], line=line)
+
+
+def _clone(expr: ast.Expr) -> ast.Expr:
+    """Deep-copy an expression tree."""
+    if isinstance(expr, ast.Num):
+        return ast.Num(expr.value, line=expr.line)
+    if isinstance(expr, ast.Var):
+        return ast.Var(expr.name, line=expr.line)
+    if isinstance(expr, ast.Index):
+        return ast.Index(expr.name, _clone(expr.index), line=expr.line)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _clone(expr.operand), line=expr.line)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(expr.op, _clone(expr.left), _clone(expr.right),
+                          line=expr.line)
+    if isinstance(expr, ast.Call):
+        return ast.Call(expr.name, [_clone(arg) for arg in expr.args],
+                        line=expr.line)
+    if isinstance(expr, ast.Cmov):
+        return ast.Cmov(_clone(expr.cond), _clone(expr.if_true),
+                        _clone(expr.if_false), line=expr.line)
+    raise TaintError(f"cannot clone {type(expr).__name__}")

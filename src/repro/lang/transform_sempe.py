@@ -1,0 +1,208 @@
+"""The SeMPE compilation pass.
+
+For every secret-dependent ``if`` (as labelled by the taint analysis):
+
+1. the condition is normalised to a 0/1 temporary *before* the branch
+   (the merge after the join needs it, and evaluating it once keeps the
+   branch itself a single sJMP);
+2. every scalar assigned in either path that is declared *outside* the
+   paths is privatized: two shadow copies (``v__ntK`` and ``v__tK``,
+   the paper's ShadowMemory) are initialised from ``v`` before the
+   branch, and all reads/writes of ``v`` inside the NT/T path are
+   redirected to the respective shadow;
+3. the ``if`` itself is marked ``secure`` — the code generator emits the
+   branch with the SecPrefix and places an ``eosJMP`` at the join;
+4. after the join, each privatized scalar is merged back with a
+   constant-time CMOV: ``v = cond ? v__tK : v__ntK``.
+
+Nested secret ``if`` statements are handled by recursion: the inner
+transform sees the outer shadows as ordinary outer-declared scalars and
+creates second-level shadows for them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.lang import ast
+from repro.lang.errors import TaintError
+from repro.lang.taint import TaintInfo
+
+
+def transform_sempe(module: ast.Module, taint: TaintInfo) -> ast.Module:
+    """Return a new module with secret ifs lowered to secure regions."""
+    counter = itertools.count()
+    funcs = [
+        ast.Func(
+            name=func.name,
+            params=func.params,
+            body=_Transformer(taint, counter).block(func.body, {}),
+            returns_value=func.returns_value,
+            line=func.line,
+        )
+        for func in module.funcs
+    ]
+    return ast.Module(list(module.globals), funcs)
+
+
+class _Transformer:
+    def __init__(self, taint: TaintInfo, counter) -> None:
+        self.taint = taint
+        self.counter = counter
+
+    # -- statements -----------------------------------------------------------
+
+    def block(self, block: ast.Block, subst: dict[str, str]) -> ast.Block:
+        return ast.Block(
+            [self.stmt(child, subst) for child in block.stmts],
+            line=block.line,
+        )
+
+    def stmt(self, stmt: ast.Stmt, subst: dict[str, str]) -> ast.Stmt:
+        if isinstance(stmt, ast.Block):
+            return self.block(stmt, subst)
+        if isinstance(stmt, ast.VarDeclStmt):
+            return ast.VarDeclStmt(
+                stmt.name, stmt.size,
+                self.expr(stmt.init, subst) if stmt.init is not None else None,
+                line=stmt.line,
+            )
+        if isinstance(stmt, ast.Assign):
+            return ast.Assign(
+                self.expr(stmt.target, subst),
+                self.expr(stmt.value, subst),
+                line=stmt.line,
+            )
+        if isinstance(stmt, ast.If):
+            if self.taint.is_secret_if(stmt):
+                return self.secret_if(stmt, subst)
+            return ast.If(
+                self.expr(stmt.cond, subst),
+                self.stmt(stmt.then, subst),
+                self.stmt(stmt.els, subst) if stmt.els is not None else None,
+                line=stmt.line,
+            )
+        if isinstance(stmt, ast.While):
+            return ast.While(
+                self.expr(stmt.cond, subst),
+                self.stmt(stmt.body, subst),
+                line=stmt.line,
+            )
+        if isinstance(stmt, ast.For):
+            return ast.For(
+                var=subst.get(stmt.var, stmt.var),
+                declares=stmt.declares,
+                init=self.expr(stmt.init, subst),
+                bound_op=stmt.bound_op,
+                bound=self.expr(stmt.bound, subst),
+                step=self.expr(stmt.step, subst),
+                body=self.stmt(stmt.body, subst),
+                line=stmt.line,
+            )
+        if isinstance(stmt, ast.Return):
+            value = self.expr(stmt.value, subst) if stmt.value is not None else None
+            return ast.Return(value, line=stmt.line)
+        if isinstance(stmt, ast.ExprStmt):
+            return ast.ExprStmt(self.expr(stmt.expr, subst), line=stmt.line)
+        raise TaintError(f"unhandled statement {type(stmt).__name__}")
+
+    # -- the secure-region lowering ----------------------------------------------
+
+    def secret_if(self, stmt: ast.If, subst: dict[str, str]) -> ast.Stmt:
+        tag = next(self.counter)
+        cond_name = f"__sc{tag}"
+
+        assigned = sorted(_assigned_outer_scalars(stmt))
+
+        prologue: list[ast.Stmt] = [
+            ast.VarDeclStmt(
+                cond_name,
+                init=ast.Binary("!=", self.expr(stmt.cond, subst),
+                                ast.Num(0), line=stmt.line),
+                line=stmt.line,
+            )
+        ]
+        nt_subst = dict(subst)
+        t_subst = dict(subst)
+        merges: list[ast.Stmt] = []
+        for original in assigned:
+            # The name the enclosing regions currently map this scalar to
+            # (e.g. acc -> acc__nt0 inside an outer NT path).  The new
+            # shadows derive from that name, but the substitution must be
+            # keyed by the *original* source name, because that is what
+            # the path body refers to.
+            name = subst.get(original, original)
+            nt_name = f"{name}__nt{tag}"
+            t_name = f"{name}__t{tag}"
+            prologue.append(ast.VarDeclStmt(nt_name, init=ast.Var(name),
+                                            line=stmt.line))
+            prologue.append(ast.VarDeclStmt(t_name, init=ast.Var(name),
+                                            line=stmt.line))
+            nt_subst[original] = nt_name
+            t_subst[original] = t_name
+            # The then-branch is the fall-through (NT) path: a true
+            # condition means the NT shadow holds the correct value.
+            merges.append(ast.Assign(
+                ast.Var(name),
+                ast.Cmov(ast.Var(cond_name), ast.Var(nt_name), ast.Var(t_name)),
+                line=stmt.line,
+            ))
+
+        then_body = self.stmt(stmt.then, nt_subst)
+        else_body = (
+            self.stmt(stmt.els, t_subst) if stmt.els is not None else None
+        )
+        secure = ast.If(ast.Var(cond_name), then_body, else_body,
+                        secure=True, line=stmt.line)
+        return ast.Block(prologue + [secure] + merges, line=stmt.line)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def expr(self, expr: ast.Expr, subst: dict[str, str]) -> ast.Expr:
+        if isinstance(expr, ast.Num):
+            return expr
+        if isinstance(expr, ast.Var):
+            return ast.Var(subst.get(expr.name, expr.name), line=expr.line)
+        if isinstance(expr, ast.Index):
+            return ast.Index(subst.get(expr.name, expr.name),
+                             self.expr(expr.index, subst), line=expr.line)
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(expr.op, self.expr(expr.operand, subst),
+                             line=expr.line)
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(expr.op, self.expr(expr.left, subst),
+                              self.expr(expr.right, subst), line=expr.line)
+        if isinstance(expr, ast.Call):
+            return ast.Call(expr.name,
+                            [self.expr(arg, subst) for arg in expr.args],
+                            line=expr.line)
+        if isinstance(expr, ast.Cmov):
+            return ast.Cmov(self.expr(expr.cond, subst),
+                            self.expr(expr.if_true, subst),
+                            self.expr(expr.if_false, subst), line=expr.line)
+        raise TaintError(f"unhandled expression {type(expr).__name__}")
+
+
+def _assigned_outer_scalars(stmt: ast.If) -> set[str]:
+    """Scalars assigned in either path but declared outside the paths.
+
+    Array writes to outer arrays were already rejected by the taint
+    enforcement; path-local declarations (including for-loop counters)
+    need no privatization because both paths always execute.
+    """
+    assigned: set[str] = set()
+    declared: set[str] = set()
+    for path in (stmt.then, stmt.els):
+        if path is None:
+            continue
+        for child in ast.walk_stmts(path):
+            if isinstance(child, ast.VarDeclStmt):
+                declared.add(child.name)
+            elif isinstance(child, ast.For) and child.declares:
+                declared.add(child.var)
+            elif isinstance(child, ast.Assign):
+                if isinstance(child.target, ast.Var):
+                    assigned.add(child.target.name)
+                # Index targets: path-local arrays only (enforced), so no
+                # shadow is needed.
+    return assigned - declared

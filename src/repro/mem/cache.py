@@ -1,0 +1,163 @@
+"""Set-associative write-back, write-allocate cache with LRU replacement.
+
+The timing model only needs hit/miss decisions, writeback counts, and
+occupancy behaviour; cached data values live in the functional simulator's
+:class:`repro.mem.memory.FlatMemory`, so lines here are tags only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 2
+
+    @property
+    def n_sets(self) -> int:
+        n = self.size_bytes // (self.assoc * self.line_bytes)
+        if n <= 0:
+            raise ValueError(f"{self.name}: size too small for geometry")
+        return n
+
+
+@dataclass
+class CacheStats:
+    """Per-cache counters."""
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    prefetches: int = 0
+    prefetch_hits: int = 0   # demand hits on prefetched lines
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.prefetches = 0
+        self.prefetch_hits = 0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "prefetched")
+
+    def __init__(self, tag: int, dirty: bool, prefetched: bool) -> None:
+        self.tag = tag
+        self.dirty = dirty
+        self.prefetched = prefetched
+
+
+class Cache:
+    """One level of tag-only set-associative cache.
+
+    Each set is an ordered dict from tag to :class:`_Line`; ordering
+    encodes recency (last item = most recently used).
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: list[dict[int, _Line]] = [
+            {} for _ in range(config.n_sets)
+        ]
+        self._line_shift = config.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != config.line_bytes:
+            raise ValueError("line size must be a power of two")
+
+    # -- address mapping ----------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        return address >> self._line_shift
+
+    def set_index(self, line_address: int) -> int:
+        return line_address % self.config.n_sets
+
+    # -- operations ------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """Demand access.  Returns True on hit.
+
+        On a miss the caller is responsible for filling (after fetching
+        from the next level) via :meth:`fill`.
+        """
+        self.stats.accesses += 1
+        line_address = self.line_address(address)
+        cache_set = self._sets[self.set_index(line_address)]
+        line = cache_set.get(line_address)
+        if line is None:
+            self.stats.misses += 1
+            return False
+        # LRU bump.
+        del cache_set[line_address]
+        cache_set[line_address] = line
+        if line.prefetched:
+            self.stats.prefetch_hits += 1
+            line.prefetched = False
+        if is_write:
+            line.dirty = True
+        return True
+
+    def fill(self, address: int, is_write: bool = False,
+             prefetched: bool = False) -> int | None:
+        """Install the line containing *address*.
+
+        Returns the byte address of an evicted dirty line (for writeback
+        accounting) or ``None``.
+        """
+        line_address = self.line_address(address)
+        cache_set = self._sets[self.set_index(line_address)]
+        victim_address = None
+        if line_address in cache_set:
+            line = cache_set.pop(line_address)
+            line.dirty = line.dirty or is_write
+            line.prefetched = line.prefetched and prefetched
+            cache_set[line_address] = line
+            return None
+        if len(cache_set) >= self.config.assoc:
+            victim_tag, victim = next(iter(cache_set.items()))
+            del cache_set[victim_tag]
+            if victim.dirty:
+                self.stats.writebacks += 1
+                victim_address = victim_tag << self._line_shift
+        cache_set[line_address] = _Line(line_address, is_write, prefetched)
+        if prefetched:
+            self.stats.prefetches += 1
+        return victim_address
+
+    def contains(self, address: int) -> bool:
+        """Non-updating lookup (used by observers / prefetchers)."""
+        line_address = self.line_address(address)
+        return line_address in self._sets[self.set_index(line_address)]
+
+    def invalidate_all(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def resident_lines(self) -> set[int]:
+        """Set of resident line addresses (for cache-channel observers)."""
+        resident: set[int] = set()
+        for cache_set in self._sets:
+            resident.update(cache_set.keys())
+        return resident
+
+    def set_occupancy(self) -> list[int]:
+        """Number of valid lines per set (attacker-visible footprint)."""
+        return [len(cache_set) for cache_set in self._sets]

@@ -1,0 +1,145 @@
+"""ScratchPad Memory (SPM) for ArchRS register snapshots.
+
+Per the paper (Table II and §IV-F): the SPM holds up to 30 snapshots
+(one per supported sJMP nesting level), each snapshot containing two
+architectural-register states plus two modified-register bit-vectors
+(7392 bytes per SecBlock on the paper's 48-register x86_64).  Transfer
+throughput is 64 bytes/cycle for both reads and writes.
+
+The SPM here plays two roles:
+
+* **functional** — it stores the snapshot values the SeMPE engine saves
+  and restores (nesting level is the slot index);
+* **timing** — :meth:`save_cycles` / :meth:`restore_cycles` give the
+  pipeline the number of cycles the transfer occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SPMOverflowError(Exception):
+    """Raised when sJMP nesting exceeds the number of SPM snapshot slots."""
+
+
+@dataclass
+class Snapshot:
+    """One nesting level's worth of saved architectural state."""
+
+    entry_regs: list[int] | None = None        # state before the SecBlock
+    nt_regs: list[int] | None = None           # state after the NT path
+    t_modified: set[int] = field(default_factory=set)
+    nt_modified: set[int] = field(default_factory=set)
+
+
+class ScratchpadMemory:
+    """Snapshot storage with cycle-accounting, indexed by nesting level."""
+
+    def __init__(
+        self,
+        n_slots: int = 30,
+        n_arch_regs: int = 48,
+        bytes_per_cycle: int = 64,
+        reg_bytes: int = 8,
+    ) -> None:
+        self.n_slots = n_slots
+        self.n_arch_regs = n_arch_regs
+        self.bytes_per_cycle = bytes_per_cycle
+        self.reg_bytes = reg_bytes
+        self._slots: list[Snapshot | None] = [None] * n_slots
+        self.save_ops = 0
+        self.restore_ops = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def regstate_bytes(self) -> int:
+        return self.n_arch_regs * self.reg_bytes
+
+    @property
+    def bitvector_bytes(self) -> int:
+        return (self.n_arch_regs + 7) // 8
+
+    @property
+    def snapshot_bytes(self) -> int:
+        """Total bytes per SecBlock snapshot (paper: 7392 B at 48 regs
+        including RAT metadata; here two reg states + two bit-vectors)."""
+        return 2 * self.regstate_bytes + 2 * self.bitvector_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_slots * self.snapshot_bytes
+
+    # -- functional operations -----------------------------------------------
+
+    def slot(self, level: int) -> Snapshot:
+        if level >= self.n_slots:
+            raise SPMOverflowError(
+                f"sJMP nesting {level + 1} exceeds SPM capacity {self.n_slots}"
+            )
+        snapshot = self._slots[level]
+        if snapshot is None:
+            snapshot = Snapshot()
+            self._slots[level] = snapshot
+        return snapshot
+
+    def save_entry_state(self, level: int, regs: list[int]) -> int:
+        """Save the pre-SecBlock register state; returns transfer cycles."""
+        snapshot = self.slot(level)
+        snapshot.entry_regs = list(regs)
+        snapshot.t_modified = set()
+        snapshot.nt_modified = set()
+        snapshot.nt_regs = None
+        self.save_ops += 1
+        nbytes = self.regstate_bytes + self.bitvector_bytes
+        self.bytes_written += nbytes
+        return self._cycles(nbytes)
+
+    def save_nt_state(self, level: int, regs: list[int],
+                      nt_modified: set[int]) -> int:
+        """Save the post-NT-path state (modified registers only)."""
+        snapshot = self.slot(level)
+        snapshot.nt_regs = list(regs)
+        snapshot.nt_modified = set(nt_modified)
+        self.save_ops += 1
+        nbytes = (len(nt_modified) * self.reg_bytes) + self.bitvector_bytes
+        self.bytes_written += nbytes
+        return self._cycles(nbytes)
+
+    def restore_cycles_for(self, level: int) -> int:
+        """Cycles for the end-of-SecBlock restore.
+
+        Registers modified in *either* path are always read from the SPM
+        regardless of the branch outcome (the paper's constant-time
+        restore), so the transfer size depends only on the union of the
+        modified sets — never on the secret.
+        """
+        snapshot = self.slot(level)
+        modified = snapshot.t_modified | snapshot.nt_modified
+        nbytes = len(modified) * self.reg_bytes + 2 * self.bitvector_bytes
+        self.bytes_read += nbytes
+        self.restore_ops += 1
+        return self._cycles(nbytes)
+
+    def release(self, level: int) -> None:
+        if level < self.n_slots:
+            self._slots[level] = None
+
+    def reset(self) -> None:
+        self._slots = [None] * self.n_slots
+        self.save_ops = 0
+        self.restore_ops = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- timing helpers -----------------------------------------------------------
+
+    def _cycles(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.bytes_per_cycle))
+
+    def entry_save_cycles(self) -> int:
+        """Cycles to save a full architectural state (worst case)."""
+        return self._cycles(self.regstate_bytes + self.bitvector_bytes)

@@ -1,0 +1,34 @@
+"""Side-channel analysis tooling.
+
+Implements the attacker models of the paper's threat model (§III): a
+co-located process that can measure coarse timing, prime-and-probe the
+caches, observe the victim's memory working set through a shared cache,
+and inspect branch-predictor state after the victim runs.  The
+:func:`noninterference_report` driver runs a program under multiple
+secret values and checks whether each observation channel distinguishes
+them — SeMPE's security claim is that none do.
+"""
+
+from repro.security.observer import (
+    ObservationTrace,
+    TraceObserver,
+    collect_observation,
+)
+from repro.security.leakage import (
+    ChannelReport,
+    NoninterferenceReport,
+    noninterference_report,
+    distinguishing_channels,
+    mutual_information_bits,
+)
+
+__all__ = [
+    "ObservationTrace",
+    "TraceObserver",
+    "collect_observation",
+    "ChannelReport",
+    "NoninterferenceReport",
+    "noninterference_report",
+    "distinguishing_channels",
+    "mutual_information_bits",
+]

@@ -1,0 +1,138 @@
+"""Leakage detection: noninterference checks and quantification.
+
+The paper's security argument (§IV-A) is that executing all of both
+paths makes the execution independent of the secret.  We test it
+operationally: run the victim under a set of secret values and compare
+the attacker-visible channels.  A channel *leaks* if any two secret
+values produce different observations.
+
+:func:`mutual_information_bits` additionally quantifies a leak: treating
+the secret as uniform over the tested values, it computes I(secret;
+observation) in bits — 0 for a closed channel, log2(n) for a channel
+that uniquely identifies each of n secret values.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.security.observer import ObservationTrace, collect_observation
+from repro.uarch.config import MachineConfig
+
+CHANNELS = (
+    "timing",
+    "instruction-count",
+    "control-flow",
+    "memory-address",
+    "cache-state",
+    "branch-predictor",
+)
+
+
+@dataclass
+class ChannelReport:
+    """One channel's behaviour across the tested secrets."""
+
+    channel: str
+    observations: dict[int, object] = field(default_factory=dict)
+
+    @property
+    def leaks(self) -> bool:
+        return len(set(map(repr, self.observations.values()))) > 1
+
+    @property
+    def mutual_information(self) -> float:
+        return mutual_information_bits(list(self.observations.values()))
+
+
+@dataclass
+class NoninterferenceReport:
+    """All channels for one program/machine combination."""
+
+    program_name: str
+    sempe: bool
+    secret_name: str
+    channels: dict[str, ChannelReport] = field(default_factory=dict)
+
+    @property
+    def secure(self) -> bool:
+        """True iff no channel distinguishes any pair of secrets."""
+        return not any(report.leaks for report in self.channels.values())
+
+    def leaking_channels(self) -> list[str]:
+        return [name for name, report in self.channels.items() if report.leaks]
+
+    def summary(self) -> str:
+        lines = [
+            f"program={self.program_name} sempe={self.sempe} "
+            f"secret={self.secret_name}"
+        ]
+        for name in CHANNELS:
+            report = self.channels[name]
+            verdict = "LEAKS" if report.leaks else "closed"
+            lines.append(
+                f"  {name:18s} {verdict:7s} "
+                f"I={report.mutual_information:.2f} bits"
+            )
+        return "\n".join(lines)
+
+
+def noninterference_report(
+    program: Program,
+    secret_name: str,
+    secret_values: list[int],
+    sempe: bool,
+    symbols: dict[str, int] | None = None,
+    config: MachineConfig | None = None,
+    max_instructions: int = 50_000_000,
+) -> NoninterferenceReport:
+    """Run *program* once per secret value and compare all channels."""
+    report = NoninterferenceReport(
+        program_name=program.name, sempe=sempe, secret_name=secret_name
+    )
+    traces: dict[int, ObservationTrace] = {}
+    for value in secret_values:
+        traces[value] = collect_observation(
+            program,
+            sempe=sempe,
+            secret_values={secret_name: value},
+            symbols=symbols,
+            config=config,
+            max_instructions=max_instructions,
+        )
+    for channel in CHANNELS:
+        channel_report = ChannelReport(channel=channel)
+        for value, trace in traces.items():
+            channel_report.observations[value] = trace.channels()[channel]
+        report.channels[channel] = channel_report
+    return report
+
+
+def distinguishing_channels(
+    trace_a: ObservationTrace, trace_b: ObservationTrace
+) -> list[str]:
+    """Channels on which two observations differ."""
+    channels_a = trace_a.channels()
+    channels_b = trace_b.channels()
+    return [name for name in CHANNELS if channels_a[name] != channels_b[name]]
+
+
+def mutual_information_bits(observations: list[object]) -> float:
+    """I(secret; observation) for a uniform secret over the runs.
+
+    Each element of *observations* is the channel value for one secret.
+    The conditional distribution is deterministic (one observation per
+    secret), so I = H(observation).
+    """
+    if not observations:
+        return 0.0
+    counts = Counter(map(repr, observations))
+    total = len(observations)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy

@@ -1,0 +1,154 @@
+"""Attacker observation collection.
+
+An :class:`ObservationTrace` bundles everything the threat model allows
+the adversary to see for one victim run:
+
+* ``cycles`` — coarse end-to-end timing;
+* ``pc_sequence`` — the committed control-flow trace (what an attacker
+  reconstructs from a shared fetch engine / branch history);
+* ``mem_addresses`` — the data-access address stream (shared-cache
+  channel at line granularity);
+* ``cache_digest`` — post-run cache tag state (prime-and-probe residue);
+* ``predictor_digest`` — post-run branch-predictor state (the branch
+  predictor channel);
+* ``instruction_count`` — committed instruction count.
+
+:func:`collect_observation` runs a program on the full machine
+(functional + timing) and gathers all of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.arch.executor import Executor
+from repro.isa.program import Program
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import OutOfOrderPipeline
+
+
+@dataclass
+class ObservationTrace:
+    """Everything the §III attacker can observe for one run."""
+
+    cycles: int
+    instruction_count: int
+    pc_digest: str
+    mem_digest: str
+    cache_digest: str
+    predictor_digest: str
+    pc_sequence: list[int] = field(default_factory=list, repr=False)
+    mem_addresses: list[int] = field(default_factory=list, repr=False)
+
+    def channels(self) -> dict[str, object]:
+        """Channel name -> observable value (digests for big streams)."""
+        return {
+            "timing": self.cycles,
+            "instruction-count": self.instruction_count,
+            "control-flow": self.pc_digest,
+            "memory-address": self.mem_digest,
+            "cache-state": self.cache_digest,
+            "branch-predictor": self.predictor_digest,
+        }
+
+
+class TraceObserver:
+    """Streams a functional trace, accumulating observable digests."""
+
+    def __init__(self, line_bytes: int = 64, keep_streams: bool = False) -> None:
+        self.line_bytes = line_bytes
+        self.keep_streams = keep_streams
+        self.pc_sequence: list[int] = []
+        self.mem_addresses: list[int] = []
+        self._pc_hash = hashlib.sha256()
+        self._mem_hash = hashlib.sha256()
+        self.instruction_count = 0
+
+    def observe(self, record) -> None:
+        if record.kind != "inst":
+            return
+        self.instruction_count += 1
+        self._pc_hash.update(record.pc.to_bytes(8, "little"))
+        if self.keep_streams:
+            self.pc_sequence.append(record.pc)
+        if record.mem_addr is not None:
+            line = record.mem_addr // self.line_bytes
+            self._mem_hash.update(line.to_bytes(8, "little", signed=False))
+            if self.keep_streams:
+                self.mem_addresses.append(line)
+
+    @property
+    def pc_digest(self) -> str:
+        return self._pc_hash.hexdigest()
+
+    @property
+    def mem_digest(self) -> str:
+        return self._mem_hash.hexdigest()
+
+
+def collect_observation(
+    program: Program,
+    sempe: bool,
+    secret_values: dict[str, int] | None = None,
+    symbols: dict[str, int] | None = None,
+    config: MachineConfig | None = None,
+    keep_streams: bool = False,
+    max_instructions: int = 50_000_000,
+) -> ObservationTrace:
+    """Run *program* with the given secrets and collect the observation.
+
+    ``secret_values`` maps symbol names (resolved through ``symbols`` or
+    ``program.symbols``) to the values poked into memory before the run.
+    """
+    config = config or MachineConfig()
+    executor = Executor(program, sempe=sempe, max_instructions=max_instructions)
+    symbol_table = symbols if symbols is not None else program.symbols
+    for name, value in (secret_values or {}).items():
+        if isinstance(value, (list, tuple)):
+            # Array secrets: consecutive 8-byte words.
+            for index, element in enumerate(value):
+                executor.state.memory.store(
+                    symbol_table[name] + 8 * index, element & ((1 << 64) - 1), 8)
+        else:
+            executor.state.memory.store(symbol_table[name],
+                                        value & ((1 << 64) - 1), 8)
+
+    observer = TraceObserver(
+        line_bytes=config.hierarchy.dl1.line_bytes, keep_streams=keep_streams
+    )
+    pipeline = OutOfOrderPipeline(config, sempe=sempe)
+
+    def observed(trace):
+        for record in trace:
+            observer.observe(record)
+            yield record
+
+    stats = pipeline.run(observed(executor.run()))
+
+    cache_state = (
+        tuple(sorted(pipeline.hierarchy.il1.resident_lines())),
+        tuple(sorted(pipeline.hierarchy.dl1.resident_lines())),
+        tuple(sorted(pipeline.hierarchy.l2.resident_lines())),
+    )
+    cache_digest = hashlib.sha256(repr(cache_state).encode()).hexdigest()
+    predictor_state = (
+        pipeline.predictor.state_digest(),
+        pipeline.btb.state_digest(),
+        pipeline.ittage.state_digest(),
+        pipeline.ras.state_digest(),
+    )
+    predictor_digest = hashlib.sha256(
+        repr(predictor_state).encode()
+    ).hexdigest()
+
+    return ObservationTrace(
+        cycles=stats.cycles,
+        instruction_count=observer.instruction_count,
+        pc_digest=observer.pc_digest,
+        mem_digest=observer.mem_digest,
+        cache_digest=cache_digest,
+        predictor_digest=predictor_digest,
+        pc_sequence=observer.pc_sequence,
+        mem_addresses=observer.mem_addresses,
+    )

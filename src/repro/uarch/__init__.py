@@ -1,0 +1,17 @@
+"""Out-of-order core timing model and branch predictors.
+
+The pipeline is trace-driven: the functional executor produces the
+committed dynamic instruction stream (plus SeMPE drain events) and the
+timing model replays it through an 8-wide out-of-order core configured
+per the paper's Table II.
+"""
+
+from repro.uarch.config import MachineConfig, haswell_like
+from repro.uarch.pipeline import OutOfOrderPipeline, PipelineStats
+
+__all__ = [
+    "MachineConfig",
+    "haswell_like",
+    "OutOfOrderPipeline",
+    "PipelineStats",
+]

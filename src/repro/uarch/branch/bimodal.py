@@ -1,0 +1,37 @@
+"""Bimodal (per-PC 2-bit counter) predictor."""
+
+from __future__ import annotations
+
+from repro.uarch.branch.base import BranchPredictor
+
+
+class Bimodal(BranchPredictor):
+    """Classic table of 2-bit saturating counters indexed by PC."""
+
+    name = "bimodal"
+
+    def __init__(self, table_bits: int = 12) -> None:
+        super().__init__()
+        self.table_bits = table_bits
+        self.table_size = 1 << table_bits
+        self._counters = [2] * self.table_size  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return pc & (self.table_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+
+    def state_digest(self) -> int:
+        return hash(tuple(self._counters))
+
+    def reset(self) -> None:
+        self._counters = [2] * self.table_size

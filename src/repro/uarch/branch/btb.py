@@ -1,0 +1,60 @@
+"""Branch target buffer and return address stack."""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB: PC -> last-seen target."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        self.entries = entries
+        self._table: dict[int, tuple[int, int]] = {}  # index -> (pc, target)
+        self.lookups = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        return pc % self.entries
+
+    def predict(self, pc: int) -> int | None:
+        """Return the cached target, or None on a BTB miss."""
+        self.lookups += 1
+        row = self._table.get(self._index(pc))
+        if row is None or row[0] != pc:
+            self.misses += 1
+            return None
+        return row[1]
+
+    def update(self, pc: int, target: int) -> None:
+        self._table[self._index(pc)] = (pc, target)
+
+    def state_digest(self) -> int:
+        return hash(tuple(sorted(self._table.items())))
+
+    def reset(self) -> None:
+        self._table.clear()
+        self.lookups = 0
+        self.misses = 0
+
+
+class ReturnAddressStack:
+    """Small LIFO of return addresses for call/return prediction."""
+
+    def __init__(self, depth: int = 16) -> None:
+        self.depth = depth
+        self._stack: list[int] = []
+
+    def push(self, return_address: int) -> None:
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)
+        self._stack.append(return_address)
+
+    def pop(self) -> int | None:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def state_digest(self) -> int:
+        return hash(tuple(self._stack))
+
+    def reset(self) -> None:
+        self._stack.clear()

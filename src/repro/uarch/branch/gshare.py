@@ -1,0 +1,42 @@
+"""GShare predictor: global history XOR PC indexing."""
+
+from __future__ import annotations
+
+from repro.uarch.branch.base import BranchPredictor
+
+
+class GShare(BranchPredictor):
+    """2-bit counters indexed by PC xor global-history."""
+
+    name = "gshare"
+
+    def __init__(self, table_bits: int = 13, history_bits: int = 13) -> None:
+        super().__init__()
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self.table_size = 1 << table_bits
+        self._counters = [2] * self.table_size
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 1) | int(taken)) & mask
+
+    def state_digest(self) -> int:
+        return hash((tuple(self._counters), self._history))
+
+    def reset(self) -> None:
+        self._counters = [2] * self.table_size
+        self._history = 0

@@ -1,0 +1,98 @@
+"""Machine configuration (the paper's Table II baseline model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import HierarchyConfig
+
+
+@dataclass
+class MachineConfig:
+    """All tunables of the simulated core and memory system.
+
+    Defaults follow Table II of the paper (a Haswell-like out-of-order
+    core at 2 GHz).  The SPM snapshot size defaults to the paper's 7392
+    bytes per SecBlock (48 x86_64 architectural registers); our ISA has 32
+    registers but the timing uses the configured ``spm_arch_regs`` so the
+    SPM traffic matches the paper's machine.
+    """
+
+    # Clock.
+    clock_ghz: float = 2.0
+
+    # Front end.
+    fetch_width: int = 8           # instructions / cycle
+    decode_width: int = 8          # uops / cycle
+    rename_width: int = 8          # uops / cycle
+    frontend_depth: int = 6        # fetch->dispatch stages (refill penalty)
+
+    # Back end.
+    issue_width: int = 8           # uops / cycle
+    load_issue_width: int = 2      # loads / cycle
+    retire_width: int = 12         # uops / cycle
+    rob_entries: int = 192
+    int_phys_regs: int = 256
+    fp_phys_regs: int = 256
+    int_issue_buffer: int = 60
+    fp_issue_buffer: int = 60
+    load_queue: int = 32
+    store_queue: int = 32
+
+    # Execution latencies (cycles) by op class.
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 20
+    branch_latency: int = 1
+    cmov_latency: int = 1
+
+    # Branch prediction.
+    predictor: str = "tage"        # "tage", "gshare", "bimodal", "always-taken"
+    tage_storage_kb: int = 31      # paper: 31KB TAGE
+    mispredict_penalty: int = 14   # full-pipe restart (Haswell-like)
+
+    # Memory system.
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    # SeMPE-specific hardware.
+    jbtable_depth: int = 30
+    spm_slots: int = 30
+    spm_arch_regs: int = 48        # paper's x86_64 architectural state
+    spm_bytes_per_cycle: int = 64
+    snapshot_mechanism: str = "archrs"
+
+    def latency_for(self, opclass_name: str) -> int:
+        """Execution latency (excluding memory) for an op-class name."""
+        table = {
+            "alu": self.alu_latency,
+            "mul": self.mul_latency,
+            "div": self.div_latency,
+            "branch": self.branch_latency,
+            "jump": self.branch_latency,
+            "ijump": self.branch_latency,
+            "cmov": self.cmov_latency,
+            "eosjmp": 1,
+            "sys": 1,
+            "store": 1,   # address generation; data is written at commit
+        }
+        return table.get(opclass_name, 1)
+
+
+def haswell_like() -> MachineConfig:
+    """The Table II configuration."""
+    return MachineConfig()
+
+
+def fast_functional() -> MachineConfig:
+    """A smaller configuration for quick unit tests."""
+    config = MachineConfig()
+    config.rob_entries = 64
+    config.int_issue_buffer = 24
+    config.fp_issue_buffer = 24
+    config.hierarchy = HierarchyConfig(
+        il1=CacheConfig(name="IL1", size_bytes=4 * 1024, assoc=2, hit_latency=1),
+        dl1=CacheConfig(name="DL1", size_bytes=8 * 1024, assoc=2, hit_latency=2),
+        l2=CacheConfig(name="L2", size_bytes=64 * 1024, assoc=2, hit_latency=12),
+    )
+    return config

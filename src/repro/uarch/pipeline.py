@@ -1,0 +1,346 @@
+"""Trace-driven out-of-order pipeline timing model.
+
+The model consumes the committed dynamic instruction stream (plus SeMPE
+drain events) from the functional executor and computes a cycle count for
+an 8-wide out-of-order core (Table II).  It is a *dataflow + resource
+reservation* model — per instruction it computes fetch, dispatch, issue,
+complete and commit cycles subject to:
+
+* fetch bandwidth (``fetch_width``/cycle, one taken branch per group),
+  instruction-cache latency per new line, redirect penalties;
+* branch prediction — TAGE for conditional branches, RAS+ITTAGE for
+  indirect jumps; a misprediction blocks fetch until the branch executes
+  plus the front-end refill penalty.  Secure branches (sJMP) in SeMPE
+  mode never consult the predictor and never mispredict (§IV-E);
+* register dataflow (true RAW dependences only — the machine renames, so
+  WAW/WAR never stall) and store-to-load forwarding;
+* issue bandwidth, the issue-queue size, load-issue width, ROB and LSQ
+  occupancy, retire bandwidth;
+* functional-unit latencies and load latencies from the cache hierarchy;
+* SeMPE drains: fetch stops until the ROB is empty, then waits for the
+  SPM transfer (Fig. 6).
+
+This style of model is much faster in Python than a strict cycle loop
+and captures the effects the paper's evaluation depends on (dual-path
+execution cost, drain overhead, cache locality, mispredictions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.arch.trace import DynInstr, DrainEvent, TraceRecord
+from repro.isa.instructions import INSTRUCTION_BYTES
+from repro.isa.opcodes import Op, OpClass
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.uarch.branch import make_predictor, BranchTargetBuffer, ReturnAddressStack
+from repro.uarch.branch.ittage import Ittage
+from repro.uarch.config import MachineConfig
+
+
+@dataclass
+class PipelineStats:
+    """Timing-model outputs."""
+
+    cycles: int = 0
+    instructions: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    indirect_mispredicts: int = 0
+    drains: int = 0
+    drain_cycles: int = 0
+    spm_cycles: int = 0
+    il1_misses: int = 0
+    dl1_misses: int = 0
+    l2_misses: int = 0
+    il1_accesses: int = 0
+    dl1_accesses: int = 0
+    l2_accesses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class _BandwidthTable:
+    """cycle -> used-slots map with find-first-available semantics."""
+
+    __slots__ = ("width", "_used", "_floor")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._used: dict[int, int] = {}
+        self._floor = 0
+
+    def reserve(self, earliest: int) -> int:
+        cycle = max(earliest, self._floor)
+        used = self._used
+        while used.get(cycle, 0) >= self.width:
+            cycle += 1
+        used[cycle] = used.get(cycle, 0) + 1
+        return cycle
+
+    def prune(self, before: int) -> None:
+        if len(self._used) > 4096:
+            self._used = {c: n for c, n in self._used.items() if c >= before}
+            self._floor = max(self._floor, before)
+
+
+class OutOfOrderPipeline:
+    """The timing model.  Feed it a trace with :meth:`run`."""
+
+    def __init__(self, config: MachineConfig | None = None,
+                 sempe: bool = True) -> None:
+        self.config = config or MachineConfig()
+        self.sempe = sempe
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        self.predictor = make_predictor(self.config.predictor)
+        self.btb = BranchTargetBuffer()
+        self.ittage = Ittage()
+        self.ras = ReturnAddressStack()
+        self.stats = PipelineStats()
+        # LRS-style mechanisms add a per-instruction rename penalty.
+        self.rename_overhead = 0.0
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, trace: Iterable[TraceRecord]) -> PipelineStats:
+        config = self.config
+        hierarchy = self.hierarchy
+        line_bytes = config.hierarchy.il1.line_bytes
+        insts_per_line = max(line_bytes // INSTRUCTION_BYTES, 1)
+
+        frontend_depth = config.frontend_depth
+        issue_bw = _BandwidthTable(config.issue_width)
+        load_bw = _BandwidthTable(config.load_issue_width)
+
+        # Ring buffers for occupancy limits.
+        rob_commits = [0] * config.rob_entries
+        iq_issues = [0] * config.int_issue_buffer
+        lq_commits = [0] * config.load_queue
+        sq_commits = [0] * config.store_queue
+        rob_head = iq_head = lq_head = sq_head = 0
+
+        reg_ready: dict[int, int] = {}
+        store_ready: dict[int, int] = {}   # word address -> data-ready cycle
+
+        fetch_cycle = 0
+        fetch_slots = config.fetch_width
+        fetch_barrier = 0                  # mispredict redirects block fetch
+        dispatch_barrier = 0               # SeMPE drains block rename/dispatch
+        current_line = -1
+        rename_debt = 0.0
+
+        last_commit = 0
+        commit_in_cycle = 0
+        max_commit = 0
+        index = 0
+
+        for record in trace:
+            if record.kind == "drain":
+                # Rename/dispatch halts until the ROB drains and the SPM
+                # transfer completes.  Fetch and decode continue filling
+                # their queues (§IV-F: the drain "is less expensive than
+                # a normal branch misprediction because the instructions
+                # are still fetched and decoded correctly").
+                drain_end = max_commit + record.spm_cycles
+                dispatch_barrier = max(dispatch_barrier, drain_end)
+                self.stats.drains += 1
+                self.stats.spm_cycles += record.spm_cycles
+                self.stats.drain_cycles += record.spm_cycles
+                continue
+
+            inst: DynInstr = record
+
+            # ---- fetch ----
+            if fetch_cycle < fetch_barrier:
+                fetch_cycle = fetch_barrier
+                fetch_slots = config.fetch_width
+                current_line = -1
+            if fetch_slots <= 0:
+                fetch_cycle += 1
+                fetch_slots = config.fetch_width
+                if fetch_cycle < fetch_barrier:
+                    fetch_cycle = fetch_barrier
+            pc_bytes = inst.pc * INSTRUCTION_BYTES
+            line = pc_bytes // line_bytes
+            if line != current_line:
+                access = hierarchy.access_instruction(pc_bytes)
+                if not access.l1_hit:
+                    fetch_cycle += access.latency
+                    fetch_slots = config.fetch_width
+                current_line = line
+            this_fetch = fetch_cycle
+            fetch_slots -= 1
+
+            # LRS rename penalty accumulates fractional debt.
+            if self.rename_overhead:
+                rename_debt += self.rename_overhead
+                if rename_debt >= 1.0:
+                    whole = int(rename_debt)
+                    rename_debt -= whole
+                    fetch_cycle += whole
+
+            # ---- dispatch (subject to ROB / IQ / LSQ occupancy) ----
+            dispatch = this_fetch + frontend_depth
+            if dispatch < dispatch_barrier:
+                dispatch = dispatch_barrier
+            dispatch = max(dispatch, rob_commits[rob_head])
+            dispatch = max(dispatch, iq_issues[iq_head])
+            if inst.opclass is OpClass.LOAD:
+                dispatch = max(dispatch, lq_commits[lq_head])
+            elif inst.opclass is OpClass.STORE:
+                dispatch = max(dispatch, sq_commits[sq_head])
+
+            # ---- operand readiness ----
+            ready = dispatch
+            for reg in inst.srcs:
+                producer = reg_ready.get(reg, 0)
+                if producer > ready:
+                    ready = producer
+
+            # ---- issue ----
+            if inst.opclass is OpClass.LOAD:
+                issue = load_bw.reserve(issue_bw.reserve(ready))
+            else:
+                issue = issue_bw.reserve(ready)
+
+            # ---- execute ----
+            latency = config.latency_for(inst.opclass.value)
+            if inst.opclass is OpClass.LOAD:
+                word = inst.mem_addr & ~7
+                forward_from = store_ready.get(word, 0)
+                access = hierarchy.access_data(inst.pc, inst.mem_addr, False)
+                latency = access.latency
+                complete = max(issue + latency, forward_from)
+            elif inst.opclass is OpClass.STORE:
+                hierarchy.access_data(inst.pc, inst.mem_addr, True)
+                complete = issue + latency
+                store_ready[inst.mem_addr & ~7] = complete
+            else:
+                complete = issue + latency
+
+            # ---- branch resolution ----
+            if inst.taken is not None:
+                self.stats.branches += 1
+                if inst.secure and self.sempe:
+                    # sJMP: the front end always falls through to the NT
+                    # path — fetch behaviour must not depend on the
+                    # (secret) outcome (§IV-E).  The jump to the T path
+                    # happens at the eosJMP, inside a drain.
+                    pass
+                else:
+                    redirect = self._branch_redirect(inst, complete)
+                    if redirect is not None:
+                        fetch_barrier = max(fetch_barrier, redirect)
+                    elif inst.taken:
+                        # Correctly-predicted taken branch ends the group.
+                        fetch_cycle = max(fetch_cycle, this_fetch) + 1
+                        fetch_slots = config.fetch_width
+                        current_line = -1
+
+            # ---- register writeback ----
+            if inst.dst is not None:
+                reg_ready[inst.dst] = complete
+
+            # ---- commit (in order, retire_width per cycle) ----
+            commit = complete + 1
+            if commit < last_commit:
+                commit = last_commit
+            if commit == last_commit:
+                commit_in_cycle += 1
+                if commit_in_cycle > config.retire_width:
+                    commit += 1
+                    commit_in_cycle = 1
+            else:
+                commit_in_cycle = 1
+            last_commit = commit
+            if commit > max_commit:
+                max_commit = commit
+
+            # ---- occupancy bookkeeping ----
+            rob_commits[rob_head] = commit
+            rob_head = (rob_head + 1) % config.rob_entries
+            iq_issues[iq_head] = issue
+            iq_head = (iq_head + 1) % config.int_issue_buffer
+            if inst.opclass is OpClass.LOAD:
+                lq_commits[lq_head] = commit
+                lq_head = (lq_head + 1) % config.load_queue
+            elif inst.opclass is OpClass.STORE:
+                sq_commits[sq_head] = commit
+                sq_head = (sq_head + 1) % config.store_queue
+
+            index += 1
+            if index % 8192 == 0:
+                issue_bw.prune(this_fetch - 64)
+                load_bw.prune(this_fetch - 64)
+                if len(store_ready) > 16384:
+                    floor = this_fetch - 512
+                    store_ready = {a: c for a, c in store_ready.items()
+                                   if c >= floor}
+
+        self.stats.instructions = index
+        self.stats.cycles = max_commit
+        self._collect_memory_stats()
+        return self.stats
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _branch_redirect(self, inst: DynInstr, complete: int) -> int | None:
+        """Return the cycle fetch may resume after a misprediction, or
+        ``None`` if the branch was predicted correctly."""
+        config = self.config
+        pc_bytes = inst.pc * INSTRUCTION_BYTES
+
+        if inst.secure and self.sempe:
+            # sJMP: both paths execute; the front end simply falls through.
+            # No predictor lookup, no update, no misprediction (§IV-E).
+            return None
+
+        if inst.opclass is OpClass.BRANCH:
+            predicted = self.predictor.predict(pc_bytes)
+            self.predictor.update(pc_bytes, inst.taken)
+            mispredicted = self.predictor.record(predicted, inst.taken)
+            if inst.taken:
+                self.btb.update(pc_bytes, inst.target)
+            if mispredicted:
+                self.stats.mispredicts += 1
+                return complete + config.mispredict_penalty
+            return None
+
+        if inst.op is Op.JAL:
+            # Direct call/jump: push the return address for calls.
+            if inst.dst is not None:
+                self.ras.push(inst.pc + 1)
+            self.btb.update(pc_bytes, inst.target)
+            return None
+
+        if inst.op is Op.JALR:
+            ras_prediction = self.ras.pop()
+            ittage_prediction = self.ittage.predict(pc_bytes)
+            self.ittage.update(pc_bytes, inst.target)
+            predicted_target = (
+                ras_prediction if ras_prediction is not None else ittage_prediction
+            )
+            if predicted_target != inst.target:
+                self.stats.indirect_mispredicts += 1
+                self.stats.mispredicts += 1
+                return complete + config.mispredict_penalty
+            return None
+
+        return None
+
+    def _collect_memory_stats(self) -> None:
+        stats = self.stats
+        hierarchy = self.hierarchy
+        stats.il1_accesses = hierarchy.il1.stats.accesses
+        stats.il1_misses = hierarchy.il1.stats.misses
+        stats.dl1_accesses = hierarchy.dl1.stats.accesses
+        stats.dl1_misses = hierarchy.dl1.stats.misses
+        stats.l2_accesses = hierarchy.l2.stats.accesses
+        stats.l2_misses = hierarchy.l2.stats.misses

@@ -1,0 +1,43 @@
+"""Workloads of the paper's evaluation (§V).
+
+* :mod:`repro.workloads.microbench` — the Fig. 7 microbenchmark: W
+  secret-dependent branches (W-1 of them nested) wrapping the four
+  workloads (Fibonacci, Ones, Quicksort, Eight Queens), iterated I
+  times, in three source variants (natural, oblivious-for-CTE,
+  unconditional-for-ideal).
+* :mod:`repro.workloads.djpeg` — the synthetic stand-in for libjpeg's
+  ``djpeg``: block-based image decode whose per-coefficient steps branch
+  on the secret image, with PPM/GIF/BMP output pipelines that differ in
+  secret-dependent and public work per block.
+* :mod:`repro.workloads.crypto` — RSA-style modular exponentiation
+  (the paper's Fig. 1 motivating example).
+"""
+
+from repro.workloads.microbench import (
+    WORKLOADS,
+    MicrobenchSpec,
+    microbench_source,
+    compile_microbench,
+)
+from repro.workloads.djpeg import (
+    FORMATS,
+    DjpegSpec,
+    djpeg_source,
+    compile_djpeg,
+    reference_decode,
+)
+from repro.workloads.crypto import modexp_source, modexp_reference
+
+__all__ = [
+    "WORKLOADS",
+    "MicrobenchSpec",
+    "microbench_source",
+    "compile_microbench",
+    "FORMATS",
+    "DjpegSpec",
+    "djpeg_source",
+    "compile_djpeg",
+    "reference_decode",
+    "modexp_source",
+    "modexp_reference",
+]

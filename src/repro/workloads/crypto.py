@@ -1,0 +1,90 @@
+"""RSA-style modular exponentiation — the paper's Fig. 1 motivator.
+
+Square-and-multiply with the multiply step guarded by the secret key
+bit: the classic timing-channel victim.  Under SeMPE the guard becomes
+an sJMP and both the multiply path and the empty path execute.
+
+The modular multiplication is implemented as a shift-add loop over the
+multiplier bits (``mul_steps`` iterations), modelling the multi-limb
+big-number multiply of a real RSA implementation — this is what makes
+the guarded step *heavy* enough for the timing channel to be practical,
+exactly as in the original attack literature.
+"""
+
+from __future__ import annotations
+
+
+def modexp_source(bits: int = 16, base: int = 7,
+                  modulus: int = 1000003, key: int = 0x5AD3,
+                  mul_steps: int = 20) -> str:
+    """mini-C source for result = base^key mod modulus.
+
+    ``mul_steps`` controls the length of the shift-add modular multiply
+    (one step per multiplier bit; the modulus must fit in that many
+    bits).
+    """
+    key &= (1 << bits) - 1
+    return f"""
+secret int ekey = {key};
+int result = 0;
+
+void main() {{
+  int r = 1;
+  int b = {base};
+  for (int i = 0; i < {bits}; i = i + 1) {{
+    int bit = (ekey >> i) & 1;
+    if (bit) {{
+      // r = (r * b) mod m via shift-add over b's bits (big-number-
+      // multiply stand-in; runs only for set key bits).
+      int prod = 0;
+      int addend = b;
+      for (int l = 0; l < {mul_steps}; l = l + 1) {{
+        int rbit = (r >> l) & 1;
+        prod = (prod + rbit * addend) % {modulus};
+        addend = (addend + addend) % {modulus};
+      }}
+      r = prod;
+    }}
+    // b = (b * b) mod m, same shift-add structure (always executes).
+    int sq = 0;
+    int saddend = b;
+    for (int l2 = 0; l2 < {mul_steps}; l2 = l2 + 1) {{
+      int sbit = (b >> l2) & 1;
+      sq = (sq + sbit * saddend) % {modulus};
+      saddend = (saddend + saddend) % {modulus};
+    }}
+    b = sq;
+  }}
+  result = r;
+}}
+"""
+
+
+def modexp_reference(bits: int, base: int, modulus: int, key: int,
+                     mul_steps: int = 20) -> int:
+    """Python reference for the same fixed-width square-and-multiply.
+
+    The shift-add multiply only accumulates the low ``mul_steps`` bits
+    of the multiplicand, so the reference truncates identically (with
+    the default 20 steps and a ~20-bit modulus the truncation is
+    exact).
+    """
+    mask = (1 << mul_steps) - 1
+
+    def mulmod(value_r: int, value_b: int) -> int:
+        prod = 0
+        addend = value_b
+        for bit_index in range(mul_steps):
+            if (value_r >> bit_index) & 1:
+                prod = (prod + addend) % modulus
+            addend = (addend + addend) % modulus
+        return prod
+
+    key &= (1 << bits) - 1
+    result = 1
+    acc = base
+    for index in range(bits):
+        if (key >> index) & 1:
+            result = mulmod(result, acc)
+        acc = mulmod(acc, acc)
+    return result

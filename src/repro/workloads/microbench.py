@@ -1,0 +1,309 @@
+"""The Fig. 7 microbenchmark generator.
+
+Structure (matching the paper's description: W sJMPs per iteration, W-1
+of them nested, plus an unconditional workload W+1)::
+
+    for (it = 0; it < I; it++) {
+        if (s1) {                 // secret branch 1
+            workload_1;
+            if (s2) {             // secret branch 2, nested
+                workload_2;
+                ...
+                if (sW) { workload_W; }
+            }
+        }
+        workload_{W+1};           // always executes
+    }
+
+All secrets are 0 at run time, so the **baseline** executes only
+workload W+1, while **SeMPE** (both paths of every secure branch) and
+**CTE** (everything predicated) execute all W+1 workloads — the ideal
+slowdown is therefore about W+1, which is what Fig. 10 sweeps.
+
+Source variants:
+
+* ``natural`` — idiomatic code (recursion, data-dependent branches);
+  used for the baseline and SeMPE runs.
+* ``oblivious`` — FaCT-compatible restructuring (inline, public
+  worst-case loop bounds: odd-even transposition sort instead of
+  quicksort, exhaustive placement search instead of backtracking
+  queens); used for the CTE runs.  The paper reports the FaCT
+  conversion took three weeks — this variant is that conversion.
+* ``unconditional`` — all W+1 workloads straight-line with no secret
+  branches; compiled ``plain``, it measures the paper's *ideal*
+  overhead (the sum of the execution times of all branch paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.compiler import CompiledProgram, compile_source
+
+WORKLOADS = ("fibonacci", "ones", "quicksort", "queens")
+
+_DEFAULT_SIZES = {
+    "fibonacci": 30,   # terms
+    "ones": 24,        # vector length
+    "quicksort": 16,   # array length
+    "queens": 4,       # board size
+}
+
+
+@dataclass
+class MicrobenchSpec:
+    """Parameters of one microbenchmark instance."""
+
+    workload: str
+    w: int                       # number of secret branches (chain depth)
+    iters: int = 1
+    size: int | None = None
+    variant: str = "natural"     # natural | oblivious | unconditional
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.w < 0:
+            raise ValueError("w must be >= 0")
+        if self.variant not in ("natural", "oblivious", "unconditional"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        if self.size is None:
+            self.size = _DEFAULT_SIZES[self.workload]
+
+    @property
+    def name(self) -> str:
+        return f"{self.workload}-W{self.w}-I{self.iters}-{self.variant}"
+
+
+def microbench_source(spec: MicrobenchSpec) -> str:
+    """Generate the mini-C source for *spec*."""
+    lines: list[str] = []
+    for index in range(1, spec.w + 1):
+        lines.append(f"secret int s{index} = 0;")
+    lines.append("int sink = 0;")
+    lines.append("")
+
+    helpers = _HELPERS.get((spec.workload, spec.variant), "")
+    if helpers:
+        lines.append(helpers)
+
+    lines.append("void main() {")
+    lines.append(f"for (int it = 0; it < {spec.iters}; it = it + 1) {{")
+
+    if spec.variant == "unconditional":
+        for depth in range(1, spec.w + 2):
+            lines.extend(_body(spec, depth))
+    else:
+        lines.extend(_nest(spec, depth=1))
+        lines.extend(_body(spec, spec.w + 1))
+
+    lines.append("}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _nest(spec: MicrobenchSpec, depth: int) -> list[str]:
+    """Emit the chain of nested secret branches starting at *depth*."""
+    if depth > spec.w:
+        return []
+    lines = [f"if (s{depth}) {{"]
+    lines.extend(_body(spec, depth))
+    lines.extend(_nest(spec, depth + 1))
+    lines.append("}")
+    return lines
+
+
+def compile_microbench(spec: MicrobenchSpec, mode: str) -> CompiledProgram:
+    """Compile *spec* in *mode* (``plain`` / ``sempe`` / ``cte``)."""
+    source = microbench_source(spec)
+    return compile_source(source, mode=mode, name=f"{spec.name}-{mode}")
+
+
+# --------------------------------------------------------------------------
+# Workload bodies.  Every local is suffixed with the nesting depth so the
+# whole program satisfies mini-C's unique-local-names rule.
+# --------------------------------------------------------------------------
+
+
+def _body(spec: MicrobenchSpec, depth: int) -> list[str]:
+    tag = f"d{depth}"
+    size = spec.size
+    oblivious = spec.variant == "oblivious"
+    if spec.workload == "fibonacci":
+        return _fibonacci(tag, size)
+    if spec.workload == "ones":
+        return _ones(tag, size, depth)
+    if spec.workload == "quicksort":
+        return _quicksort_oblivious(tag, size, depth) if oblivious \
+            else _quicksort_natural(tag, size, depth)
+    if spec.workload == "queens":
+        return _queens_oblivious(tag, size) if oblivious \
+            else _queens_natural(tag, size)
+    raise AssertionError(spec.workload)
+
+
+def _fibonacci(tag: str, n: int) -> list[str]:
+    return [
+        f"int a_{tag} = 0;",
+        f"int b_{tag} = 1;",
+        f"for (int i_{tag} = 0; i_{tag} < {n}; i_{tag} = i_{tag} + 1) {{",
+        f"int t_{tag} = a_{tag} + b_{tag};",
+        f"a_{tag} = b_{tag};",
+        f"b_{tag} = t_{tag};",
+        "}",
+        f"sink = sink + a_{tag};",
+    ]
+
+
+def _ones(tag: str, n: int, depth: int) -> list[str]:
+    seed = 12345 + depth * 1000
+    return [
+        f"int v_{tag}[{n}];",
+        f"int seed_{tag} = {seed};",
+        f"int cnt_{tag} = 0;",
+        f"for (int i_{tag} = 0; i_{tag} < {n}; i_{tag} = i_{tag} + 1) {{",
+        f"seed_{tag} = (seed_{tag} * 1103515245 + 12345) & 1073741823;",
+        f"v_{tag}[i_{tag}] = seed_{tag} & 1;",
+        f"cnt_{tag} = cnt_{tag} + v_{tag}[i_{tag}];",
+        "}",
+        f"sink = sink + cnt_{tag};",
+    ]
+
+
+def _fill_array(tag: str, n: int, depth: int) -> list[str]:
+    seed = 777 + depth * 131
+    return [
+        f"int arr_{tag}[{n}];",
+        f"int seed_{tag} = {seed};",
+        f"for (int i_{tag} = 0; i_{tag} < {n}; i_{tag} = i_{tag} + 1) {{",
+        f"seed_{tag} = (seed_{tag} * 1103515245 + 12345) & 1073741823;",
+        f"arr_{tag}[i_{tag}] = seed_{tag} & 255;",
+        "}",
+    ]
+
+
+def _quicksort_natural(tag: str, n: int, depth: int) -> list[str]:
+    lines = _fill_array(tag, n, depth)
+    lines.append(f"qsort(arr_{tag}, 0, {n - 1});")
+    lines.append(
+        f"sink = sink + arr_{tag}[0] + arr_{tag}[{n // 2}] "
+        f"+ arr_{tag}[{n - 1}];"
+    )
+    return lines
+
+
+def _quicksort_oblivious(tag: str, n: int, depth: int) -> list[str]:
+    """Odd-even transposition sort: O(n^2), fully public loop structure."""
+    lines = _fill_array(tag, n, depth)
+    lines.extend([
+        f"for (int p_{tag} = 0; p_{tag} < {n}; p_{tag} = p_{tag} + 1) {{",
+        f"for (int j_{tag} = 0; j_{tag} < {n - 1}; j_{tag} = j_{tag} + 1) {{",
+        f"int par_{tag} = (j_{tag} + p_{tag}) & 1;",
+        f"if (par_{tag} == 0) {{",
+        f"if (arr_{tag}[j_{tag}] > arr_{tag}[j_{tag} + 1]) {{",
+        f"int x_{tag} = arr_{tag}[j_{tag}];",
+        f"arr_{tag}[j_{tag}] = arr_{tag}[j_{tag} + 1];",
+        f"arr_{tag}[j_{tag} + 1] = x_{tag};",
+        "}",
+        "}",
+        "}",
+        "}",
+        f"sink = sink + arr_{tag}[0] + arr_{tag}[{n // 2}] "
+        f"+ arr_{tag}[{n - 1}];",
+    ])
+    return lines
+
+
+def _queens_natural(tag: str, n: int) -> list[str]:
+    return [
+        f"int board_{tag}[{n}];",
+        f"int cnt_{tag} = queensrec(board_{tag}, 0, {n});",
+        f"sink = sink + cnt_{tag};",
+    ]
+
+
+def _queens_oblivious(tag: str, n: int) -> list[str]:
+    """Exhaustive placement search with fully public loop structure.
+
+    Enumerates all n^n column assignments and checks every pair of rows
+    for column and diagonal conflicts with straight-line arithmetic —
+    the FaCT-expressible form of the 8-queens search.
+    """
+    lines = [f"int cnt_{tag} = 0;"]
+    for row in range(n):
+        lines.append(
+            f"for (int q{row}_{tag} = 0; q{row}_{tag} < {n}; "
+            f"q{row}_{tag} = q{row}_{tag} + 1) {{"
+        )
+    lines.append(f"int ok_{tag} = 1;")
+    for row_a in range(n):
+        for row_b in range(row_a + 1, n):
+            qa = f"q{row_a}_{tag}"
+            qb = f"q{row_b}_{tag}"
+            delta = row_b - row_a
+            lines.append(f"if ({qa} == {qb}) {{ ok_{tag} = 0; }}")
+            lines.append(f"if ({qa} - {qb} == {delta}) {{ ok_{tag} = 0; }}")
+            lines.append(f"if ({qb} - {qa} == {delta}) {{ ok_{tag} = 0; }}")
+    lines.append(f"cnt_{tag} = cnt_{tag} + ok_{tag};")
+    lines.extend("}" for _ in range(n))
+    lines.append(f"sink = sink + cnt_{tag};")
+    return lines
+
+
+_QSORT_HELPERS = """
+int qspart(int a[], int lo, int hi) {
+  int pivot = a[hi];
+  int ii = lo;
+  for (int jj = lo; jj < hi; jj = jj + 1) {
+    if (a[jj] < pivot) {
+      int tmp = a[ii];
+      a[ii] = a[jj];
+      a[jj] = tmp;
+      ii = ii + 1;
+    }
+  }
+  int tmp2 = a[ii];
+  a[ii] = a[hi];
+  a[hi] = tmp2;
+  return ii;
+}
+
+void qsort(int a[], int lo, int hi) {
+  if (lo < hi) {
+    int mid = qspart(a, lo, hi);
+    qsort(a, lo, mid - 1);
+    qsort(a, mid + 1, hi);
+  }
+}
+"""
+
+_QUEENS_HELPERS = """
+int queensrec(int board[], int row, int n) {
+  int count = 0;
+  if (row == n) {
+    count = 1;
+  } else {
+    for (int col = 0; col < n; col = col + 1) {
+      int ok = 1;
+      for (int rr = 0; rr < row; rr = rr + 1) {
+        int bc = board[rr];
+        if (bc == col) { ok = 0; }
+        if (bc - col == row - rr) { ok = 0; }
+        if (col - bc == row - rr) { ok = 0; }
+      }
+      if (ok) {
+        board[row] = col;
+        count = count + queensrec(board, row + 1, n);
+      }
+    }
+  }
+  return count;
+}
+"""
+
+_HELPERS = {
+    ("quicksort", "natural"): _QSORT_HELPERS,
+    ("quicksort", "unconditional"): _QSORT_HELPERS,
+    ("queens", "natural"): _QUEENS_HELPERS,
+    ("queens", "unconditional"): _QUEENS_HELPERS,
+}

@@ -1,0 +1,222 @@
+"""Functional executor: plain (non-SeMPE) semantics."""
+
+import pytest
+
+from repro.arch.executor import (
+    Executor, InstructionLimitError, SimulationError, run_program,
+)
+from repro.arch.state import to_signed
+from repro.isa.assembler import assemble
+
+
+def run_asm(source, sempe=False, **kwargs):
+    executor = Executor(assemble(source), sempe=sempe, **kwargs)
+    result = executor.run_to_completion()
+    return executor, result
+
+
+def test_arithmetic():
+    executor, _ = run_asm("""
+    main:
+        addi a0, zero, 6
+        addi a1, zero, 7
+        mul  a2, a0, a1
+        sub  a3, a2, a0
+        halt
+    """)
+    assert executor.state.read(12) == 42
+    assert executor.state.read(13) == 36
+
+
+def test_negative_values_wrap_to_64bit():
+    executor, _ = run_asm("""
+    main:
+        addi a0, zero, -1
+        addi a1, a0, -4
+        halt
+    """)
+    assert to_signed(executor.state.read(10)) == -1
+    assert to_signed(executor.state.read(11)) == -5
+
+
+def test_signed_vs_unsigned_comparison():
+    executor, _ = run_asm("""
+    main:
+        addi a0, zero, -1
+        addi a1, zero, 1
+        slt  a2, a0, a1
+        sltu a3, a0, a1
+        halt
+    """)
+    assert executor.state.read(12) == 1   # -1 < 1 signed
+    assert executor.state.read(13) == 0   # 2^64-1 > 1 unsigned
+
+
+def test_shifts():
+    executor, _ = run_asm("""
+    main:
+        addi a0, zero, -8
+        srai a1, a0, 1
+        srli a2, a0, 60
+        slli a3, a0, 1
+        halt
+    """)
+    assert to_signed(executor.state.read(11)) == -4
+    assert executor.state.read(12) == 15
+    assert to_signed(executor.state.read(13)) == -16
+
+
+def test_division_semantics():
+    executor, _ = run_asm("""
+    main:
+        addi a0, zero, -7
+        addi a1, zero, 2
+        div  a2, a0, a1
+        rem  a3, a0, a1
+        halt
+    """)
+    assert to_signed(executor.state.read(12)) == -3   # truncate toward zero
+    assert to_signed(executor.state.read(13)) == -1
+
+
+def test_division_by_zero_riscv_convention():
+    executor, _ = run_asm("""
+    main:
+        addi a0, zero, 9
+        div  a1, a0, zero
+        rem  a2, a0, zero
+        halt
+    """)
+    assert to_signed(executor.state.read(11)) == -1
+    assert executor.state.read(12) == 9
+
+
+def test_division_by_zero_strict_mode():
+    with pytest.raises(SimulationError):
+        run_asm("""
+        main:
+            addi a0, zero, 9
+            div  a1, a0, zero
+            halt
+        """, strict=True)
+
+
+def test_memory_load_store():
+    executor, result = run_asm("""
+        .data
+    cell: .quad 0
+        .text
+    main:
+        la   a0, cell
+        addi a1, zero, 99
+        st   a1, 0(a0)
+        ld   a2, 0(a0)
+        sb   a1, 9(a0)
+        lb   a3, 9(a0)
+        halt
+    """)
+    assert executor.state.read(12) == 99
+    assert executor.state.read(13) == 99
+    assert result.loads == 2 and result.stores == 2
+
+
+def test_branches_and_loop():
+    executor, result = run_asm("""
+    main:
+        addi a0, zero, 0
+        addi a1, zero, 5
+    loop:
+        addi a0, a0, 1
+        bne  a0, a1, loop
+        halt
+    """)
+    assert executor.state.read(10) == 5
+    assert result.branches == 5
+    assert result.taken_branches == 4
+
+
+def test_call_and_return():
+    executor, _ = run_asm("""
+    main:
+        addi a0, zero, 20
+        jal  ra, double
+        addi a1, a0, 0
+        halt
+    double:
+        add  a0, a0, a0
+        ret
+    """)
+    assert executor.state.read(11) == 40
+
+
+def test_cmov_both_ways():
+    executor, _ = run_asm("""
+    main:
+        addi a0, zero, 10
+        addi a1, zero, 20
+        addi a2, zero, 1
+        cmov a0, a1, a2
+        addi a3, zero, 30
+        cmov a1, a3, zero
+        halt
+    """)
+    assert executor.state.read(10) == 20    # condition true: moved
+    assert executor.state.read(11) == 20    # condition false: kept
+
+
+def test_writes_to_x0_discarded():
+    executor, _ = run_asm("""
+    main:
+        addi zero, zero, 77
+        add  a0, zero, zero
+        halt
+    """)
+    assert executor.state.read(10) == 0
+
+
+def test_secure_branch_behaves_normally_without_sempe():
+    executor, result = run_asm("""
+    main:
+        addi a0, zero, 1
+        sbeq a0, zero, skip
+        addi a1, zero, 5
+    skip:
+        eosjmp
+        halt
+    """, sempe=False)
+    assert executor.state.read(11) == 5
+    assert result.secure_branches == 0
+    assert result.drains == 0
+
+
+def test_instruction_limit():
+    with pytest.raises(InstructionLimitError):
+        run_asm("""
+        main:
+            jmp main
+        """, max_instructions=100)
+
+
+def test_pc_out_of_range():
+    with pytest.raises(SimulationError):
+        run_asm("""
+        main:
+            addi a0, zero, 1
+        """)  # falls off the end without halt
+
+
+def test_run_program_helper():
+    executor, result = run_program(assemble("main:\n halt\n"), sempe=False)
+    assert result.halted
+    assert result.instructions == 1
+
+
+def test_op_counts_recorded():
+    _, result = run_asm("""
+    main:
+        addi a0, zero, 1
+        addi a0, a0, 1
+        halt
+    """)
+    assert result.op_counts["addi"] == 2
+    assert result.op_counts["halt"] == 1

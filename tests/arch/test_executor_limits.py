@@ -1,0 +1,101 @@
+"""Executor resource limits: jbTable depth, SPM capacity, strict mode."""
+
+import pytest
+
+from repro.arch.executor import Executor, SimulationError
+from repro.core.jbtable import JbTableError, JumpBackTable
+from repro.lang.compiler import compile_source
+from repro.mem.scratchpad import ScratchpadMemory, SPMOverflowError
+
+
+def deep_nest_source(depth: int) -> str:
+    lines = ["int sink = 0;"]
+    for level in range(depth):
+        lines.append(f"secret int s{level} = 1;")
+    lines.append("void main() {")
+    for level in range(depth):
+        lines.append(f"if (s{level}) {{")
+    lines.append("sink = sink + 1;")
+    lines.extend("}" for _ in range(depth))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def test_nesting_within_table_depth_works():
+    compiled = compile_source(deep_nest_source(5), mode="sempe")
+    executor = Executor(compiled.program, sempe=True,
+                        jbtable=JumpBackTable(depth=5),
+                        spm=ScratchpadMemory(n_slots=5, n_arch_regs=32))
+    executor.run_to_completion()
+    assert executor.result.max_nesting == 5
+
+
+def test_jbtable_overflow_at_runtime():
+    """Nesting deeper than the jbTable raises, per §IV-E (the run-time
+    exception option for exceeding the supported nesting)."""
+    compiled = compile_source(deep_nest_source(4), mode="sempe")
+    executor = Executor(compiled.program, sempe=True,
+                        jbtable=JumpBackTable(depth=3),
+                        spm=ScratchpadMemory(n_slots=10, n_arch_regs=32))
+    with pytest.raises(JbTableError, match="overflow"):
+        executor.run_to_completion()
+
+
+def test_spm_overflow_at_runtime():
+    compiled = compile_source(deep_nest_source(4), mode="sempe")
+    executor = Executor(compiled.program, sempe=True,
+                        jbtable=JumpBackTable(depth=10),
+                        spm=ScratchpadMemory(n_slots=3, n_arch_regs=32))
+    with pytest.raises(SPMOverflowError):
+        executor.run_to_completion()
+
+
+def test_default_capacity_handles_paper_depths():
+    """Table II sizes the SPM for 30 snapshots; a 12-deep program (the
+    paper: 'likely much less than a dozen' for crypto) fits easily."""
+    compiled = compile_source(deep_nest_source(12), mode="sempe")
+    executor = Executor(compiled.program, sempe=True)
+    executor.run_to_completion()
+    assert executor.result.max_nesting == 12
+
+
+def test_wrong_path_division_by_zero_is_survivable():
+    """§III: a false path may divide by zero; the deterministic RISC-V
+    convention keeps the program alive and the result correct."""
+    source = """
+    secret int key = 0;
+    int result = 0;
+    void main() {
+      int d = 0;
+      int out = 5;
+      if (key) {
+        out = 100 / d;
+      }
+      result = out;
+    }
+    """
+    compiled = compile_source(source, mode="sempe")
+    executor = Executor(compiled.program, sempe=True)
+    executor.run_to_completion()
+    # key == 0: the divide ran (wrong path) but its result was discarded.
+    assert executor.state.memory.load_signed(
+        compiled.program.symbols["result"]) == 5
+
+
+def test_wrong_path_division_strict_mode_raises():
+    """The compiler/user may instead reject such code; strict mode
+    models the reject-at-run-time option."""
+    source = """
+    secret int key = 0;
+    int result = 0;
+    void main() {
+      int d = 0;
+      if (key) {
+        result = 100 / d;
+      }
+    }
+    """
+    compiled = compile_source(source, mode="sempe")
+    executor = Executor(compiled.program, sempe=True, strict=True)
+    with pytest.raises(SimulationError, match="zero"):
+        executor.run_to_completion()

@@ -1,0 +1,281 @@
+"""Functional executor: SeMPE multi-path semantics."""
+
+import pytest
+
+from repro.arch.executor import Executor
+from repro.arch.trace import DrainEvent, DynInstr
+from repro.isa.assembler import assemble
+
+
+def run_asm(source, sempe=True, trace=False):
+    executor = Executor(assemble(source), sempe=sempe)
+    records = list(executor.run()) if trace else None
+    if not trace:
+        executor.run_to_completion()
+    return executor, executor.result, records
+
+
+TWO_PATH = """
+    .data
+key: .quad {key}
+    .text
+main:
+    la   a0, key
+    ld   a1, 0(a0)
+    addi a2, zero, 0
+    sbeq a1, zero, else1
+    addi a2, a2, 11
+    jmp  join1
+else1:
+    addi a2, a2, 100
+join1:
+    eosjmp
+    addi a3, a2, 0
+    halt
+"""
+
+
+def test_both_paths_execute_and_commit():
+    executor, result, records = run_asm(TWO_PATH.format(key=1), trace=True)
+    program = assemble(TWO_PATH.format(key=1))
+    pcs = [r.pc for r in records if isinstance(r, DynInstr)]
+    # Both the +11 (NT path) and +100 (T path) instructions ran...
+    assert program.labels["else1"] in pcs
+    assert (program.labels["join1"] - 2) in pcs
+    # ...but the architectural result reflects only the true (NT) path.
+    assert executor.state.read(12) == 11
+    assert executor.state.read(13) == 11
+
+
+def test_wrong_path_result_discarded_when_taken():
+    executor, _, _ = run_asm(TWO_PATH.format(key=0))
+    # key == 0: the branch is taken, the else path (the T path) is correct.
+    assert executor.state.read(12) == 100
+
+
+def test_three_drains_per_region():
+    _, result, _ = run_asm(TWO_PATH.format(key=1))
+    assert result.secure_regions == 1
+    assert result.drains == 3
+
+
+def test_drain_reasons_in_order():
+    _, _, records = run_asm(TWO_PATH.format(key=1), trace=True)
+    reasons = [r.reason for r in records if isinstance(r, DrainEvent)]
+    assert reasons == ["secblock-entry", "nt-path-end", "secblock-exit"]
+
+
+def test_trace_is_secret_independent():
+    """The committed PC sequence must be identical for either secret."""
+    _, _, trace_key1 = run_asm(TWO_PATH.format(key=1), trace=True)
+    _, _, trace_key0 = run_asm(TWO_PATH.format(key=0), trace=True)
+    pcs_1 = [r.pc for r in trace_key1 if isinstance(r, DynInstr)]
+    pcs_0 = [r.pc for r in trace_key0 if isinstance(r, DynInstr)]
+    assert pcs_1 == pcs_0
+
+
+def test_nt_path_always_first():
+    _, _, records = run_asm(TWO_PATH.format(key=0), trace=True)
+    pcs = [r.pc for r in records if isinstance(r, DynInstr)]
+    program = assemble(TWO_PATH.format(key=0))
+    nt_pc = program.labels["join1"] - 2     # the +11 instruction
+    t_pc = program.labels["else1"]          # the +100 instruction
+    assert pcs.index(nt_pc) < pcs.index(t_pc)
+
+
+NESTED = """
+    .data
+k1: .quad {k1}
+k2: .quad {k2}
+    .text
+main:
+    la   a0, k1
+    ld   a1, 0(a0)
+    la   a0, k2
+    ld   a2, 0(a0)
+    addi a3, zero, 0
+    sbeq a1, zero, else_outer
+    addi a3, a3, 1
+    sbeq a2, zero, else_inner
+    addi a3, a3, 10
+    jmp  join_inner
+else_inner:
+    addi a3, a3, 20
+join_inner:
+    eosjmp
+    jmp  join_outer
+else_outer:
+    addi a3, a3, 100
+join_outer:
+    eosjmp
+    halt
+"""
+
+
+@pytest.mark.parametrize("k1,k2,expected", [
+    (1, 1, 11),    # outer NT, inner NT
+    (1, 0, 21),    # outer NT, inner T
+    (0, 1, 100),   # outer T
+    (0, 0, 100),
+])
+def test_nested_regions_compute_correctly(k1, k2, expected):
+    executor, result, _ = run_asm(NESTED.format(k1=k1, k2=k2))
+    assert executor.state.read(13) == expected
+    assert result.secure_regions == 2
+    assert result.max_nesting == 2
+
+
+def test_nested_trace_secret_independent():
+    traces = []
+    for k1, k2 in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+        _, _, records = run_asm(NESTED.format(k1=k1, k2=k2), trace=True)
+        traces.append([r.pc for r in records if isinstance(r, DynInstr)])
+    assert all(t == traces[0] for t in traces)
+
+
+def test_registers_restored_between_paths():
+    """The T path must start from the pre-region register state."""
+    executor, _, _ = run_asm("""
+        .data
+    key: .quad 1
+        .text
+    main:
+        la   a0, key
+        ld   a1, 0(a0)
+        addi a4, zero, 5
+        sbeq a1, zero, else1
+        addi a4, a4, 1000
+        jmp  join1
+    else1:
+        addi a5, a4, 0
+    join1:
+        eosjmp
+        halt
+    """)
+    # key=1: NT path correct -> a4 = 1005.  The else path copied a4 into
+    # a5 *after the NT path ran*; if state were not rewound, a5 would be
+    # 1005.  It must be 5 (pre-region value), then discarded -> final a5
+    # keeps the NT-path value of a5, which is the entry value 0.
+    assert executor.state.read(14) == 1005
+    assert executor.state.read(15) == 0
+
+
+def test_memory_not_rewound_between_paths():
+    """Stores in the NT path are visible to the T path (the paper's
+    phantom memory dependences: ShadowMemory is the compiler's job).
+    Register writes of the wrong path are discarded at the merge, so the
+    evidence must flow through memory: the T path copies what it loaded
+    into a second cell, and stores are never rolled back."""
+    executor, _, _ = run_asm("""
+        .data
+    key:   .quad 1
+    cell:  .quad 3
+    cell2: .quad 0
+        .text
+    main:
+        la   a0, key
+        ld   a1, 0(a0)
+        la   a2, cell
+        sbeq a1, zero, else1
+        addi a3, zero, 42
+        st   a3, 0(a2)
+        jmp  join1
+    else1:
+        ld   a4, 0(a2)
+        la   a5, cell2
+        st   a4, 0(a5)
+    join1:
+        eosjmp
+        halt
+    """)
+    program = executor.program
+    assert executor.state.memory.load(program.symbols["cell2"]) == 42
+
+
+def test_wrong_path_register_writes_discarded():
+    """Registers written only in the wrong (T) path revert to their
+    pre-region values at the merge."""
+    executor, _, _ = run_asm("""
+        .data
+    key: .quad 1
+        .text
+    main:
+        la   a0, key
+        ld   a1, 0(a0)
+        addi a4, zero, 77
+        sbeq a1, zero, else1
+        addi a5, zero, 1
+        jmp  join1
+    else1:
+        addi a4, zero, 999
+    join1:
+        eosjmp
+        halt
+    """)
+    assert executor.state.read(14) == 77
+
+
+def test_eosjmp_is_nop_outside_regions():
+    executor, result, _ = run_asm("""
+    main:
+        eosjmp
+        addi a0, zero, 3
+        halt
+    """)
+    assert executor.state.read(10) == 3
+    assert result.drains == 0
+
+
+def test_secure_region_instruction_counters():
+    _, result, _ = run_asm(TWO_PATH.format(key=1))
+    assert result.secure_instructions > 0
+    assert result.secure_instructions < result.instructions
+
+
+def test_empty_t_path_region():
+    """if (secret) {work} with no else: branch target == join point."""
+    executor, result, _ = run_asm("""
+        .data
+    key: .quad 0
+        .text
+    main:
+        la   a0, key
+        ld   a1, 0(a0)
+        addi a2, zero, 1
+        sbeq a1, zero, join1
+        addi a2, a2, 5
+        jmp  join1
+    join1:
+        eosjmp
+        halt
+    """)
+    # key=0 -> branch taken -> T (empty) path correct -> a2 stays 1,
+    # but the NT path (the +5) still executed.
+    assert executor.state.read(12) == 1
+    assert result.secure_regions == 1
+    assert result.drains == 3
+
+
+def test_loop_of_secure_regions_reuses_jbtable():
+    executor, result, _ = run_asm("""
+        .data
+    key: .quad 0
+        .text
+    main:
+        la   a0, key
+        ld   a1, 0(a0)
+        addi a2, zero, 0
+        addi a3, zero, 4
+    loop:
+        sbeq a1, zero, join1
+        addi a2, a2, 1
+        jmp  join1
+    join1:
+        eosjmp
+        addi a3, a3, -1
+        bne  a3, zero, loop
+        halt
+    """)
+    assert result.secure_regions == 4
+    assert result.max_nesting == 1
+    assert executor.state.read(12) == 0   # increments all discarded

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import HierarchyConfig
+from repro.uarch.config import MachineConfig
+
+
+@pytest.fixture
+def fast_config() -> MachineConfig:
+    """A small machine that keeps unit-test simulations quick."""
+    config = MachineConfig()
+    config.rob_entries = 64
+    config.int_issue_buffer = 24
+    config.fp_issue_buffer = 24
+    config.hierarchy = HierarchyConfig(
+        il1=CacheConfig(name="IL1", size_bytes=4 * 1024, assoc=2,
+                        hit_latency=1),
+        dl1=CacheConfig(name="DL1", size_bytes=8 * 1024, assoc=2,
+                        hit_latency=2),
+        l2=CacheConfig(name="L2", size_bytes=64 * 1024, assoc=2,
+                       hit_latency=12),
+    )
+    return config
+
+
+SIMPLE_SECRET_IF = """
+secret int key = 1;
+int result = 0;
+
+void main() {
+  int acc = 0;
+  if (key) {
+    acc = acc + 7;
+  } else {
+    acc = acc - 3;
+  }
+  result = acc;
+}
+"""
+
+
+@pytest.fixture
+def simple_secret_source() -> str:
+    return SIMPLE_SECRET_IF

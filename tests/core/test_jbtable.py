@@ -1,0 +1,110 @@
+"""jbTable LIFO protocol (Fig. 5)."""
+
+import pytest
+
+from repro.core.jbtable import JbTableError, JumpBackTable
+
+
+def test_push_commit_jumpback_pop_cycle():
+    table = JumpBackTable()
+    table.push()
+    assert not table.top().valid
+    table.set_valid(0x40)
+    assert table.top().valid
+    assert table.take_jump_back() == 0x40
+    assert table.top().jump_back
+    entry = table.pop()
+    assert entry.target == 0x40
+    assert len(table) == 0
+
+
+def test_nested_sjmp_requires_valid_previous_entry():
+    table = JumpBackTable()
+    table.push()
+    assert not table.can_issue_sjmp()   # previous entry not yet valid
+    with pytest.raises(JbTableError):
+        table.push()
+    table.set_valid(0x10)
+    assert table.can_issue_sjmp()
+    table.push()                        # now legal
+    assert len(table) == 2
+
+
+def test_depth_overflow():
+    table = JumpBackTable(depth=2)
+    for target in (1, 2):
+        table.push()
+        table.set_valid(target)
+    with pytest.raises(JbTableError):
+        table.push()
+
+
+def test_lifo_order():
+    table = JumpBackTable()
+    table.push()
+    table.set_valid(100)
+    table.push()
+    table.set_valid(200)
+    # eosJMP operates on the most recent entry first.
+    assert table.take_jump_back() == 200
+    table.pop()
+    assert table.take_jump_back() == 100
+    table.pop()
+
+
+def test_jump_back_twice_rejected():
+    table = JumpBackTable()
+    table.push()
+    table.set_valid(5)
+    table.take_jump_back()
+    with pytest.raises(JbTableError):
+        table.take_jump_back()
+
+
+def test_pop_before_jump_back_rejected():
+    table = JumpBackTable()
+    table.push()
+    table.set_valid(5)
+    with pytest.raises(JbTableError):
+        table.pop()
+
+
+def test_pop_empty_rejected():
+    with pytest.raises(JbTableError):
+        JumpBackTable().pop()
+
+
+def test_jump_back_before_valid_rejected():
+    table = JumpBackTable()
+    table.push()
+    with pytest.raises(JbTableError):
+        table.take_jump_back()
+
+
+def test_squash_youngest_for_misprediction_recovery():
+    table = JumpBackTable()
+    table.push()
+    table.set_valid(1)
+    table.push()
+    squashed = table.squash_youngest()
+    assert squashed is not None
+    assert len(table) == 1
+    assert table.top().target == 1
+    assert table.squash_youngest() is not None
+    assert table.squash_youngest() is None
+
+
+def test_size_bytes_small():
+    """Paper: even with 30 entries the jbTable is under 256 bytes."""
+    assert JumpBackTable(depth=30).size_bytes() < 256
+
+
+def test_occupancy_tracking():
+    table = JumpBackTable()
+    table.push()
+    table.set_valid(1)
+    table.push()
+    table.set_valid(2)
+    assert table.max_occupancy == 2
+    assert table.occupancy == 2
+    assert table.pushes == 2

@@ -1,0 +1,55 @@
+"""Snapshot-mechanism cost models (§IV-F)."""
+
+import pytest
+
+from repro.core.snapshots import (
+    ArchRS, LazyRegisterSpill, PhyRS, make_snapshot_mechanism,
+)
+
+
+def test_factory():
+    assert isinstance(make_snapshot_mechanism("archrs"), ArchRS)
+    assert isinstance(make_snapshot_mechanism("PhyRS"), PhyRS)
+    assert isinstance(make_snapshot_mechanism("lrs"), LazyRegisterSpill)
+    with pytest.raises(ValueError):
+        make_snapshot_mechanism("nope")
+
+
+def test_phyrs_much_more_traffic_than_archrs():
+    """The paper rejects PhyRS for excessive SPM spilling: hundreds of
+    physical registers vs dozens of architectural ones."""
+    archrs = ArchRS(n_arch_regs=48, n_phys_regs=256)
+    phyrs = PhyRS(n_arch_regs=48, n_phys_regs=256)
+    assert phyrs.snapshot_bytes() > 2.5 * archrs.snapshot_bytes()
+    cost_arch = archrs.cost(10, 10)
+    cost_phy = phyrs.cost(10, 10)
+    assert cost_phy.entry_cycles > cost_arch.entry_cycles
+    assert cost_phy.nt_end_cycles > cost_arch.nt_end_cycles
+
+
+def test_phyrs_cost_independent_of_modified_counts():
+    phyrs = PhyRS()
+    assert phyrs.cost(1, 1) == phyrs.cost(40, 40)
+
+
+def test_lrs_cheap_drains_but_rename_overhead():
+    """The paper rejects LRS because it slows instructions outside
+    SecBlocks (tagged rename table)."""
+    lrs = LazyRegisterSpill()
+    archrs = ArchRS()
+    assert lrs.rename_overhead_per_instruction() > 0
+    assert archrs.rename_overhead_per_instruction() == 0.0
+    assert lrs.cost(5, 5).entry_cycles <= archrs.cost(5, 5).entry_cycles
+
+
+def test_archrs_nt_cost_scales_with_modified_registers():
+    archrs = ArchRS()
+    assert archrs.cost(2, 0).nt_end_cycles <= archrs.cost(40, 0).nt_end_cycles
+
+
+def test_snapshot_bytes_in_papers_ballpark():
+    """48 architectural registers -> several hundred bytes per snapshot
+    (the paper reports 7392 B including RAT metadata; ours is the
+    register payload portion)."""
+    archrs = ArchRS(n_arch_regs=48)
+    assert 700 <= archrs.snapshot_bytes() <= 7392

@@ -1,0 +1,96 @@
+"""Experiment regeneration: shapes of every table/figure.
+
+These are the integration tests of the whole reproduction: small
+parameterisations of each experiment must reproduce the paper's
+qualitative shapes.  The full-size versions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    fig8_djpeg_overhead, fig9_cache_missrates, fig10a_microbench,
+    fig10b_normalized_to_ideal, table1_comparison, table2_config,
+)
+from repro.harness.report import format_table
+
+SMALL_W = (1, 3)
+SMALL_SIZES = (256, 512)
+SMALL_WORKLOADS = ("fibonacci", "ones")
+
+
+def test_table2_echoes_paper_parameters():
+    result = table2_config()
+    text = format_table(result.headers, result.rows)
+    assert "2.0 GHz" in text
+    assert "192 uops" in text
+    assert "32KB, 2-way assoc." in text
+    assert "64 B/cycle R/W" in text
+
+
+@pytest.mark.slow
+def test_table1_shape():
+    result = table1_comparison(w=3, workloads=SMALL_WORKLOADS)
+    series = result.series
+    # CTE slower than SeMPE; prior HW/SW schemes slower still.
+    assert max(series["CTE"]) > max(series["SeMPE"])
+    assert max(series["Raccoon"]) > max(series["SeMPE"])
+    assert max(series["GhostRider"]) > max(series["Raccoon"])
+
+
+def test_fig8_shape():
+    result = fig8_djpeg_overhead(sizes=SMALL_SIZES)
+    series = result.series
+    for fmt in ("ppm", "gif", "bmp"):
+        for overhead in series[fmt]:
+            # Well under 2x (the paper: 31%..87%).
+            assert 0.05 < overhead < 1.5
+    # Ordering: PPM > GIF > BMP at every size.
+    for index in range(len(SMALL_SIZES)):
+        assert series["ppm"][index] > series["gif"][index] > \
+            series["bmp"][index]
+
+
+def test_fig8_flat_across_sizes():
+    result = fig8_djpeg_overhead(sizes=(256, 1024))
+    for fmt, overheads in result.series.items():
+        spread = max(overheads) - min(overheads)
+        assert spread < 0.25, (fmt, overheads)
+
+
+def test_fig9_small_missrate_deltas():
+    result = fig9_cache_missrates(sizes=SMALL_SIZES)
+    for level in ("IL1", "DL1", "L2"):
+        for base_rate, sempe_rate in zip(result.series[level]["base"],
+                                         result.series[level]["sempe"]):
+            assert abs(sempe_rate - base_rate) < 0.2
+
+
+def test_fig10a_shape():
+    result = fig10a_microbench(w_sweep=SMALL_W, workloads=SMALL_WORKLOADS)
+    for workload in SMALL_WORKLOADS:
+        sempe = result.series[(workload, "sempe")]
+        cte = result.series[(workload, "cte")]
+        # Slowdowns grow with W for both schemes.
+        assert sempe[-1] > sempe[0]
+        assert cte[-1] > cte[0]
+        # CTE is slower than SeMPE at the deepest point.
+        assert cte[-1] > sempe[-1]
+        # SeMPE tracks the number of paths (W+1) loosely.
+        assert 0.5 * (SMALL_W[-1] + 1) < sempe[-1] < 1.5 * (SMALL_W[-1] + 1)
+
+
+def test_fig10b_shape():
+    result = fig10b_normalized_to_ideal(w_sweep=SMALL_W,
+                                        workloads=SMALL_WORKLOADS)
+    for value in result.series["sempe"]:
+        # SeMPE is near the ideal (sum of all paths).
+        assert 0.6 < value < 1.6
+    # CTE normalized cost exceeds SeMPE's and grows with W.
+    assert result.series["cte"][-1] > result.series["sempe"][-1]
+    assert result.series["cte"][-1] > result.series["cte"][0] * 0.9
+
+
+def test_experiment_tables_render():
+    result = fig8_djpeg_overhead(sizes=(256,))
+    text = format_table(result.headers, result.rows, title=result.experiment)
+    assert "PPM" in text and "%" in text

@@ -1,0 +1,30 @@
+"""Table rendering."""
+
+from repro.harness.report import format_table
+
+
+def test_basic_table():
+    text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 100.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "-" in lines[1]
+    assert "xyz" in lines[3]
+
+
+def test_title_included():
+    text = format_table(["x"], [[1]], title="Table I")
+    assert text.splitlines()[0] == "Table I"
+
+
+def test_float_formatting_tiers():
+    text = format_table(["v"], [[1.234], [12.34], [123.4]])
+    assert "1.23" in text
+    assert "12.3" in text
+    assert "123" in text
+
+
+def test_column_alignment():
+    text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+    lines = text.splitlines()
+    assert len(lines[1]) == len("a-much-longer-cell")

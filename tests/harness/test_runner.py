@@ -1,0 +1,40 @@
+"""Run caching."""
+
+from repro.harness.runner import clear_cache, run_djpeg, run_microbench
+from repro.workloads.djpeg import DjpegSpec
+from repro.workloads.microbench import MicrobenchSpec
+
+
+def setup_function(_function):
+    clear_cache()
+
+
+def test_microbench_run_cached():
+    spec = MicrobenchSpec("fibonacci", w=1, iters=1)
+    first = run_microbench(spec, "plain")
+    second = run_microbench(spec, "plain")
+    assert first is second
+
+
+def test_different_modes_not_conflated():
+    spec = MicrobenchSpec("fibonacci", w=1, iters=1)
+    base = run_microbench(spec, "plain")
+    sempe = run_microbench(spec, "sempe")
+    assert base is not sempe
+    assert sempe.instructions > base.instructions
+
+
+def test_djpeg_run_cached():
+    spec = DjpegSpec("bmp", 128)
+    first = run_djpeg(spec, "plain")
+    second = run_djpeg(spec, "plain")
+    assert first is second
+    assert first.cycles > 0
+
+
+def test_result_surface():
+    spec = MicrobenchSpec("ones", w=1, iters=1)
+    result = run_microbench(spec, "sempe")
+    assert result.mode == "sempe"
+    assert result.cycles == result.report.cycles
+    assert set(result.miss_rates) == {"IL1", "DL1", "L2"}

@@ -1,0 +1,142 @@
+"""Textual assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.opcodes import Op
+from repro.isa.program import DATA_BASE
+
+
+def test_assemble_simple_program():
+    program = assemble("""
+        .text
+    main:
+        addi a0, zero, 5
+        addi a1, a0, -2
+        halt
+    """)
+    assert len(program) == 3
+    assert program.entry == 0
+    assert program.instructions[0].op is Op.ADDI
+    assert program.instructions[1].imm == -2
+
+
+def test_labels_resolve_to_indices():
+    program = assemble("""
+    main:
+        jmp end
+        nop
+    end:
+        halt
+    """)
+    assert program.instructions[0].target == 2
+
+
+def test_secure_branch_mnemonics():
+    program = assemble("""
+    main:
+        sbeq a0, zero, out
+        nop
+    out:
+        eosjmp
+        halt
+    """)
+    branch = program.instructions[0]
+    assert branch.op is Op.BEQ and branch.secure
+    assert program.instructions[2].op is Op.EOSJMP
+
+
+def test_all_secure_branch_forms():
+    source = "main:\n"
+    for mnemonic in ("sbeq", "sbne", "sblt", "sbge", "sbltu", "sbgeu"):
+        source += f"    {mnemonic} a0, a1, main\n"
+    program = assemble(source)
+    assert all(inst.secure for inst in program.instructions)
+
+
+def test_data_section_quads():
+    program = assemble("""
+        .data
+    arr: .quad 1, 2, 3
+        .text
+    main:
+        la a0, arr
+        ld a1, 8(a0)
+        halt
+    """)
+    assert program.symbols["arr"] == DATA_BASE
+    image = program.initial_memory()
+    assert image[DATA_BASE + 8] == 2
+
+
+def test_data_space_and_bytes():
+    program = assemble("""
+        .data
+    buf: .space 4
+    msg: .byte 7, 9
+        .text
+    main:
+        halt
+    """)
+    assert program.symbols["msg"] == DATA_BASE + 32
+    image = program.initial_memory()
+    assert image[program.symbols["msg"]] == 7
+    assert image[program.symbols["msg"] + 1] == 9
+
+
+def test_memory_operand_forms():
+    program = assemble("""
+    main:
+        ld a0, -8(sp)
+        st a1, 16(sp)
+        halt
+    """)
+    assert program.instructions[0].imm == -8
+    assert program.instructions[1].imm == 16
+
+
+def test_pseudo_instructions():
+    program = assemble("""
+    main:
+        li a0, 42
+        mv a1, a0
+        ret
+    """)
+    assert program.instructions[0].op is Op.ADDI
+    assert program.instructions[1].op is Op.ADDI
+    assert program.instructions[2].op is Op.JALR
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(Exception):
+        assemble("main:\n jmp nowhere\n")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("main:\n nop\nmain:\n halt\n")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("main:\n frobnicate a0\n")
+
+
+def test_comments_ignored():
+    program = assemble("""
+    # full-line comment
+    main:
+        nop  # trailing comment
+        halt
+    """)
+    assert len(program) == 2
+
+
+def test_entry_defaults_to_main_label():
+    program = assemble("""
+    helper:
+        ret
+    main:
+        halt
+    """)
+    assert program.entry == 1

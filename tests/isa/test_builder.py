@@ -1,0 +1,80 @@
+"""ProgramBuilder API."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.isa.program import DATA_BASE, SHADOW_BASE, ProgramError
+from repro.isa.registers import A0, ZERO
+
+
+def test_emit_and_build():
+    builder = ProgramBuilder()
+    builder.label("main")
+    builder.li(A0, 7)
+    builder.halt()
+    program = builder.build(entry="main")
+    assert len(program) == 2
+    assert program.instructions[0].imm == 7
+
+
+def test_li_large_immediate_expands():
+    builder = ProgramBuilder()
+    builder.label("main")
+    builder.li(A0, 1 << 40)
+    builder.halt()
+    program = builder.build(entry="main")
+    assert len(program) > 2   # multi-instruction expansion
+
+
+def test_fresh_labels_unique():
+    builder = ProgramBuilder()
+    labels = {builder.fresh_label() for _ in range(100)}
+    assert len(labels) == 100
+
+
+def test_duplicate_label_rejected():
+    builder = ProgramBuilder()
+    builder.label("x")
+    with pytest.raises(ProgramError):
+        builder.label("x")
+
+
+def test_data_allocation_addresses():
+    builder = ProgramBuilder()
+    first = builder.data_quads("a", [1, 2])
+    second = builder.data_space("b", 3)
+    assert first == DATA_BASE
+    assert second == DATA_BASE + 16
+
+
+def test_shadow_space_separate_region():
+    builder = ProgramBuilder()
+    addr = builder.shadow_space("sh", 4)
+    assert addr == SHADOW_BASE
+
+
+def test_duplicate_data_symbol_rejected():
+    builder = ProgramBuilder()
+    builder.data_quads("a", [1])
+    with pytest.raises(ProgramError):
+        builder.data_quads("a", [2])
+
+
+def test_la_resolves_symbol():
+    builder = ProgramBuilder()
+    addr = builder.data_quads("table", [5])
+    builder.label("main")
+    builder.la(A0, "table")
+    builder.halt()
+    program = builder.build(entry="main")
+    assert program.instructions[0].op is Op.LUI
+    assert program.instructions[0].imm == addr
+
+
+def test_branch_emits_secure_flag():
+    builder = ProgramBuilder()
+    builder.label("main")
+    builder.branch(Op.BEQ, A0, ZERO, "main", secure=True)
+    program = builder.build(entry="main")
+    assert program.instructions[0].secure

@@ -1,0 +1,56 @@
+"""Disassembler output."""
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import (
+    disassemble, disassemble_binary, disassemble_instruction,
+)
+from repro.isa.encoding import encode_program
+
+SOURCE = """
+main:
+    addi a0, zero, 1
+    sbne a0, zero, over
+    addi a1, zero, 1
+    jmp  join
+over:
+    addi a1, zero, 2
+join:
+    eosjmp
+    halt
+"""
+
+
+def test_instruction_rendering_with_index():
+    program = assemble(SOURCE)
+    line = disassemble_instruction(program.instructions[0], 0)
+    assert line.startswith("    0:")
+    assert "addi" in line
+
+
+def test_listing_annotates_secure_regions():
+    program = assemble(SOURCE)
+    text = disassemble(program.instructions)
+    assert "; sJMP (SecPrefix)" in text
+    assert "; eosJMP (join point; NOP on legacy)" in text
+
+
+def test_binary_decodes_differ_by_machine():
+    program = assemble(SOURCE)
+    blob = encode_program(program)
+    sempe_view = disassemble_binary(blob, legacy=False)
+    legacy_view = disassemble_binary(blob, legacy=True)
+    assert "sbne" in sempe_view
+    assert "sbne" not in legacy_view    # prefix erased
+    assert "bne" in legacy_view
+    assert "eosjmp" in sempe_view
+    assert "eosjmp" not in legacy_view
+    assert "nop" in legacy_view
+
+
+def test_same_byte_count_both_views():
+    """It really is the same bytes — only the decode differs."""
+    program = assemble(SOURCE)
+    blob = encode_program(program)
+    sempe_lines = disassemble_binary(blob, legacy=False).splitlines()
+    legacy_lines = disassemble_binary(blob, legacy=True).splitlines()
+    assert len(sempe_lines) == len(legacy_lines)

@@ -1,0 +1,76 @@
+"""Backward-compatible byte encoding (the paper's SecPrefix story)."""
+
+from repro.isa.assembler import assemble
+from repro.isa.encoding import (
+    NOP_BYTE, SEC_PREFIX, decode_program, encode_program,
+)
+from repro.isa.opcodes import Op
+
+SOURCE = """
+main:
+    addi a0, zero, 3
+    sbne a0, zero, over
+    addi a1, zero, 1
+    jmp join
+over:
+    addi a1, zero, 2
+join:
+    eosjmp
+    halt
+"""
+
+
+def test_roundtrip_preserves_program():
+    program = assemble(SOURCE)
+    blob = encode_program(program)
+    decoded = decode_program(blob)
+    assert len(decoded) == len(program)
+    for original, copy in zip(program.instructions, decoded):
+        assert copy.op is original.op
+        assert copy.secure == original.secure
+        if original.is_control:
+            assert copy.target == original.target
+
+
+def test_eosjmp_encodes_as_prefix_nop():
+    program = assemble(SOURCE)
+    blob = encode_program(program)
+    assert bytes([SEC_PREFIX, NOP_BYTE]) in blob
+
+
+def test_legacy_decode_erases_security():
+    """A legacy processor sees the same program minus security bits."""
+    program = assemble(SOURCE)
+    decoded = decode_program(encode_program(program), legacy=True)
+    assert len(decoded) == len(program)
+    assert not any(inst.secure for inst in decoded)
+    # eosJMP reads as a plain NOP on legacy parts.
+    kinds = [inst.op for inst in decoded]
+    assert Op.EOSJMP not in kinds
+    assert kinds[program.labels["join"]] is Op.NOP
+
+
+def test_legacy_decode_preserves_functional_ops():
+    program = assemble(SOURCE)
+    decoded = decode_program(encode_program(program), legacy=True)
+    for original, copy in zip(program.instructions, decoded):
+        if original.op is Op.EOSJMP:
+            continue
+        assert copy.op is original.op
+        assert copy.rd == original.rd
+        assert copy.rs1 == original.rs1
+
+
+def test_secure_branch_has_prefix_byte_before_opcode():
+    program = assemble("main:\n sbeq a0, a1, main\n")
+    blob = encode_program(program)
+    # header: 8 bytes, imm table: 1 entry (target 0) = 8 bytes.
+    assert blob[16] == SEC_PREFIX
+
+
+def test_plain_nop_single_byte():
+    program = assemble("main:\n nop\n halt\n")
+    blob = encode_program(program)
+    decoded = decode_program(blob)
+    assert decoded[0].op is Op.NOP
+    assert decoded[1].op is Op.HALT

@@ -1,0 +1,53 @@
+"""Instruction objects: operand bookkeeping and the SecPrefix rule."""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+
+
+def test_secure_flag_only_on_conditional_branches():
+    inst = Instruction(Op.BEQ, rs1=1, rs2=2, label="L", secure=True)
+    assert inst.is_secure_branch
+    with pytest.raises(ValueError):
+        Instruction(Op.ADD, rd=1, rs1=2, rs2=3, secure=True)
+    with pytest.raises(ValueError):
+        Instruction(Op.JMP, label="L", secure=True)
+
+
+def test_src_regs_excludes_x0():
+    inst = Instruction(Op.ADD, rd=5, rs1=0, rs2=7)
+    assert inst.src_regs() == (7,)
+
+
+def test_cmov_reads_its_destination():
+    inst = Instruction(Op.CMOV, rd=5, rs1=6, rs2=7)
+    assert set(inst.src_regs()) == {5, 6, 7}
+
+
+def test_dst_reg_none_for_stores_and_branches():
+    assert Instruction(Op.ST, rs1=2, rs2=3, imm=0).dst_reg() is None
+    assert Instruction(Op.BEQ, rs1=1, rs2=2, label="L").dst_reg() is None
+    assert Instruction(Op.JMP, label="L").dst_reg() is None
+
+
+def test_dst_reg_x0_discarded():
+    assert Instruction(Op.ADD, rd=0, rs1=1, rs2=2).dst_reg() is None
+
+
+def test_jal_writes_link_register():
+    assert Instruction(Op.JAL, rd=1, label="f").dst_reg() == 1
+
+
+def test_mnemonic_secure_prefix():
+    inst = Instruction(Op.BNE, rs1=1, rs2=2, label="L", secure=True)
+    assert inst.mnemonic() == "sbne"
+    plain = Instruction(Op.BNE, rs1=1, rs2=2, label="L")
+    assert plain.mnemonic() == "bne"
+
+
+def test_classification_properties():
+    load = Instruction(Op.LD, rd=1, rs1=2, imm=0)
+    assert load.is_load and load.is_mem and not load.is_store
+    store = Instruction(Op.SB, rs1=2, rs2=3, imm=4)
+    assert store.is_store and store.is_mem and not store.is_load

@@ -1,0 +1,55 @@
+"""Opcode classification."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    Op, OpClass, is_branch_or_jump, is_cond_branch, is_load, is_store,
+    mem_width, op_class,
+)
+
+
+def test_every_opcode_has_a_class():
+    for op in Op:
+        assert isinstance(op_class(op), OpClass)
+
+
+def test_conditional_branch_set():
+    for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU):
+        assert is_cond_branch(op)
+        assert op_class(op) is OpClass.BRANCH
+    assert not is_cond_branch(Op.JMP)
+    assert not is_cond_branch(Op.EOSJMP)
+
+
+def test_control_flow_set():
+    assert is_branch_or_jump(Op.JMP)
+    assert is_branch_or_jump(Op.JAL)
+    assert is_branch_or_jump(Op.JALR)
+    assert is_branch_or_jump(Op.BEQ)
+    assert not is_branch_or_jump(Op.EOSJMP)
+    assert not is_branch_or_jump(Op.ADD)
+
+
+def test_memory_classification():
+    assert is_load(Op.LD) and is_load(Op.LB)
+    assert is_store(Op.ST) and is_store(Op.SB)
+    assert not is_load(Op.ST)
+    assert not is_store(Op.LD)
+
+
+def test_mem_width():
+    assert mem_width(Op.LD) == 8
+    assert mem_width(Op.ST) == 8
+    assert mem_width(Op.LB) == 1
+    assert mem_width(Op.SB) == 1
+    with pytest.raises(ValueError):
+        mem_width(Op.ADD)
+
+
+def test_divide_class_covers_rem():
+    assert op_class(Op.DIV) is OpClass.DIV
+    assert op_class(Op.REM) is OpClass.DIV
+
+
+def test_eosjmp_has_own_class():
+    assert op_class(Op.EOSJMP) is OpClass.EOSJMP

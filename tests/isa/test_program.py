@@ -1,0 +1,57 @@
+"""Program sealing and queries."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program, ProgramError
+
+
+def test_address_mapping_roundtrip():
+    program = assemble("main:\n nop\n nop\n halt\n")
+    for index in range(len(program)):
+        assert program.index_of_address(program.address_of(index)) == index
+    assert program.address_of(1) == INSTRUCTION_BYTES
+
+
+def test_undefined_entry_label_rejected():
+    with pytest.raises(ProgramError):
+        Program([Instruction(Op.HALT)], {}, [], entry="nope")
+
+
+def test_undefined_branch_label_rejected():
+    with pytest.raises(ProgramError):
+        Program([Instruction(Op.JMP, label="missing")], {}, [])
+
+
+def test_count_secure_branches():
+    program = assemble("""
+    main:
+        sbeq a0, a1, main
+        beq a0, a1, main
+        sbne a0, a1, main
+        halt
+    """)
+    assert program.count_secure_branches() == 2
+
+
+def test_initial_memory_little_endian():
+    program = assemble("""
+        .data
+    x: .quad 258
+        .text
+    main:
+        halt
+    """)
+    image = program.initial_memory()
+    addr = program.symbols["x"]
+    assert image[addr] == 2       # 258 = 0x0102
+    assert image[addr + 1] == 1
+
+
+def test_listing_contains_labels_and_instructions():
+    program = assemble("main:\n addi a0, zero, 1\n halt\n")
+    listing = program.listing()
+    assert "main:" in listing
+    assert "addi" in listing

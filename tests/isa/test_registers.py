@@ -1,0 +1,48 @@
+"""Register naming and parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_REGS, RA, SP, ZERO, A0, T0, parse_reg, reg_name,
+)
+
+
+def test_register_count():
+    assert NUM_REGS == 32
+
+
+def test_zero_is_register_zero():
+    assert ZERO == 0
+    assert reg_name(0) == "zero"
+
+
+def test_abi_aliases_roundtrip():
+    for number in range(NUM_REGS):
+        assert parse_reg(reg_name(number)) == number
+
+
+def test_x_names_accepted():
+    for number in range(NUM_REGS):
+        assert parse_reg(f"x{number}") == number
+
+
+def test_common_abi_names():
+    assert parse_reg("ra") == RA
+    assert parse_reg("sp") == SP
+    assert parse_reg("a0") == A0
+    assert parse_reg("t0") == T0
+
+
+def test_case_insensitive():
+    assert parse_reg("A0") == A0
+    assert parse_reg(" sp ") == SP
+
+
+def test_unknown_register_rejected():
+    with pytest.raises(ValueError):
+        parse_reg("q7")
+
+
+def test_unknown_number_rejected():
+    with pytest.raises(ValueError):
+        reg_name(32)

@@ -1,0 +1,220 @@
+"""Code generation: compiled programs compute correct results."""
+
+import pytest
+
+from repro.arch.executor import Executor
+from repro.arch.state import to_signed
+from repro.lang.compiler import compile_source
+from repro.lang.errors import CompileError
+
+
+def run(source, mode="plain", pokes=None):
+    compiled = compile_source(source, mode=mode)
+    executor = Executor(compiled.program, sempe=(mode == "sempe"))
+    for name, value in (pokes or {}).items():
+        executor.state.memory.store(compiled.program.symbols[name], value)
+    executor.run_to_completion()
+    return compiled, executor
+
+
+def global_value(compiled, executor, name):
+    return to_signed(
+        executor.state.memory.load(compiled.program.symbols[name]))
+
+
+def test_arithmetic_and_globals():
+    compiled, executor = run("""
+    int result = 0;
+    void main() { result = (2 + 3) * 4 - 6 / 2; }
+    """)
+    assert global_value(compiled, executor, "result") == 17
+
+
+def test_operator_semantics_match_python():
+    cases = {
+        "5 % 3": 5 % 3,
+        "7 & 3": 7 & 3,
+        "5 | 2": 5 | 2,
+        "5 ^ 3": 5 ^ 3,
+        "1 << 6": 1 << 6,
+        "64 >> 3": 64 >> 3,
+        "3 < 5": 1, "5 < 3": 0,
+        "3 <= 3": 1, "4 <= 3": 0,
+        "5 > 3": 1, "3 > 5": 0,
+        "3 >= 3": 1, "2 >= 3": 0,
+        "4 == 4": 1, "4 == 5": 0,
+        "4 != 5": 1, "4 != 4": 0,
+        "2 && 3": 1, "0 && 3": 0,
+        "0 || 0": 0, "0 || 9": 1,
+    }
+    exprs = "\n".join(
+        f"r{i} = {expr};" for i, expr in enumerate(cases))
+    decls = "\n".join(f"int r{i} = 0;" for i in range(len(cases)))
+    compiled, executor = run(f"{decls}\nvoid main() {{ {exprs} }}")
+    for index, (expr, expected) in enumerate(cases.items()):
+        assert global_value(compiled, executor, f"r{index}") == expected, expr
+
+
+def test_unary_operators():
+    compiled, executor = run("""
+    int a = 0; int b = 0; int c = 0;
+    void main() { a = -5; b = !7; c = ~0; }
+    """)
+    assert global_value(compiled, executor, "a") == -5
+    assert global_value(compiled, executor, "b") == 0
+    assert global_value(compiled, executor, "c") == -1
+
+
+def test_while_loop():
+    compiled, executor = run("""
+    int total = 0;
+    void main() {
+      int i = 0;
+      while (i < 10) { total = total + i; i = i + 1; }
+    }
+    """)
+    assert global_value(compiled, executor, "total") == 45
+
+
+def test_for_loop_variants():
+    compiled, executor = run("""
+    int up = 0; int down = 0;
+    void main() {
+      for (int i = 0; i < 5; i = i + 1) { up = up + i; }
+      int j = 0;
+      for (j = 10; j > 0; j = j - 2) { down = down + 1; }
+    }
+    """)
+    assert global_value(compiled, executor, "up") == 10
+    assert global_value(compiled, executor, "down") == 5
+
+
+def test_local_arrays():
+    compiled, executor = run("""
+    int result = 0;
+    void main() {
+      int a[8];
+      for (int i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+      result = a[3] + a[7];
+    }
+    """)
+    assert global_value(compiled, executor, "result") == 9 + 49
+
+
+def test_global_arrays_with_init():
+    compiled, executor = run("""
+    int table[4] = {10, 20, 30, 40};
+    int result = 0;
+    void main() { result = table[1] + table[3]; }
+    """)
+    assert global_value(compiled, executor, "result") == 60
+
+
+def test_function_calls_and_recursion():
+    compiled, executor = run("""
+    int result = 0;
+    int fact(int n) {
+      int r = 1;
+      if (n > 1) { r = n * fact(n - 1); }
+      return r;
+    }
+    void main() { result = fact(6); }
+    """)
+    assert global_value(compiled, executor, "result") == 720
+
+
+def test_array_params_mutate_caller():
+    compiled, executor = run("""
+    int result = 0;
+    void fill(int a[], int n) {
+      for (int i = 0; i < n; i = i + 1) { a[i] = i + 1; }
+    }
+    void main() {
+      int buf[4];
+      fill(buf, 4);
+      result = buf[0] + buf[1] + buf[2] + buf[3];
+    }
+    """)
+    assert global_value(compiled, executor, "result") == 10
+
+
+def test_many_arguments():
+    compiled, executor = run("""
+    int result = 0;
+    int add6(int a, int b, int c, int d, int e, int f) {
+      return a + b + c + d + e + f;
+    }
+    void main() { result = add6(1, 2, 3, 4, 5, 6); }
+    """)
+    assert global_value(compiled, executor, "result") == 21
+
+
+def test_too_many_arguments_rejected():
+    with pytest.raises(CompileError):
+        compile_source("""
+        int f(int a, int b, int c, int d, int e, int f, int g) { return a; }
+        void main() { int x = f(1,2,3,4,5,6,7); }
+        """)
+
+
+def test_temps_survive_calls():
+    """Caller-saved temporaries must be spilled around calls."""
+    compiled, executor = run("""
+    int result = 0;
+    int id(int x) { return x; }
+    void main() {
+      result = id(1) + id(2) + id(3) + (4 * id(5));
+    }
+    """)
+    assert global_value(compiled, executor, "result") == 26
+
+
+def test_nested_call_expressions():
+    compiled, executor = run("""
+    int result = 0;
+    int add(int a, int b) { return a + b; }
+    void main() { result = add(add(1, 2), add(3, add(4, 5))); }
+    """)
+    assert global_value(compiled, executor, "result") == 15
+
+
+def test_branch_free_logical_ops():
+    """&& and || must compile without conditional branches (the
+    compiler-reintroduced-branch hazard the paper warns about)."""
+    compiled = compile_source("""
+    secret int key = 1;
+    int result = 0;
+    void main() {
+      int a = key && 1;
+      int b = key || 0;
+      result = a + b;
+    }
+    """, mode="plain")
+    branches = sum(1 for inst in compiled.program.instructions
+                   if inst.is_cond_branch)
+    assert branches == 0
+
+
+def test_deep_expression_within_pool():
+    compiled, executor = run("""
+    int result = 0;
+    void main() {
+      result = ((((1+2)*(3+4))+((5+6)*(7+8)))*(((1+1)*(2+2))+((3+3)*(4+4))));
+    }
+    """)
+    assert global_value(compiled, executor, "result") == \
+        ((((1+2)*(3+4))+((5+6)*(7+8)))*(((1+1)*(2+2))+((3+3)*(4+4))))
+
+
+def test_sempe_mode_secure_if_end_to_end(simple_secret_source):
+    for key, expected in ((0, -3), (1, 7), (9, 7)):
+        compiled, executor = run(simple_secret_source, mode="sempe",
+                                 pokes={"key": key})
+        assert global_value(compiled, executor, "result") == expected
+
+
+def test_cte_mode_end_to_end(simple_secret_source):
+    for key, expected in ((0, -3), (1, 7)):
+        compiled, executor = run(simple_secret_source, mode="cte",
+                                 pokes={"key": key})
+        assert global_value(compiled, executor, "result") == expected

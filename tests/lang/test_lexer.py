@@ -1,0 +1,60 @@
+"""mini-C tokenizer."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+def test_keywords_vs_names():
+    tokens = tokenize("int x if secret loop")
+    assert tokens[0].kind == "keyword"
+    assert tokens[1].kind == "name"
+    assert tokens[2].kind == "keyword"
+    assert tokens[3].kind == "keyword"
+    assert tokens[4].kind == "name"   # 'loop' is not a keyword
+
+
+def test_numbers_decimal_and_hex():
+    tokens = tokenize("42 0x2A")
+    assert tokens[0].text == "42"
+    assert tokens[1].text == "0x2A"
+
+
+def test_two_char_operators_not_split():
+    assert texts("a << b >= c == d && e") == \
+        ["a", "<<", "b", ">=", "c", "==", "d", "&&", "e"]
+
+
+def test_line_comments_stripped():
+    tokens = tokenize("a // comment\nb")
+    assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+
+def test_block_comments_stripped():
+    tokens = tokenize("a /* multi\nline */ b")
+    assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\n\nc")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[2].line == 4
+
+
+def test_eof_token_appended():
+    assert tokenize("")[-1].kind == "eof"
+
+
+def test_bad_character_rejected():
+    with pytest.raises(CompileError):
+        tokenize("a $ b")

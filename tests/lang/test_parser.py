@@ -1,0 +1,143 @@
+"""mini-C parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+
+
+def test_global_declarations():
+    module = parse("""
+    secret int key = 5;
+    int table[4] = {1, 2, 3, 4};
+    int scalar;
+    void main() { }
+    """)
+    assert len(module.globals) == 3
+    key, table, scalar = module.globals
+    assert key.is_secret and key.init_values == [5]
+    assert table.size == 4 and table.init_values == [1, 2, 3, 4]
+    assert scalar.size is None and not scalar.is_secret
+
+
+def test_negative_global_initializer():
+    module = parse("int x = -7; void main() { }")
+    assert module.globals[0].init_values == [-7]
+
+
+def test_function_params():
+    module = parse("""
+    int f(int a, int b[]) { return a; }
+    void main() { }
+    """)
+    func = module.func("f")
+    assert func.params[0].is_array is False
+    assert func.params[1].is_array is True
+    assert func.returns_value
+
+
+def test_if_else_chain():
+    module = parse("""
+    void main() {
+      int x = 1;
+      if (x) { x = 2; } else { x = 3; }
+      if (x) x = 4;
+    }
+    """)
+    stmts = module.func("main").body.stmts
+    assert isinstance(stmts[1], ast.If)
+    assert stmts[1].els is not None
+    assert isinstance(stmts[2], ast.If)
+    assert stmts[2].els is None
+
+
+def test_for_loop_normalized():
+    module = parse("""
+    void main() {
+      for (int i = 0; i < 10; i = i + 2) { }
+    }
+    """)
+    loop = module.func("main").body.stmts[0]
+    assert isinstance(loop, ast.For)
+    assert loop.var == "i" and loop.declares
+    assert loop.bound_op == "<"
+
+
+def test_for_loop_counter_mismatch_rejected():
+    with pytest.raises(CompileError):
+        parse("void main() { for (int i = 0; j < 10; i = i + 1) { } }")
+    with pytest.raises(CompileError):
+        parse("void main() { for (int i = 0; i < 10; j = j + 1) { } }")
+
+
+def test_precedence():
+    module = parse("void main() { int x = 1 + 2 * 3; }")
+    init = module.func("main").body.stmts[0].init
+    assert init.op == "+"
+    assert init.right.op == "*"
+
+
+def test_comparison_binds_looser_than_arith():
+    module = parse("void main() { int x = 1 + 2 < 4; }")
+    init = module.func("main").body.stmts[0].init
+    assert init.op == "<"
+
+
+def test_logical_operators_lowest():
+    module = parse("void main() { int x = 1 < 2 && 3 < 4; }")
+    init = module.func("main").body.stmts[0].init
+    assert init.op == "&&"
+
+
+def test_unary_operators():
+    module = parse("void main() { int x = -1; int y = !x; int z = ~x; }")
+    stmts = module.func("main").body.stmts
+    assert stmts[0].init.op == "-"
+    assert stmts[1].init.op == "!"
+    assert stmts[2].init.op == "~"
+
+
+def test_array_indexing_and_calls():
+    module = parse("""
+    int get(int a[], int i) { return a[i + 1]; }
+    void main() { int buf[8]; buf[0] = get(buf, 2); }
+    """)
+    assign = module.func("main").body.stmts[1]
+    assert isinstance(assign.target, ast.Index)
+    assert isinstance(assign.value, ast.Call)
+
+
+def test_while_and_return():
+    module = parse("""
+    int f() {
+      int x = 0;
+      while (x < 5) { x = x + 1; }
+      return x;
+    }
+    void main() { }
+    """)
+    stmts = module.func("f").body.stmts
+    assert isinstance(stmts[1], ast.While)
+    assert isinstance(stmts[2], ast.Return)
+
+
+def test_assignment_to_expression_rejected():
+    with pytest.raises(CompileError):
+        parse("void main() { 1 + 2 = 3; }")
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(CompileError):
+        parse("void main() { int x = 1; ")
+
+
+def test_walk_helpers_cover_nested():
+    module = parse("""
+    void main() {
+      if (1) { while (2) { int x = 3; } }
+    }
+    """)
+    all_stmts = list(ast.walk_stmts(module.func("main").body))
+    assert any(isinstance(s, ast.While) for s in all_stmts)
+    assert any(isinstance(s, ast.VarDeclStmt) for s in all_stmts)

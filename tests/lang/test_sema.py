@@ -1,0 +1,110 @@
+"""Semantic checks."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+from repro.lang.sema import check
+
+
+def check_source(source):
+    return check(parse(source))
+
+
+def test_valid_module_collects_symbols():
+    info = check_source("""
+    secret int key = 1;
+    int buf[4];
+    int f(int x) { return x; }
+    void main() { int y = f(2); }
+    """)
+    assert "key" in info.secret_globals
+    assert info.globals_["buf"] is True
+    assert info.globals_["key"] is False
+    assert info.funcs["f"].returns_value
+
+
+def test_missing_main_rejected():
+    with pytest.raises(CompileError, match="main"):
+        check_source("int f() { return 1; }")
+
+
+def test_main_with_params_rejected():
+    with pytest.raises(CompileError):
+        check_source("void main(int x) { }")
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(CompileError, match="undefined"):
+        check_source("void main() { int x = y; }")
+
+
+def test_duplicate_local_rejected():
+    with pytest.raises(CompileError, match="duplicate"):
+        check_source("void main() { int x = 1; int x = 2; }")
+
+
+def test_shadowing_global_allowed():
+    check_source("int g = 1; void main() { int g = 2; }")
+
+
+def test_indexing_scalar_rejected():
+    with pytest.raises(CompileError, match="scalar"):
+        check_source("void main() { int x = 1; int y = x[0]; }")
+
+
+def test_bare_array_as_value_rejected():
+    with pytest.raises(CompileError, match="array"):
+        check_source("void main() { int a[4]; int x = a + 1; }")
+
+
+def test_whole_array_assignment_rejected():
+    with pytest.raises(CompileError):
+        check_source("void main() { int a[4]; a = 3; }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(CompileError, match="expects"):
+        check_source("""
+        int f(int a, int b) { return a; }
+        void main() { int x = f(1); }
+        """)
+
+
+def test_array_param_needs_array_argument():
+    with pytest.raises(CompileError):
+        check_source("""
+        int f(int a[]) { return a[0]; }
+        void main() { int x = 1; int y = f(x); }
+        """)
+
+
+def test_scalar_param_rejects_array_argument():
+    with pytest.raises(CompileError):
+        check_source("""
+        int f(int a) { return a; }
+        void main() { int b[4]; int y = f(b); }
+        """)
+
+
+def test_undefined_function_rejected():
+    with pytest.raises(CompileError, match="undefined function"):
+        check_source("void main() { int x = mystery(); }")
+
+
+def test_void_function_returning_value_rejected():
+    with pytest.raises(CompileError):
+        check_source("void f() { return 1; } void main() { }")
+
+
+def test_value_function_with_bare_return_rejected():
+    with pytest.raises(CompileError):
+        check_source("int f() { return; } void main() { }")
+
+
+def test_array_passed_through_is_fine():
+    check_source("""
+    int sum2(int a[]) { return a[0] + a[1]; }
+    int wrap(int b[]) { return sum2(b); }
+    void main() { int buf[2]; int x = wrap(buf); }
+    """)

@@ -1,0 +1,276 @@
+"""Secret-taint analysis and mode constraint enforcement."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import TaintError
+from repro.lang.parser import parse
+from repro.lang.taint import analyze_taint
+
+
+def secret_if_count(module, taint):
+    count = 0
+    for func in module.funcs:
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.If) and taint.is_secret_if(stmt):
+                count += 1
+    return count
+
+
+def test_explicit_flow_marks_branch_secret():
+    module = parse("""
+    secret int key = 1;
+    void main() {
+      int x = key + 1;
+      if (x) { int y = 1; }
+    }
+    """)
+    taint = analyze_taint(module, "sempe")
+    assert taint.is_tainted("main", "x")
+    assert secret_if_count(module, taint) == 1
+
+
+def test_public_branch_not_secret():
+    module = parse("""
+    secret int key = 1;
+    void main() {
+      int x = 5;
+      if (x) { int y = 1; }
+    }
+    """)
+    taint = analyze_taint(module, "sempe")
+    assert secret_if_count(module, taint) == 0
+
+
+def test_interprocedural_taint_through_params():
+    module = parse("""
+    secret int key = 1;
+    int identity(int v) { return v; }
+    void main() {
+      int x = identity(key);
+      if (x) { int y = 1; }
+    }
+    """)
+    taint = analyze_taint(module, "sempe")
+    assert "identity" in taint.func_return_tainted
+    assert secret_if_count(module, taint) == 1
+
+
+def test_merged_scalar_tainted_in_sempe():
+    """A scalar assigned under a secret branch outlives the region, so
+    its merged value depends on the secret."""
+    module = parse("""
+    secret int key = 1;
+    void main() {
+      int acc = 0;
+      if (key) { acc = 1; }
+      if (acc) { int z = 1; }
+    }
+    """)
+    taint = analyze_taint(module, "sempe")
+    assert taint.is_tainted("main", "acc")
+    assert secret_if_count(module, taint) == 2   # the acc branch too
+
+
+def test_path_local_not_tainted_in_sempe():
+    """Variables declared inside the path are exempt from implicit flow
+    in SeMPE mode (both paths always execute)."""
+    module = parse("""
+    secret int key = 1;
+    int sink = 0;
+    void main() {
+      if (key) {
+        int local = 0;
+        for (int i = 0; i < 4; i = i + 1) { local = local + i; }
+        sink = sink + local;
+      }
+    }
+    """)
+    taint = analyze_taint(module, "sempe")
+    assert not taint.is_tainted("main", "local")
+    assert taint.is_tainted("", "sink")
+
+
+def test_cte_taints_everything_assigned_under_context():
+    module = parse("""
+    secret int key = 1;
+    void main() {
+      if (key) {
+        int local = 0;
+        local = local + 1;
+      }
+    }
+    """)
+    taint = analyze_taint(module, "cte")
+    assert taint.is_tainted("main", "local")
+
+
+def test_secret_while_condition_rejected():
+    source = """
+    secret int key = 3;
+    void main() {
+      int n = key;
+      while (n) { n = n - 1; }
+    }
+    """
+    with pytest.raises(TaintError, match="while"):
+        analyze_taint(parse(source), "sempe")
+
+
+def test_secret_for_bound_rejected():
+    source = """
+    secret int key = 3;
+    void main() {
+      int acc = 0;
+      for (int i = 0; i < key; i = i + 1) { acc = acc + 1; }
+    }
+    """
+    with pytest.raises(TaintError, match="bound"):
+        analyze_taint(parse(source), "sempe")
+
+
+def test_plain_mode_skips_enforcement():
+    source = """
+    secret int key = 3;
+    void main() {
+      int n = key;
+      while (n) { n = n - 1; }
+    }
+    """
+    analyze_taint(parse(source), "plain")   # no exception
+
+
+def test_return_inside_region_rejected():
+    source = """
+    secret int key = 1;
+    int f() {
+      if (key) { return 1; }
+      return 0;
+    }
+    void main() { int x = f(); }
+    """
+    with pytest.raises(TaintError, match="return"):
+        analyze_taint(parse(source), "sempe")
+
+
+def test_cte_rejects_calls_in_region():
+    source = """
+    secret int key = 1;
+    int f(int x) { return x + 1; }
+    void main() {
+      int acc = 0;
+      if (key) { acc = f(acc); }
+    }
+    """
+    with pytest.raises(TaintError, match="call"):
+        analyze_taint(parse(source), "cte")
+
+
+def test_sempe_allows_calls_in_region():
+    source = """
+    secret int key = 1;
+    int f(int x) { return x + 1; }
+    void main() {
+      int acc = 0;
+      if (key) { acc = f(acc); }
+    }
+    """
+    analyze_taint(parse(source), "sempe")   # no exception
+
+
+def test_sempe_rejects_global_writer_call_in_region():
+    source = """
+    secret int key = 1;
+    int g = 0;
+    void bump() { g = g + 1; }
+    void main() {
+      if (key) { bump(); }
+    }
+    """
+    with pytest.raises(TaintError, match="globals"):
+        analyze_taint(parse(source), "sempe")
+
+
+def test_sempe_rejects_transitive_global_writer():
+    source = """
+    secret int key = 1;
+    int g = 0;
+    void inner() { g = g + 1; }
+    void outer() { inner(); }
+    void main() {
+      if (key) { outer(); }
+    }
+    """
+    with pytest.raises(TaintError, match="globals"):
+        analyze_taint(parse(source), "sempe")
+
+
+def test_sempe_rejects_outer_array_write_in_region():
+    source = """
+    secret int key = 1;
+    void main() {
+      int buf[4];
+      if (key) { buf[0] = 1; }
+    }
+    """
+    with pytest.raises(TaintError, match="array"):
+        analyze_taint(parse(source), "sempe")
+
+
+def test_sempe_allows_path_local_array_write():
+    source = """
+    secret int key = 1;
+    int sink = 0;
+    void main() {
+      if (key) {
+        int buf[4];
+        buf[0] = 1;
+        sink = sink + buf[0];
+      }
+    }
+    """
+    analyze_taint(parse(source), "sempe")
+
+
+def test_sempe_rejects_outer_array_passed_into_region_call():
+    source = """
+    secret int key = 1;
+    int f(int a[]) { a[0] = 1; return 0; }
+    void main() {
+      int buf[4];
+      int x = 0;
+      if (key) { x = f(buf); }
+    }
+    """
+    with pytest.raises(TaintError):
+        analyze_taint(parse(source), "sempe")
+
+
+def test_sempe_allows_path_local_array_in_region_call():
+    source = """
+    secret int key = 1;
+    int sink = 0;
+    int f(int a[]) { a[0] = 1; return a[0]; }
+    void main() {
+      if (key) {
+        int buf[4];
+        sink = sink + f(buf);
+      }
+    }
+    """
+    analyze_taint(parse(source), "sempe")
+
+
+def test_nested_secret_ifs_both_labelled():
+    module = parse("""
+    secret int a = 0;
+    secret int b = 0;
+    void main() {
+      if (a) {
+        int x = 1;
+        if (b) { int y = 2; }
+      }
+    }
+    """)
+    taint = analyze_taint(module, "sempe")
+    assert secret_if_count(module, taint) == 2

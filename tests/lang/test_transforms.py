@@ -1,0 +1,179 @@
+"""The SeMPE and CTE transforms: structure of the produced AST."""
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.taint import analyze_taint
+from repro.lang.transform_cte import transform_cte
+from repro.lang.transform_sempe import transform_sempe
+
+SOURCE = """
+secret int key = 1;
+int acc = 0;
+
+void main() {
+  int local = 5;
+  if (key) {
+    local = local + 7;
+  } else {
+    local = local - 3;
+  }
+  acc = local;
+}
+"""
+
+
+def transformed(source, mode):
+    module = parse(source)
+    taint = analyze_taint(module, mode)
+    if mode == "sempe":
+        return transform_sempe(module, taint)
+    return transform_cte(module, taint)
+
+
+def find_all(module, node_type):
+    found = []
+    for func in module.funcs:
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, node_type):
+                found.append(stmt)
+    return found
+
+
+def test_sempe_marks_if_secure():
+    module = transformed(SOURCE, "sempe")
+    ifs = find_all(module, ast.If)
+    assert len(ifs) == 1
+    assert ifs[0].secure
+
+
+def test_sempe_creates_shadow_pairs():
+    module = transformed(SOURCE, "sempe")
+    decls = {d.name for d in find_all(module, ast.VarDeclStmt)}
+    shadows = {name for name in decls if "__nt" in name or "__t" in name}
+    assert len(shadows) == 2          # local__nt0 and local__t0
+    assert any("__sc" in name for name in decls)   # condition temp
+
+
+def test_sempe_merges_with_cmov():
+    module = transformed(SOURCE, "sempe")
+    cmov_assigns = [
+        stmt for stmt in find_all(module, ast.Assign)
+        if isinstance(stmt.value, ast.Cmov)
+    ]
+    assert len(cmov_assigns) == 1
+    assert cmov_assigns[0].target.name == "local"
+
+
+def test_sempe_paths_use_shadows():
+    module = transformed(SOURCE, "sempe")
+    secure_if = find_all(module, ast.If)[0]
+    then_names = {
+        node.name
+        for stmt in ast.walk_stmts(secure_if.then)
+        for expr in ast.stmt_exprs(stmt)
+        for node in ast.walk_exprs(expr)
+        if isinstance(node, ast.Var)
+    }
+    assert any("__nt" in name for name in then_names)
+    assert not any("__t0" in name for name in then_names)
+
+
+def test_sempe_nested_shadows_compose():
+    source = """
+    secret int a = 0;
+    secret int b = 0;
+    int sink = 0;
+    void main() {
+      if (a) {
+        sink = sink + 1;
+        if (b) { sink = sink + 10; }
+      }
+    }
+    """
+    module = transformed(source, "sempe")
+    decls = {d.name for d in find_all(module, ast.VarDeclStmt)}
+    # The inner region privatizes the outer NT shadow.
+    assert any(name.count("__") >= 2 for name in decls)
+
+
+def test_cte_removes_secret_branches():
+    module = transformed(SOURCE, "cte")
+    assert find_all(module, ast.If) == []     # fully straight-line
+
+
+def test_cte_predicates_with_full_product():
+    module = transformed(SOURCE, "cte")
+    assigns = [s for s in find_all(module, ast.Assign)
+               if isinstance(s.target, ast.Var) and s.target.name == "local"]
+    assert len(assigns) == 2   # one per original path
+    for assign in assigns:
+        # Shape: b*(value) + (1-b)*local  -> a '+' of two '*' terms.
+        assert isinstance(assign.value, ast.Binary)
+        assert assign.value.op == "+"
+        assert assign.value.left.op == "*"
+        assert assign.value.right.op == "*"
+
+
+def test_cte_keeps_public_ifs():
+    source = """
+    secret int key = 1;
+    int acc = 0;
+    void main() {
+      int pub = 3;
+      if (pub) { acc = 1; }
+      if (key) { acc = 2; }
+    }
+    """
+    module = transformed(source, "cte")
+    remaining = find_all(module, ast.If)
+    assert len(remaining) == 1    # the public one survives
+
+
+def test_cte_nesting_depth_grows_products():
+    source = """
+    secret int a = 0;
+    secret int b = 0;
+    int acc = 0;
+    void main() {
+      if (a) {
+        if (b) { acc = acc + 1; }
+      }
+    }
+    """
+    module = transformed(source, "cte")
+    assigns = [s for s in find_all(module, ast.Assign)
+               if isinstance(s.target, ast.Var) and s.target.name == "acc"]
+    assert len(assigns) == 1
+    multiplies = sum(
+        1 for node in ast.walk_exprs(assigns[0].value)
+        if isinstance(node, ast.Binary) and node.op == "*"
+    )
+    # depth-2 product on both sides: at least 4 multiplications.
+    assert multiplies >= 4
+
+
+def test_cte_for_scaffolding_untouched():
+    source = """
+    secret int key = 1;
+    int acc = 0;
+    void main() {
+      if (key) {
+        for (int i = 0; i < 4; i = i + 1) { acc = acc + i; }
+      }
+    }
+    """
+    module = transformed(source, "cte")
+    loops = find_all(module, ast.For)
+    assert len(loops) == 1
+    # The step stays the raw expression (no predication product).
+    assert isinstance(loops[0].step, ast.Binary)
+    assert loops[0].step.op == "+"
+
+
+def test_transforms_do_not_mutate_input():
+    module = parse(SOURCE)
+    taint = analyze_taint(module, "sempe")
+    before = len(list(ast.walk_stmts(module.func("main").body)))
+    transform_sempe(module, taint)
+    after = len(list(ast.walk_stmts(module.func("main").body)))
+    assert before == after

@@ -1,0 +1,109 @@
+"""Set-associative cache behaviour."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig(name="T", size_bytes=size, assoc=assoc,
+                             line_bytes=line))
+
+
+def test_geometry():
+    cache = make_cache(size=1024, assoc=2, line=64)
+    assert cache.config.n_sets == 8
+
+
+def test_bad_line_size_rejected():
+    with pytest.raises(ValueError):
+        Cache(CacheConfig(name="T", size_bytes=1024, assoc=2, line_bytes=48))
+
+
+def test_cold_miss_then_hit():
+    cache = make_cache()
+    assert cache.access(0, False) is False
+    cache.fill(0)
+    assert cache.access(0, False) is True
+    assert cache.stats.accesses == 2
+    assert cache.stats.misses == 1
+
+
+def test_same_line_hits():
+    cache = make_cache(line=64)
+    cache.fill(0)
+    assert cache.access(63, False) is True
+    assert cache.access(64, False) is False
+
+
+def test_lru_eviction_order():
+    cache = make_cache(size=128, assoc=2, line=64)  # 1 set, 2 ways
+    cache.fill(0)          # line 0
+    cache.fill(64)         # line 1
+    cache.access(0, False)         # touch line 0 -> line 1 becomes LRU
+    cache.fill(128)        # evicts line 1
+    assert cache.contains(0)
+    assert not cache.contains(64)
+    assert cache.contains(128)
+
+
+def test_dirty_eviction_reports_writeback():
+    cache = make_cache(size=128, assoc=2, line=64)
+    cache.fill(0, is_write=True)
+    cache.fill(64)
+    victim = cache.fill(128)
+    assert victim == 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = make_cache(size=128, assoc=2, line=64)
+    cache.fill(0)
+    cache.fill(64)
+    victim = cache.fill(128)
+    assert victim is None
+    assert cache.stats.writebacks == 0
+
+
+def test_write_hit_marks_dirty():
+    cache = make_cache(size=128, assoc=2, line=64)
+    cache.fill(0)
+    cache.access(0, is_write=True)
+    cache.fill(64)
+    assert cache.fill(128) == 0   # dirty writeback
+
+
+def test_prefetch_accounting():
+    cache = make_cache()
+    cache.fill(0, prefetched=True)
+    assert cache.stats.prefetches == 1
+    cache.access(0, False)
+    assert cache.stats.prefetch_hits == 1
+    # Second demand hit no longer counts as a prefetch hit.
+    cache.access(0, False)
+    assert cache.stats.prefetch_hits == 1
+
+
+def test_miss_rate():
+    cache = make_cache()
+    assert cache.stats.miss_rate == 0.0
+    cache.access(0, False)
+    cache.fill(0)
+    cache.access(0, False)
+    assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+def test_set_occupancy_and_residency():
+    cache = make_cache(size=256, assoc=2, line=64)  # 2 sets
+    cache.fill(0)
+    cache.fill(64)
+    occupancy = cache.set_occupancy()
+    assert sum(occupancy) == 2
+    assert cache.resident_lines() == {0, 1}
+
+
+def test_invalidate_all():
+    cache = make_cache()
+    cache.fill(0)
+    cache.invalidate_all()
+    assert not cache.contains(0)

@@ -1,0 +1,71 @@
+"""Flat backing memory."""
+
+from repro.mem.memory import FlatMemory
+
+
+def test_zero_initialised():
+    memory = FlatMemory()
+    assert memory.load(0x1234) == 0
+    assert memory.load(0x1234, 1) == 0
+
+
+def test_word_roundtrip():
+    memory = FlatMemory()
+    memory.store(64, 0xDEADBEEF_CAFEBABE)
+    assert memory.load(64) == 0xDEADBEEF_CAFEBABE
+
+
+def test_byte_roundtrip():
+    memory = FlatMemory()
+    memory.store(7, 0xAB, width=1)
+    assert memory.load(7, 1) == 0xAB
+
+
+def test_bytes_compose_into_words_little_endian():
+    memory = FlatMemory()
+    for offset, byte in enumerate([0x11, 0x22, 0x33]):
+        memory.store(8 + offset, byte, width=1)
+    assert memory.load(8) == 0x332211
+
+
+def test_unaligned_word_access():
+    memory = FlatMemory()
+    memory.store(3, 0x0102030405060708)
+    assert memory.load(3) == 0x0102030405060708
+    # Neighbouring aligned words see the split halves.
+    assert memory.load(0) & 0xFF_FFFF_FF00_0000 != 0 or memory.load(8) != 0
+
+
+def test_store_masks_to_width():
+    memory = FlatMemory()
+    memory.store(0, 0x1FF, width=1)
+    assert memory.load(0, 1) == 0xFF
+
+
+def test_load_signed():
+    memory = FlatMemory()
+    memory.store(0, (1 << 64) - 5)
+    assert memory.load_signed(0) == -5
+    memory.store(8, 0x80, width=1)
+    assert memory.load_signed(8, 1) == -128
+
+
+def test_quad_helpers():
+    memory = FlatMemory()
+    memory.store_quads(100 * 8, [1, 2, 3])
+    assert memory.load_quads(100 * 8, 3) == [1, 2, 3]
+
+
+def test_copy_is_independent():
+    memory = FlatMemory()
+    memory.store(0, 1)
+    clone = memory.copy()
+    clone.store(0, 2)
+    assert memory.load(0) == 1
+    assert clone.load(0) == 2
+
+
+def test_image_constructor():
+    memory = FlatMemory({0: 0xAA, 1: 0xBB})
+    assert memory.load(0, 1) == 0xAA
+    assert memory.load(1, 1) == 0xBB

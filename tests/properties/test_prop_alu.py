@@ -1,0 +1,91 @@
+"""Property tests: the functional ALU matches Python's 64-bit semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.executor import Executor
+from repro.arch.state import MASK64, to_signed
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.isa.registers import A0, A1, A2
+
+values = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+small = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+def run_binop(op: Op, a: int, b: int) -> int:
+    builder = ProgramBuilder()
+    builder.label("main")
+    builder.li(A0, a)
+    builder.li(A1, b)
+    builder.op(op, rd=A2, rs1=A0, rs2=A1)
+    builder.halt()
+    executor = Executor(builder.build(entry="main"), sempe=False)
+    executor.run_to_completion()
+    return executor.state.read(A2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small, small)
+def test_add_wraps_like_64bit(a, b):
+    assert run_binop(Op.ADD, a, b) == (a + b) & MASK64
+
+
+@settings(max_examples=60, deadline=None)
+@given(small, small)
+def test_sub_wraps(a, b):
+    assert run_binop(Op.SUB, a, b) == (a - b) & MASK64
+
+
+@settings(max_examples=40, deadline=None)
+@given(small, small)
+def test_mul_signed(a, b):
+    assert run_binop(Op.MUL, a, b) == (a * b) & MASK64
+
+
+@settings(max_examples=60, deadline=None)
+@given(small, small)
+def test_div_truncates_toward_zero(a, b):
+    result = to_signed(run_binop(Op.DIV, a, b))
+    if b == 0:
+        assert result == -1
+    else:
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert result == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(small, small)
+def test_rem_matches_div(a, b):
+    remainder = to_signed(run_binop(Op.REM, a, b))
+    if b == 0:
+        assert remainder == a
+    else:
+        quotient = to_signed(run_binop(Op.DIV, a, b))
+        assert quotient * b + remainder == a
+        assert abs(remainder) < abs(b) or remainder == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(small, small)
+def test_bitwise_ops(a, b):
+    assert run_binop(Op.AND, a, b) == (a & b) & MASK64
+    assert run_binop(Op.OR, a, b) == (a | b) & MASK64
+    assert run_binop(Op.XOR, a, b) == (a ^ b) & MASK64
+
+
+@settings(max_examples=60, deadline=None)
+@given(small, st.integers(min_value=0, max_value=63))
+def test_shifts(a, sh):
+    assert run_binop(Op.SLL, a, sh) == (a << sh) & MASK64
+    assert run_binop(Op.SRL, a, sh) == (a & MASK64) >> sh
+    assert to_signed(run_binop(Op.SRA, a, sh)) == a >> sh
+
+
+@settings(max_examples=60, deadline=None)
+@given(small, small)
+def test_comparisons(a, b):
+    assert run_binop(Op.SLT, a, b) == int(a < b)
+    assert run_binop(Op.SLTU, a, b) == int((a & MASK64) < (b & MASK64))

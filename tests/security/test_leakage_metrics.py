@@ -1,0 +1,46 @@
+"""Mutual-information and channel-report mechanics."""
+
+import math
+
+import pytest
+
+from repro.security.leakage import (
+    ChannelReport, mutual_information_bits,
+)
+
+
+def test_mi_zero_for_constant_observation():
+    assert mutual_information_bits([5, 5, 5, 5]) == 0.0
+
+
+def test_mi_full_for_unique_observations():
+    assert mutual_information_bits([1, 2, 3, 4]) == pytest.approx(2.0)
+
+
+def test_mi_partial_for_grouped_observations():
+    # Two secrets map to one observation, two to another: 1 bit.
+    assert mutual_information_bits([1, 1, 2, 2]) == pytest.approx(1.0)
+
+
+def test_mi_nonuniform_grouping():
+    value = mutual_information_bits([1, 1, 1, 2])
+    expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+    assert value == pytest.approx(expected)
+
+
+def test_mi_empty():
+    assert mutual_information_bits([]) == 0.0
+
+
+def test_mi_handles_unhashable_values():
+    assert mutual_information_bits([[1, 2], [1, 2]]) == 0.0
+    assert mutual_information_bits([[1], [2]]) == pytest.approx(1.0)
+
+
+def test_channel_report_leak_detection():
+    report = ChannelReport(channel="timing",
+                           observations={0: 100, 1: 100})
+    assert not report.leaks
+    report.observations[2] = 150
+    assert report.leaks
+    assert report.mutual_information > 0

@@ -1,0 +1,125 @@
+"""The core security claim: SeMPE closes the SDBCB channels.
+
+These tests exercise the paper's §IV-A argument end-to-end: the
+baseline machine leaks the secret through timing, control flow, memory
+addresses and predictor state; the SeMPE machine (and the CTE baseline)
+produce identical observations for every secret value.
+"""
+
+import pytest
+
+from repro.lang.compiler import compile_source
+from repro.security import (
+    collect_observation, distinguishing_channels, noninterference_report,
+)
+
+UNBALANCED = """
+secret int key = 1;
+int result = 0;
+
+void main() {
+  int acc = 0;
+  if (key) {
+    int w = 0;
+    for (int i = 0; i < 25; i = i + 1) { w = w + i * i; }
+    acc = acc + w;
+  } else {
+    acc = acc - 3;
+  }
+  result = acc;
+}
+"""
+
+SECRETS = [0, 1, 7]
+
+
+def report_for(mode, sempe, source=UNBALANCED, secrets=SECRETS,
+               config=None):
+    compiled = compile_source(source, mode=mode)
+    return noninterference_report(
+        compiled.program, "key", secrets, sempe=sempe, config=config,
+    )
+
+
+def test_baseline_leaks_timing_and_control_flow(fast_config):
+    report = report_for("plain", sempe=False, config=fast_config)
+    assert not report.secure
+    leaking = set(report.leaking_channels())
+    assert "timing" in leaking
+    assert "control-flow" in leaking
+    assert "instruction-count" in leaking
+
+
+def test_baseline_leaks_branch_predictor(fast_config):
+    report = report_for("plain", sempe=False, config=fast_config)
+    assert "branch-predictor" in report.leaking_channels()
+
+
+def test_sempe_closes_all_channels(fast_config):
+    report = report_for("sempe", sempe=True, config=fast_config)
+    assert report.secure, report.leaking_channels()
+
+
+def test_cte_closes_all_channels(fast_config):
+    report = report_for("cte", sempe=False, config=fast_config)
+    assert report.secure, report.leaking_channels()
+
+
+def test_sempe_binary_on_legacy_machine_leaks(fast_config):
+    """Backward compatibility has a price: the SeMPE binary run on a
+    non-SeMPE processor is functional but unprotected (§I)."""
+    compiled = compile_source(UNBALANCED, mode="sempe")
+    report = noninterference_report(
+        compiled.program, "key", SECRETS, sempe=False, config=fast_config,
+    )
+    assert not report.secure
+
+
+def test_necessity_skipping_a_path_is_observable(fast_config):
+    """§IV-A necessity direction: executing only one path (the baseline)
+    is distinguishable from executing both (SeMPE)."""
+    compiled = compile_source(UNBALANCED, mode="sempe")
+    both = collect_observation(compiled.program, sempe=True,
+                               secret_values={"key": 1}, config=fast_config)
+    one = collect_observation(compiled.program, sempe=False,
+                              secret_values={"key": 1}, config=fast_config)
+    assert distinguishing_channels(both, one)
+
+
+def test_mutual_information_quantifies_leak(fast_config):
+    leaky = report_for("plain", sempe=False, config=fast_config)
+    timing = leaky.channels["timing"]
+    assert timing.mutual_information > 0.5
+    closed = report_for("sempe", sempe=True, config=fast_config)
+    assert closed.channels["timing"].mutual_information == 0.0
+
+
+def test_nested_secrets_closed(fast_config):
+    source = """
+    secret int key = 0;
+    int result = 0;
+    void main() {
+      int acc = 0;
+      int bit0 = key & 1;
+      int bit1 = (key >> 1) & 1;
+      if (bit0) {
+        acc = acc + 5;
+        if (bit1) { acc = acc * 3; }
+      } else {
+        acc = acc - 1;
+      }
+      result = acc;
+    }
+    """
+    compiled = compile_source(source, mode="sempe")
+    report = noninterference_report(
+        compiled.program, "key", [0, 1, 2, 3], sempe=True,
+        config=fast_config,
+    )
+    assert report.secure, report.leaking_channels()
+
+
+def test_summary_renders(fast_config):
+    report = report_for("sempe", sempe=True, config=fast_config)
+    text = report.summary()
+    assert "timing" in text and "closed" in text

@@ -1,0 +1,81 @@
+"""Observation collection plumbing."""
+
+from repro.lang.compiler import compile_source
+from repro.security.observer import TraceObserver, collect_observation
+
+SOURCE = """
+secret int key = 1;
+int result = 0;
+void main() {
+  int buf[8];
+  for (int i = 0; i < 8; i = i + 1) { buf[i] = i; }
+  result = buf[3];
+}
+"""
+
+
+def test_collect_observation_fields(fast_config):
+    compiled = compile_source(SOURCE, mode="plain")
+    trace = collect_observation(compiled.program, sempe=False,
+                                config=fast_config)
+    assert trace.cycles > 0
+    assert trace.instruction_count > 0
+    assert len(trace.pc_digest) == 64
+    assert len(trace.mem_digest) == 64
+    channels = trace.channels()
+    assert set(channels) == {
+        "timing", "instruction-count", "control-flow", "memory-address",
+        "cache-state", "branch-predictor",
+    }
+
+
+def test_keep_streams_records_sequences(fast_config):
+    compiled = compile_source(SOURCE, mode="plain")
+    trace = collect_observation(compiled.program, sempe=False,
+                                config=fast_config, keep_streams=True)
+    assert len(trace.pc_sequence) == trace.instruction_count
+    assert trace.mem_addresses      # the array writes
+
+
+def test_digest_matches_streams(fast_config):
+    compiled = compile_source(SOURCE, mode="plain")
+    first = collect_observation(compiled.program, sempe=False,
+                                config=fast_config, keep_streams=True)
+    second = collect_observation(compiled.program, sempe=False,
+                                 config=fast_config, keep_streams=False)
+    assert first.pc_digest == second.pc_digest
+    assert first.mem_digest == second.mem_digest
+
+
+def test_observer_granularity_is_cache_lines():
+    observer = TraceObserver(line_bytes=64, keep_streams=True)
+
+    class FakeRecord:
+        kind = "inst"
+        pc = 0
+        mem_addr = 0
+
+    record_a = FakeRecord()
+    record_a.mem_addr = 0
+    record_b = FakeRecord()
+    record_b.mem_addr = 63
+    observer.observe(record_a)
+    observer.observe(record_b)
+    assert observer.mem_addresses == [0, 0]   # same line
+
+
+def test_secret_poke_changes_functional_result(fast_config):
+    compiled = compile_source("""
+    secret int key = 1;
+    int result = 0;
+    void main() { result = key * 2; }
+    """, mode="plain")
+    trace_a = collect_observation(compiled.program, sempe=False,
+                                  secret_values={"key": 3},
+                                  config=fast_config)
+    trace_b = collect_observation(compiled.program, sempe=False,
+                                  secret_values={"key": 4},
+                                  config=fast_config)
+    # Straight-line data flow: no observable difference...
+    assert trace_a.cycles == trace_b.cycles
+    assert trace_a.pc_digest == trace_b.pc_digest

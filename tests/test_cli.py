@@ -1,0 +1,97 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+secret int key = 1;
+int result = 0;
+
+void main() {
+  int acc = 0;
+  if (key) { acc = acc + 7; } else { acc = acc - 3; }
+  result = acc;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "victim.mc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_compile_command(source_file, capsys):
+    assert main(["compile", source_file, "--mode", "sempe"]) == 0
+    out = capsys.readouterr().out
+    assert "sJMPs=1" in out
+    assert "sbeq" in out or "sbne" in out or "eosjmp" in out
+
+
+def test_compile_with_collapse(source_file, capsys):
+    assert main(["compile", source_file, "--collapse-ifs"]) == 0
+
+
+def test_run_command(source_file, capsys):
+    assert main(["run", source_file, "--mode", "sempe",
+                 "--globals", "result"]) == 0
+    out = capsys.readouterr().out
+    assert "machine:       SeMPE" in out
+    assert "result = 7" in out
+    assert "secure regions" in out
+
+
+def test_run_legacy_machine(source_file, capsys):
+    assert main(["run", source_file, "--mode", "sempe", "--legacy",
+                 "--globals", "result"]) == 0
+    out = capsys.readouterr().out
+    assert "machine:       baseline" in out
+    assert "result = 7" in out
+
+
+def test_run_unknown_global(source_file, capsys):
+    assert main(["run", source_file, "--globals", "nope"]) == 0
+    assert "<no such global>" in capsys.readouterr().out
+
+
+def test_check_secure(source_file, capsys):
+    code = main(["check", source_file, "--mode", "sempe",
+                 "--secret", "key", "--values", "0,1,5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SECURE" in out
+
+
+def test_check_leaky(source_file, capsys):
+    code = main(["check", source_file, "--mode", "plain",
+                 "--secret", "key", "--values", "0,1,5"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "LEAKS" in out
+
+
+def test_disasm_shows_both_decodes(source_file, capsys):
+    assert main(["disasm", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "; SeMPE decode" in out
+    assert "; legacy decode (SecPrefix ignored)" in out
+    assert "eosJMP (join point; NOP on legacy)" in out
+
+
+def test_experiments_table2(capsys):
+    assert main(["experiments", "table2"]) == 0
+    assert "2.0 GHz" in capsys.readouterr().out
+
+
+def test_experiments_unknown(capsys):
+    assert main(["experiments", "nope"]) == 2
+
+
+def test_stdin_input(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(SOURCE))
+    assert main(["compile", "-"]) == 0
+    assert "sJMPs=1" in capsys.readouterr().out

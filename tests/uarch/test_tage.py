@@ -1,0 +1,91 @@
+"""TAGE predictor."""
+
+from repro.uarch.branch.tage import Tage
+
+
+def test_storage_near_paper_budget():
+    """Table II: a 31KB TAGE.  Our geometry should be the same order."""
+    tage = Tage()
+    kilobytes = tage.storage_bits() / 8 / 1024
+    assert 8 <= kilobytes <= 64
+
+
+def test_history_lengths_geometric():
+    tage = Tage(n_components=6, min_history=4, max_history=128)
+    lengths = tage.history_lengths
+    assert lengths[0] == 4
+    assert lengths[-1] == 128
+    assert all(a < b for a, b in zip(lengths, lengths[1:]))
+
+
+def test_learns_biased_branch():
+    tage = Tage()
+    pc = 0x444
+    for _ in range(32):
+        tage.update(pc, True)
+    assert tage.predict(pc) is True
+
+
+def test_learns_long_period_pattern():
+    """A period-8 pattern needs history: TAGE should learn it."""
+    tage = Tage()
+    pc = 0x80
+    pattern = [True, True, False, True, False, False, True, False]
+    correct = 0
+    total = 0
+    for round_index in range(300):
+        outcome = pattern[round_index % len(pattern)]
+        prediction = tage.predict(pc)
+        tage.update(pc, outcome)
+        if round_index >= 200:
+            total += 1
+            correct += int(prediction == outcome)
+    assert correct / total > 0.85
+
+
+def test_beats_bimodal_on_correlated_branches():
+    from repro.uarch.branch.bimodal import Bimodal
+
+    tage = Tage()
+    bimodal = Bimodal()
+    # Branch B outcome equals branch A outcome (global correlation).
+    import random
+    rng = random.Random(7)
+    tage_correct = bimodal_correct = total = 0
+    for round_index in range(800):
+        outcome_a = rng.random() < 0.5
+        for predictor, counter in ((tage, "t"), (bimodal, "b")):
+            pass
+        # pc_a trains history; pc_b is the correlated branch.
+        tage.predict(0x10)
+        tage.update(0x10, outcome_a)
+        bimodal.predict(0x10)
+        bimodal.update(0x10, outcome_a)
+        prediction_t = tage.predict(0x20)
+        prediction_b = bimodal.predict(0x20)
+        tage.update(0x20, outcome_a)
+        bimodal.update(0x20, outcome_a)
+        if round_index >= 400:
+            total += 1
+            tage_correct += int(prediction_t == outcome_a)
+            bimodal_correct += int(prediction_b == outcome_a)
+    assert tage_correct > bimodal_correct
+    assert tage_correct / total > 0.9
+
+
+def test_digest_reflects_state():
+    tage = Tage()
+    initial = tage.state_digest()
+    tage.update(0x40, True)
+    assert tage.state_digest() != initial
+    tage.reset()
+    assert tage.state_digest() == initial
+
+
+def test_record_counts_mispredicts():
+    tage = Tage()
+    mispredicted = tage.record(True, False)
+    assert mispredicted
+    assert tage.stats.lookups == 1
+    assert tage.stats.mispredicts == 1
+    assert tage.stats.accuracy == 0.0
