@@ -1,0 +1,21 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+PYTEST := python -m pytest
+
+.PHONY: test bench-perf bench-quick bench-full
+
+# Tier-1: the full unit/integration suite.
+test:
+	$(PYTEST) -x -q
+
+# Engine throughput benchmark only (appends to BENCH_perf.json).
+bench-perf:
+	REPRO_BENCH_SCALE=quick $(PYTEST) benchmarks/bench_perf_engine.py -q -s
+
+# CI entry: tier-1 tests plus the quick-scale engine benchmark.
+bench-quick: test bench-perf
+
+# Paper-scale sweeps for every table/figure (slow).
+bench-full:
+	REPRO_BENCH_SCALE=full $(PYTEST) benchmarks -q -s

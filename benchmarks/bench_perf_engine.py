@@ -1,0 +1,112 @@
+"""Engine performance benchmark: fast vs reference, instructions/second.
+
+Runs the microbenchmark sweep (all four workloads x {sempe, plain}) on
+both engines, measures end-to-end ``simulate()`` throughput, verifies
+the two engines agree bit-for-bit on cycles and final registers, and
+appends one entry to the ``BENCH_perf.json`` trajectory artifact at the
+repo root so speedups are tracked across commits.
+
+Run directly::
+
+    REPRO_BENCH_SCALE=quick python -m pytest benchmarks/bench_perf_engine.py -q -s
+
+or via ``make bench-quick``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.engine import simulate
+from repro.workloads.microbench import (
+    MicrobenchSpec,
+    WORKLOADS,
+    compile_microbench,
+)
+
+ARTIFACT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "BENCH_perf.json")
+
+# The speedup the fast engine must beat; the recorded artifact carries
+# the actual measurement (>= 3x on an idle machine).
+MIN_SPEEDUP = 2.0
+
+
+def _sweep_programs(scale):
+    w = scale["w_sweep"][1] if len(scale["w_sweep"]) > 1 else scale["w_sweep"][0]
+    programs = []
+    for workload in scale["workloads"]:
+        for mode in ("sempe", "plain"):
+            spec = MicrobenchSpec(workload, w=w, iters=2)
+            compiled = compile_microbench(spec, mode)
+            programs.append((spec.name, compiled.program, mode == "sempe"))
+    return programs
+
+
+def _time_engine(programs, engine):
+    instructions = 0
+    reports = {}
+    started = time.perf_counter()
+    for name, program, sempe in programs:
+        report = simulate(program, sempe=sempe, engine=engine)
+        instructions += report.instructions
+        reports[(name, sempe)] = report
+    elapsed = time.perf_counter() - started
+    return instructions / elapsed, elapsed, reports
+
+
+def _append_trajectory(entry):
+    trajectory = []
+    if os.path.exists(ARTIFACT):
+        try:
+            with open(ARTIFACT, "r", encoding="utf-8") as handle:
+                trajectory = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            trajectory = []
+    trajectory.append(entry)
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+
+def test_bench_perf_engine(scale):
+    programs = _sweep_programs(scale)
+
+    # Warm both code paths (predecode caches, imports) outside the clock.
+    simulate(programs[0][1], sempe=programs[0][2], engine="fast")
+    simulate(programs[0][1], sempe=programs[0][2], engine="reference")
+
+    reference_ips, reference_s, reference_reports = _time_engine(
+        programs, "reference")
+    fast_ips, fast_s, fast_reports = _time_engine(programs, "fast")
+    speedup = fast_ips / reference_ips
+
+    # The speedup claim only counts because the engines agree exactly.
+    for key, reference in reference_reports.items():
+        fast = fast_reports[key]
+        assert reference.cycles == fast.cycles, key
+        assert reference.final_regs == fast.final_regs, key
+        assert reference.miss_rates == fast.miss_rates, key
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "quick"),
+        "workloads": list(scale["workloads"]),
+        "total_instructions": sum(
+            report.instructions for report in reference_reports.values()),
+        "reference_ips": round(reference_ips),
+        "fast_ips": round(fast_ips),
+        "reference_seconds": round(reference_s, 3),
+        "fast_seconds": round(fast_s, 3),
+        "speedup": round(speedup, 2),
+    }
+    _append_trajectory(entry)
+
+    print(f"\nreference: {reference_ips:,.0f} inst/s   "
+          f"fast: {fast_ips:,.0f} inst/s   speedup: {speedup:.2f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine only {speedup:.2f}x faster (floor {MIN_SPEEDUP}x); "
+        f"see {ARTIFACT}"
+    )

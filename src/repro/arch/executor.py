@@ -101,6 +101,15 @@ class Executor:
         self.state.pc = program.entry
         self.result = ExecutionResult()
         self._regions: list[_Region] = []
+        # Parallel to _regions: the modified-register set currently being
+        # accumulated for each active region (the NT or T set of its
+        # SPM slot, depending on the region's phase).  Register writes
+        # touch only the innermost set; a region folds its union into
+        # its parent when it exits, which yields the same sets as
+        # marking every enclosing region on every write — the parent's
+        # phase cannot change while a nested region is open — at O(1)
+        # per write instead of O(nesting).
+        self._modified_stack: list[set[int]] = []
         self._seq = 0
 
     # -- public API ------------------------------------------------------------
@@ -243,6 +252,7 @@ class Executor:
         self.jbtable.set_valid(inst.target)
         save_cycles = self.spm.save_entry_state(level, self.state.snapshot_regs())
         self._regions.append(_Region(level, inst.target, taken))
+        self._modified_stack.append(self.spm.slot(level).nt_modified)
         self.result.secure_branches += 1
         self.result.secure_regions += 1
         self.result.max_nesting = max(self.result.max_nesting, level + 1)
@@ -262,6 +272,7 @@ class Executor:
             self.state.restore_regs(slot.entry_regs)
             self.jbtable.take_jump_back()
             region.phase = "T"
+            self._modified_stack[-1] = slot.t_modified
             self.result.drains += 1
             self.result.spm_save_cycles += save_cycles
             self.result.spm_restore_cycles += restore_cycles
@@ -284,6 +295,10 @@ class Executor:
         self.jbtable.pop()
         self.spm.release(region.level)
         self._regions.pop()
+        self._modified_stack.pop()
+        if self._modified_stack:
+            # The parent sees every register the nested region wrote.
+            self._modified_stack[-1] |= slot.nt_modified | slot.t_modified
         self.result.drains += 1
         self.result.spm_restore_cycles += restore_cycles
         drain = DrainEvent(0, "secblock-exit", restore_cycles, region.level)
@@ -295,12 +310,8 @@ class Executor:
         if reg is None or reg == 0:
             return
         self.state.write(reg, value)
-        for region in self._regions:
-            slot = self.spm.slot(region.level)
-            if region.phase == "NT":
-                slot.nt_modified.add(reg)
-            else:
-                slot.t_modified.add(reg)
+        if self._modified_stack:
+            self._modified_stack[-1].add(reg)
 
     def _alu(self, inst: Instruction) -> int:
         read = self.state.read
@@ -332,7 +343,10 @@ class Executor:
         if op in (Op.SRA, Op.SRAI):
             return to_unsigned(to_signed(a) >> (b & 63))
         if op in (Op.SLT, Op.SLTI):
-            return 1 if to_signed(a) < to_signed(b & MASK64 if op is Op.SLT else b) else 0
+            # to_signed masks to 64 bits first, so register operands
+            # (already masked) and raw negative immediates compare the
+            # same way; no SLT/SLTI split needed.
+            return 1 if to_signed(a) < to_signed(b) else 0
         if op is Op.SLTU:
             return 1 if to_unsigned(a) < to_unsigned(b) else 0
         if op is Op.LUI:

@@ -48,4 +48,5 @@ class ArchState:
         return list(self.regs)
 
     def restore_regs(self, saved: list[int]) -> None:
-        self.regs = list(saved)
+        # In place: hot loops hold a direct reference to the register list.
+        self.regs[:] = saved

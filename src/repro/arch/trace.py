@@ -1,15 +1,28 @@
-"""Dynamic trace records.
+"""Dynamic trace records: per-object stream and columnar batched chunks.
 
-The functional executor emits a stream of :class:`DynInstr` (one per
-committed instruction) interleaved with :class:`DrainEvent` markers for
-the SeMPE pipeline drains and SPM transfers.  The out-of-order timing
-model, the side-channel observers, and the statistics collectors all
-consume this common stream.
+The **reference** functional executor emits a stream of :class:`DynInstr`
+(one per committed instruction) interleaved with :class:`DrainEvent`
+markers for the SeMPE pipeline drains and SPM transfers.  The out-of-order
+timing model, the side-channel observers, and the statistics collectors
+all consume this common stream.
+
+The **fast** engine replaces the object-per-instruction stream with
+:class:`TraceChunk` — struct-of-arrays batches of :data:`CHUNK_RECORDS`
+records.  Because almost every per-record field is a pure function of the
+static instruction, a chunk only carries the three dynamic columns
+(``pc``, ``addr``, ``taken``); everything else is looked up in the
+program's :class:`repro.isa.program.PredecodedProgram` tables.  Drain
+events ride in the same columns with ``pc < 0`` (see
+:meth:`TraceChunk.records`).  The :meth:`TraceChunk.records` adapter
+re-materializes :class:`DynInstr`/:class:`DrainEvent` objects so security
+observers and tests can consume chunked traces unchanged.
 """
 
 from __future__ import annotations
 
-from repro.isa.opcodes import Op, OpClass
+from typing import Iterable, Iterator
+
+from repro.isa.opcodes import Op, OpClass, OPCLASSES, OPS
 
 
 class DynInstr:
@@ -89,3 +102,85 @@ class DrainEvent:
 
 
 TraceRecord = DynInstr | DrainEvent
+
+
+# --------------------------------------------------------------------------
+# Columnar batched trace protocol (the fast engine's wire format).
+# --------------------------------------------------------------------------
+
+CHUNK_RECORDS = 4096
+
+DRAIN_REASONS = ("secblock-entry", "nt-path-end", "secblock-exit")
+DRAIN_REASON_ID = {reason: index for index, reason in enumerate(DRAIN_REASONS)}
+
+_STORE_CLS = OpClass.STORE
+_IJUMP_CLS = OpClass.IJUMP
+
+
+class TraceChunk:
+    """A struct-of-arrays batch of up to :data:`CHUNK_RECORDS` records.
+
+    Row encoding (columns are parallel lists of ints):
+
+    * instruction — ``pc`` is the instruction index (>= 0); ``addr`` is
+      the memory byte address (loads/stores), the dynamic jump target
+      (indirect jumps, whose target is a register value and thus not in
+      the static tables) or ``-1``; ``taken`` is ``-1`` (not a branch),
+      ``0`` or ``1``.
+    * drain — ``pc`` is ``-(1 + reason_id)``; ``addr`` carries the SPM
+      transfer cycles; ``taken`` carries the nesting level.
+
+    ``seq0`` is the stream sequence number of the first record; record
+    *i* has sequence ``seq0 + i`` (the reference executor numbers every
+    record, instruction or drain, consecutively).  ``pred`` is the
+    :class:`~repro.isa.program.PredecodedProgram` whose static tables
+    complete each instruction row.
+    """
+
+    __slots__ = ("seq0", "n", "pc", "addr", "taken", "pred")
+
+    def __init__(self, seq0: int, pc: list[int], addr: list[int],
+                 taken: list[int], pred) -> None:
+        self.seq0 = seq0
+        self.n = len(pc)
+        self.pc = pc
+        self.addr = addr
+        self.taken = taken
+        self.pred = pred
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Re-materialize the per-object record stream for this chunk."""
+        pred = self.pred
+        seq = self.seq0
+        for pc, addr, taken in zip(self.pc, self.addr, self.taken):
+            if pc < 0:
+                yield DrainEvent(seq, DRAIN_REASONS[-pc - 1], addr, taken)
+            else:
+                opclass = OPCLASSES[pred.cls_id[pc]]
+                dst = pred.dst[pc]
+                if opclass is _IJUMP_CLS:
+                    mem_addr, target = None, addr
+                else:
+                    mem_addr = None if addr < 0 else addr
+                    target = None if pred.target[pc] < 0 else pred.target[pc]
+                yield DynInstr(
+                    seq=seq,
+                    pc=pc,
+                    op=OPS[pred.op_id[pc]],
+                    opclass=opclass,
+                    srcs=pred.srcs[pc],
+                    dst=None if dst < 0 else dst,
+                    mem_addr=mem_addr,
+                    mem_width=pred.width[pc],
+                    is_store=opclass is _STORE_CLS,
+                    taken=None if taken < 0 else bool(taken),
+                    target=target,
+                    secure=bool(pred.secure[pc]),
+                )
+            seq += 1
+
+
+def chunk_records(chunks: Iterable[TraceChunk]) -> Iterator[TraceRecord]:
+    """Flatten a chunk stream back into per-object trace records."""
+    for chunk in chunks:
+        yield from chunk.records()

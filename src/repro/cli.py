@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.engine import simulate
+from repro.core.engine import ENGINES, simulate
 from repro.isa.encoding import encode_program
 from repro.isa.disassembler import disassemble, disassemble_binary
 from repro.lang.compiler import MODES, compile_source
@@ -41,7 +41,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     compiled = compile_source(_read_source(args.file), mode=args.mode,
                               collapse_ifs=args.collapse_ifs)
     sempe = args.mode == "sempe" and not args.legacy
-    report = simulate(compiled.program, sempe=sempe)
+    report = simulate(compiled.program, sempe=sempe, engine=args.engine)
     machine = "SeMPE" if sempe else "baseline"
     print(f"machine:       {machine}")
     print(f"instructions:  {report.instructions}")
@@ -93,6 +93,10 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
+    if args.engine:
+        from repro.core.engine import set_default_engine
+
+        set_default_engine(args.engine)
     from repro.harness import (
         fig8_djpeg_overhead, fig9_cache_missrates, fig10a_microbench,
         fig10b_normalized_to_ideal, format_table, table1_comparison,
@@ -141,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(run_parser)
     run_parser.add_argument("--legacy", action="store_true",
                             help="run the binary on the non-SeMPE machine")
+    run_parser.add_argument("--engine", choices=ENGINES,
+                            default=None,
+                            help="simulation engine (both are bit-identical;"
+                                 " default: fast)")
     run_parser.add_argument("--collapse-ifs", action="store_true")
     run_parser.add_argument("--globals", default="",
                             help="comma-separated globals to print")
@@ -166,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
         "name", help="table1|table2|fig8|fig9|fig10a|fig10b")
     experiments_parser.add_argument("--w", type=int, default=3,
                                     help="max nesting depth for sweeps")
+    experiments_parser.add_argument("--engine", choices=ENGINES,
+                                    default=None,
+                                    help="simulation engine for the sweep")
     experiments_parser.set_defaults(func=cmd_experiments)
     return parser
 

@@ -9,13 +9,27 @@
 ``sempe=False`` models the unprotected baseline machine running the same
 binary (SecPrefix ignored, ``eosJMP`` decoded as NOP), which is exactly
 the paper's baseline: identical core, no security.
+
+Two engines produce bit-identical :class:`SimulationReport`\\ s:
+
+* ``fast`` (the default) — predecoded dispatch plus a columnar batched
+  trace (:class:`~repro.arch.fast_executor.FastExecutor` feeding
+  :meth:`~repro.uarch.pipeline.OutOfOrderPipeline.run_chunks`);
+* ``reference`` — the original object-per-instruction stream, kept as
+  the readable oracle the parity suite checks the fast engine against.
+
+Select with the ``engine=`` argument, :func:`set_default_engine` (the
+CLI's ``--engine`` flag), or the ``REPRO_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
 
 from repro.arch.executor import ExecutionResult, Executor
+from repro.arch.fast_executor import FastExecutor
 from repro.core.jbtable import JumpBackTable
 from repro.core.snapshots import make_snapshot_mechanism
 from repro.isa.program import Program
@@ -52,18 +66,54 @@ class SimulationReport:
         return self.cycles / baseline.cycles
 
 
+# Engine registry.  "fast" and "reference" are bit-identical (the golden
+# parity suite enforces it); "reference" stays as the readable oracle.
+ENGINES = ("fast", "reference")
+_default_engine = "fast"
+_default_engine_overridden = False
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default engine (the CLI's ``--engine``).
+
+    An explicit call wins over the ``REPRO_ENGINE`` environment
+    variable; the env var only steers runs that never chose an engine.
+    """
+    global _default_engine, _default_engine_overridden
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")
+    _default_engine = name
+    _default_engine_overridden = True
+
+
+def get_default_engine() -> str:
+    """The engine used when ``simulate`` is called without ``engine=``."""
+    if _default_engine_overridden:
+        return _default_engine
+    return os.environ.get("REPRO_ENGINE") or _default_engine
+
+
+def _resolve_engine(name: str | None) -> str:
+    resolved = (name or get_default_engine()).lower()
+    if resolved not in ENGINES:
+        raise ValueError(f"unknown engine {resolved!r}; choose from {ENGINES}")
+    return resolved
+
+
 class SempeMachine:
     """A configured machine that can run programs."""
 
     def __init__(self, config: MachineConfig | None = None,
-                 sempe: bool = True) -> None:
+                 sempe: bool = True, engine: str | None = None) -> None:
         self.config = config or MachineConfig()
         self.sempe = sempe
+        self.engine = engine
 
     def run(self, program: Program,
             max_instructions: int = 50_000_000) -> SimulationReport:
         """Execute *program* functionally and through the timing model."""
         config = self.config
+        engine = _resolve_engine(self.engine)
         spm = ScratchpadMemory(
             n_slots=config.spm_slots,
             n_arch_regs=NUM_REGS,
@@ -79,19 +129,34 @@ class SempeMachine:
             spm_bytes_per_cycle=config.spm_bytes_per_cycle,
         )
         jbtable = JumpBackTable(depth=config.jbtable_depth)
-        executor = Executor(
-            program,
-            sempe=self.sempe,
-            spm=spm,
-            jbtable=jbtable,
-            max_instructions=max_instructions,
-        )
         pipeline = OutOfOrderPipeline(config, sempe=self.sempe)
         pipeline.rename_overhead = mechanism.rename_overhead_per_instruction()
         scale = _drain_scale(mechanism, spm)
-        trace = _scale_drains(executor.run(), scale) if scale != 1.0 \
-            else executor.run()
-        stats = pipeline.run(trace)
+
+        if engine == "fast":
+            executor = FastExecutor(
+                program,
+                sempe=self.sempe,
+                spm=spm,
+                jbtable=jbtable,
+                max_instructions=max_instructions,
+            )
+            chunks = executor.run_chunks(
+                line_bytes=config.hierarchy.il1.line_bytes)
+            if scale != 1.0:
+                chunks = _scale_chunk_drains(chunks, scale)
+            stats = pipeline.run_chunks(chunks)
+        else:
+            executor = Executor(
+                program,
+                sempe=self.sempe,
+                spm=spm,
+                jbtable=jbtable,
+                max_instructions=max_instructions,
+            )
+            trace = _scale_drains(executor.run(), scale) if scale != 1.0 \
+                else executor.run()
+            stats = pipeline.run(trace)
         return SimulationReport(
             program_name=program.name,
             sempe=self.sempe,
@@ -130,12 +195,30 @@ def _scale_drains(trace, scale: float):
         yield record
 
 
+def _scale_chunk_drains(chunks, scale: float):
+    """Chunked twin of :func:`_scale_drains` (drain rows have pc < 0 and
+    carry their SPM cycles in the addr column)."""
+    for chunk in chunks:
+        pc = chunk.pc
+        addr = chunk.addr
+        for i in range(chunk.n):
+            if pc[i] < 0:
+                addr[i] = max(1, int(round(addr[i] * scale)))
+        yield chunk
+
+
 def simulate(
     program: Program,
     sempe: bool = True,
     config: MachineConfig | None = None,
     max_instructions: int = 50_000_000,
+    engine: str | None = None,
 ) -> SimulationReport:
-    """Run *program* on a SeMPE (or baseline) machine and report."""
-    machine = SempeMachine(config=config, sempe=sempe)
+    """Run *program* on a SeMPE (or baseline) machine and report.
+
+    ``engine`` selects the simulation engine (``"fast"``/``"reference"``,
+    default :func:`get_default_engine`); both produce bit-identical
+    reports.
+    """
+    machine = SempeMachine(config=config, sempe=sempe, engine=engine)
     return machine.run(program, max_instructions=max_instructions)

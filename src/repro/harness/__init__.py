@@ -6,7 +6,13 @@ modules under ``benchmarks/`` are thin wrappers that time these and
 print the rows.
 """
 
-from repro.harness.runner import RunResult, run_microbench, run_djpeg, clear_cache
+from repro.harness.runner import (
+    RunResult,
+    cache_info,
+    clear_cache,
+    run_djpeg,
+    run_microbench,
+)
 from repro.harness.report import format_table
 from repro.harness.experiments import (
     table1_comparison,
@@ -23,6 +29,7 @@ __all__ = [
     "run_microbench",
     "run_djpeg",
     "clear_cache",
+    "cache_info",
     "format_table",
     "table1_comparison",
     "table2_config",

@@ -1,20 +1,30 @@
 """Run management with in-process caching.
 
-Fig. 8 and Fig. 9 come from the same djpeg sweep and Fig. 10a/10b share
-the microbenchmark sweep, so runs are cached by configuration key —
-each (program, machine) pair is simulated once per session.
+Fig. 8 and Fig. 9 come from the same djpeg sweep, Fig. 10a/10b share the
+microbenchmark sweep, and ``table1_comparison`` re-simulates the same
+baselines repeatedly, so runs are memoized by ``(workload spec, mode,
+config, engine)`` — each configuration is simulated once per session.
+
+The configuration part of the key is a *structural* fingerprint of the
+:class:`~repro.uarch.config.MachineConfig` (all fields, recursively),
+not an object identity: two equal configs built independently hit the
+same cache entry, and a config that is mutated between runs misses
+instead of aliasing a stale report.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
-from repro.core.engine import SimulationReport, simulate
+from repro.core.engine import SimulationReport, get_default_engine, simulate
 from repro.uarch.config import MachineConfig
 from repro.workloads.djpeg import DjpegSpec, compile_djpeg
 from repro.workloads.microbench import MicrobenchSpec, compile_microbench
 
 _CACHE: dict[tuple, "RunResult"] = {}
+_HITS = 0
+_MISSES = 0
 
 
 @dataclass
@@ -38,38 +48,63 @@ class RunResult:
         return self.report.miss_rates
 
 
+def config_fingerprint(config: MachineConfig | None) -> tuple | None:
+    """Hashable structural identity of a machine configuration."""
+    if config is None:
+        return None
+    return dataclasses.astuple(config)
+
+
 def clear_cache() -> None:
-    """Drop all cached runs (used by tests)."""
+    """Drop all cached runs and reset the counters (used by tests)."""
+    global _HITS, _MISSES
     _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0
+
+
+def cache_info() -> dict[str, int]:
+    """Hit/miss/size counters for the run cache."""
+    return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+def _cached_run(key: tuple, compile_fn, name: str, mode: str,
+                config: MachineConfig | None, engine: str) -> RunResult:
+    global _HITS, _MISSES
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _HITS += 1
+        return cached
+    _MISSES += 1
+    compiled = compile_fn()
+    report = simulate(compiled.program, sempe=(mode == "sempe"),
+                      config=config, engine=engine)
+    result = RunResult(name=name, mode=mode, report=report)
+    _CACHE[key] = result
+    return result
 
 
 def run_microbench(spec: MicrobenchSpec, mode: str,
-                   config: MachineConfig | None = None) -> RunResult:
+                   config: MachineConfig | None = None,
+                   engine: str | None = None) -> RunResult:
     """Simulate one microbenchmark configuration (cached).
 
     ``mode`` selects both the compiler mode and the machine: ``sempe``
     runs on the SeMPE machine, ``plain`` and ``cte`` on the baseline.
     """
+    engine = engine or get_default_engine()
     key = ("micro", spec.workload, spec.w, spec.iters, spec.size,
-           spec.variant, mode, id(config) if config else None)
-    if key in _CACHE:
-        return _CACHE[key]
-    compiled = compile_microbench(spec, mode)
-    report = simulate(compiled.program, sempe=(mode == "sempe"), config=config)
-    result = RunResult(name=spec.name, mode=mode, report=report)
-    _CACHE[key] = result
-    return result
+           spec.variant, mode, config_fingerprint(config), engine)
+    return _cached_run(key, lambda: compile_microbench(spec, mode),
+                       spec.name, mode, config, engine)
 
 
 def run_djpeg(spec: DjpegSpec, mode: str,
-              config: MachineConfig | None = None) -> RunResult:
+              config: MachineConfig | None = None,
+              engine: str | None = None) -> RunResult:
     """Simulate one djpeg configuration (cached)."""
+    engine = engine or get_default_engine()
     key = ("djpeg", spec.fmt, spec.npixels, spec.seed, mode,
-           id(config) if config else None)
-    if key in _CACHE:
-        return _CACHE[key]
-    compiled = compile_djpeg(spec, mode)
-    report = simulate(compiled.program, sempe=(mode == "sempe"), config=config)
-    result = RunResult(name=spec.name, mode=mode, report=report)
-    _CACHE[key] = result
-    return result
+           config_fingerprint(config), engine)
+    return _cached_run(key, lambda: compile_djpeg(spec, mode),
+                       spec.name, mode, config, engine)

@@ -114,6 +114,27 @@ _OP_CLASS[Op.NOP] = OpClass.SYS
 _OP_CLASS[Op.HALT] = OpClass.SYS
 
 
+# -- dense integer ids -------------------------------------------------------
+#
+# The fast simulation engine dispatches through tables indexed by small
+# integers instead of comparing Enum members (see the predecode pass in
+# :mod:`repro.isa.program`).  The ids are the declaration order of the
+# Enum members and are stable within a process.
+
+OPS: tuple[Op, ...] = tuple(Op)
+OP_ID: dict[Op, int] = {op: index for index, op in enumerate(OPS)}
+OPCLASSES: tuple[OpClass, ...] = tuple(OpClass)
+OPCLASS_ID: dict[OpClass, int] = {
+    opclass: index for index, opclass in enumerate(OPCLASSES)
+}
+NUM_OPS = len(OPS)
+
+# op id -> opclass id, as a flat tuple for int-indexed lookups.
+OP_CLASS_IDS: tuple[int, ...] = tuple(
+    OPCLASS_ID[_OP_CLASS[op]] for op in OPS
+)
+
+
 def op_class(op: Op) -> OpClass:
     """Return the :class:`OpClass` of *op*."""
     return _OP_CLASS[op]

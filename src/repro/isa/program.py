@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
-from repro.isa.opcodes import Op
+from repro.isa.opcodes import Op, OP_CLASS_IDS, OP_ID, mem_width
 
 CODE_BASE = 0x0000_0000
 DATA_BASE = 0x0010_0000
@@ -129,3 +129,131 @@ class Program:
                 lines.append(f"{label}:")
             lines.append(f"    {inst}")
         return "\n".join(lines)
+
+    def predecode(self, line_bytes: int = 64) -> "PredecodedProgram":
+        """Lower the instruction list to flat tables (cached per geometry).
+
+        The fast engine dispatches through these tables instead of
+        touching :class:`Instruction` objects or Enum members in its
+        inner loop.  *line_bytes* fixes the instruction-cache line size
+        used for the precomputed line indices, so the cache is keyed by
+        it.
+        """
+        cache = getattr(self, "_predecoded", None)
+        if cache is None:
+            cache = {}
+            self._predecoded = cache
+        predecoded = cache.get(line_bytes)
+        if predecoded is None:
+            predecoded = PredecodedProgram(self, line_bytes)
+            cache[line_bytes] = predecoded
+        return predecoded
+
+
+# --------------------------------------------------------------------------
+# Predecoded form: one handler-kind int per instruction plus parallel
+# operand tables, so the fast engine's inner loop is table lookups and
+# small-int comparisons only.
+# --------------------------------------------------------------------------
+
+# Handler kinds.  ALU kinds collapse the reg/imm variants (ADD/ADDI ...)
+# into one semantic handler; the operand tables say where the second
+# operand comes from.
+(
+    K_ADD, K_SUB, K_MUL, K_DIV, K_REM, K_AND, K_OR, K_XOR,
+    K_SLL, K_SRL, K_SRA, K_SLT, K_SLTU, K_LUI,
+    K_LOAD, K_STORE,
+    K_BEQ, K_BNE, K_BLT, K_BGE, K_BLTU, K_BGEU,
+    K_JMP, K_JAL, K_JALR, K_CMOV, K_EOSJMP, K_NOP, K_HALT,
+) = range(29)
+
+K_LAST_ALU = K_LUI        # kinds <= this compute a register value
+K_FIRST_BRANCH = K_BEQ
+K_LAST_BRANCH = K_BGEU
+
+_HANDLER_KIND = {
+    Op.ADD: K_ADD, Op.ADDI: K_ADD,
+    Op.SUB: K_SUB,
+    Op.MUL: K_MUL,
+    Op.DIV: K_DIV,
+    Op.REM: K_REM,
+    Op.AND: K_AND, Op.ANDI: K_AND,
+    Op.OR: K_OR, Op.ORI: K_OR,
+    Op.XOR: K_XOR, Op.XORI: K_XOR,
+    Op.SLL: K_SLL, Op.SLLI: K_SLL,
+    Op.SRL: K_SRL, Op.SRLI: K_SRL,
+    Op.SRA: K_SRA, Op.SRAI: K_SRA,
+    Op.SLT: K_SLT, Op.SLTI: K_SLT,
+    Op.SLTU: K_SLTU,
+    Op.LUI: K_LUI,
+    Op.LD: K_LOAD, Op.LB: K_LOAD,
+    Op.ST: K_STORE, Op.SB: K_STORE,
+    Op.BEQ: K_BEQ, Op.BNE: K_BNE, Op.BLT: K_BLT, Op.BGE: K_BGE,
+    Op.BLTU: K_BLTU, Op.BGEU: K_BGEU,
+    Op.JMP: K_JMP, Op.JAL: K_JAL, Op.JALR: K_JALR,
+    Op.CMOV: K_CMOV,
+    Op.EOSJMP: K_EOSJMP,
+    Op.NOP: K_NOP,
+    Op.HALT: K_HALT,
+}
+
+
+class PredecodedProgram:
+    """Struct-of-arrays lowering of a sealed :class:`Program`.
+
+    All tables are tuples indexed by instruction index; ``-1`` encodes
+    "no register"/"no target".  ``srcs`` keeps the exact source-register
+    tuples :meth:`Instruction.src_regs` would return, so trace chunks can
+    be re-materialized bit-exactly.
+    """
+
+    __slots__ = (
+        "program", "n", "line_bytes",
+        "kind", "op_id", "cls_id",
+        "rd", "rs1", "rs2", "imm", "b_is_imm",
+        "target", "secure", "width", "line", "srcs", "dst",
+    )
+
+    def __init__(self, program: Program, line_bytes: int = 64) -> None:
+        self.program = program
+        self.line_bytes = line_bytes
+        instructions = program.instructions
+        self.n = len(instructions)
+        kind, op_id, cls_id = [], [], []
+        rd, rs1, rs2, imm, b_is_imm = [], [], [], [], []
+        target, secure, width, line, srcs, dst = [], [], [], [], [], []
+        insts_per_line = max(line_bytes // INSTRUCTION_BYTES, 1)
+        for index, inst in enumerate(instructions):
+            op = inst.op
+            kind.append(_HANDLER_KIND[op])
+            op_index = OP_ID[op]
+            op_id.append(op_index)
+            cls_id.append(OP_CLASS_IDS[op_index])
+            rd.append(-1 if inst.rd is None else inst.rd)
+            rs1.append(-1 if inst.rs1 is None else inst.rs1)
+            rs2.append(-1 if inst.rs2 is None else inst.rs2)
+            imm.append(0 if inst.imm is None else inst.imm)
+            # Mirrors Executor._alu's operand selection exactly.
+            b_is_imm.append(1 if (inst.imm is not None and inst.rs2 is None)
+                            else 0)
+            target.append(-1 if inst.target is None else inst.target)
+            secure.append(1 if inst.secure else 0)
+            width.append(mem_width(op) if inst.is_mem else 0)
+            line.append(index // insts_per_line)
+            srcs.append(inst.src_regs())
+            dst_reg = inst.dst_reg()
+            dst.append(-1 if dst_reg is None else dst_reg)
+        self.kind = tuple(kind)
+        self.op_id = tuple(op_id)
+        self.cls_id = tuple(cls_id)
+        self.rd = tuple(rd)
+        self.rs1 = tuple(rs1)
+        self.rs2 = tuple(rs2)
+        self.imm = tuple(imm)
+        self.b_is_imm = tuple(b_is_imm)
+        self.target = tuple(target)
+        self.secure = tuple(secure)
+        self.width = tuple(width)
+        self.line = tuple(line)
+        self.srcs = tuple(srcs)
+        self.dst = tuple(dst)

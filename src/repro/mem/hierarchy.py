@@ -83,6 +83,41 @@ class MemoryHierarchy:
         self.dl1.fill(address, is_write=is_write)
         return AccessResult(latency, l1_hit=False, l2_hit=l2_hit)
 
+    # -- fast-path variants ------------------------------------------------------
+    #
+    # Same cache side effects as the access_* methods, but they return a
+    # bare latency int instead of allocating an AccessResult.  The fast
+    # engine's inner loop calls these; the reference engine keeps the
+    # object-returning methods, so the parity suite covers both.
+
+    def fetch_latency(self, address: int) -> int:
+        """Instruction fetch; returns 0 on an IL1 hit, else the full
+        miss latency (what the pipeline adds to the fetch cycle)."""
+        if self.il1.access(address, is_write=False):
+            return 0
+        l2_hit = self._l2_demand(address, is_write=False)
+        latency = self.config.il1.hit_latency + self.config.l2.hit_latency
+        if not l2_hit:
+            latency += self.config.dram_latency
+        self.il1.fill(address)
+        return latency
+
+    def data_latency(self, pc: int, address: int, is_write: bool) -> int:
+        """Data access; returns the load-to-use latency in cycles."""
+        if self.config.enable_l1_prefetcher:
+            for prefetch_address in self.stride_prefetcher.observe(pc, address):
+                self._prefetch_into_dl1(prefetch_address)
+
+        latency = self.config.dl1.hit_latency
+        if self.dl1.access(address, is_write):
+            return latency
+        l2_hit = self._l2_demand(address, is_write=False)
+        latency += self.config.l2.hit_latency
+        if not l2_hit:
+            latency += self.config.dram_latency
+        self.dl1.fill(address, is_write=is_write)
+        return latency
+
     # -- internals ---------------------------------------------------------------
 
     def _l2_demand(self, address: int, is_write: bool) -> bool:

@@ -30,9 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.arch.trace import DynInstr, DrainEvent, TraceRecord
+from repro.arch.trace import DynInstr, DrainEvent, TraceChunk, TraceRecord
 from repro.isa.instructions import INSTRUCTION_BYTES
-from repro.isa.opcodes import Op, OpClass
+from repro.isa.opcodes import Op, OpClass, OPCLASSES, OPCLASS_ID, OP_ID
+from repro.isa.registers import NUM_REGS
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.uarch.branch import make_predictor, BranchTargetBuffer, ReturnAddressStack
 from repro.uarch.branch.ittage import Ittage
@@ -86,9 +87,15 @@ class _BandwidthTable:
         return cycle
 
     def prune(self, before: int) -> None:
+        """Drop slots below *before*, which callers guarantee no future
+        ``reserve`` can reach.  The floor advances on every call — not
+        only when the map happens to be large — so the map stays bounded
+        and a reserve below the floor can never land on a pruned cycle.
+        """
+        if before > self._floor:
+            self._floor = before
         if len(self._used) > 4096:
             self._used = {c: n for c, n in self._used.items() if c >= before}
-            self._floor = max(self._floor, before)
 
 
 class OutOfOrderPipeline:
@@ -279,15 +286,328 @@ class OutOfOrderPipeline:
             if index % 8192 == 0:
                 issue_bw.prune(this_fetch - 64)
                 load_bw.prune(this_fetch - 64)
+                floor = this_fetch - 512
                 if len(store_ready) > 16384:
-                    floor = this_fetch - 512
                     store_ready = {a: c for a, c in store_ready.items()
                                    if c >= floor}
+                # Stale producers resolve to the same answer as a miss
+                # (any future dispatch is past them), so drop them too
+                # rather than letting the map grow with the run length.
+                reg_ready = {r: c for r, c in reg_ready.items()
+                             if c >= floor}
 
         self.stats.instructions = index
         self.stats.cycles = max_commit
         self._collect_memory_stats()
         return self.stats
+
+    # -- chunked fast path -------------------------------------------------------
+
+    def run_chunks(self, chunks: Iterable[TraceChunk]) -> PipelineStats:
+        """Timing model over a columnar chunk stream (the fast engine).
+
+        Cycle-for-cycle identical to :meth:`run` on the equivalent
+        per-object trace — the golden parity suite
+        (``tests/core/test_engine_parity.py``) holds the two loops
+        together.  The duplication buys the hot loop int comparisons,
+        table lookups and hoisted locals instead of Enum/attribute
+        traffic; keep any change here in lockstep with :meth:`run`.
+        """
+        config = self.config
+        hierarchy = self.hierarchy
+        fetch_latency = hierarchy.fetch_latency
+        data_latency = hierarchy.data_latency
+        line_bytes = config.hierarchy.il1.line_bytes
+
+        cls_load = OPCLASS_ID[OpClass.LOAD]
+        cls_store = OPCLASS_ID[OpClass.STORE]
+        cls_branch = OPCLASS_ID[OpClass.BRANCH]
+        op_jal = OP_ID[Op.JAL]
+        op_jalr = OP_ID[Op.JALR]
+        lat_by_cls = tuple(config.latency_for(opclass.value)
+                           for opclass in OPCLASSES)
+
+        frontend_depth = config.frontend_depth
+        fetch_width = config.fetch_width
+        retire_width = config.retire_width
+        mispredict_penalty = config.mispredict_penalty
+        rob_entries = config.rob_entries
+        int_issue_buffer = config.int_issue_buffer
+        load_queue = config.load_queue
+        store_queue = config.store_queue
+        sempe = self.sempe
+        rename_overhead = self.rename_overhead
+
+        # Bandwidth tables, inlined (same find-first-available semantics
+        # as _BandwidthTable, minus the per-record method calls).
+        issue_width = config.issue_width
+        load_issue_width = config.load_issue_width
+        issue_used: dict[int, int] = {}
+        load_used: dict[int, int] = {}
+        issue_used_get = issue_used.get
+        load_used_get = load_used.get
+        issue_floor = load_floor = 0
+
+        predictor = self.predictor
+        predict = predictor.predict
+        predictor_update = predictor.update
+        predictor_record = predictor.record
+        btb_update = self.btb.update
+        ras = self.ras
+        ittage = self.ittage
+
+        rob_commits = [0] * rob_entries
+        iq_issues = [0] * int_issue_buffer
+        lq_commits = [0] * load_queue
+        sq_commits = [0] * store_queue
+        rob_head = iq_head = lq_head = sq_head = 0
+
+        reg_ready = [0] * NUM_REGS
+        store_ready: dict[int, int] = {}
+        store_ready_get = store_ready.get
+
+        fetch_cycle = 0
+        fetch_slots = fetch_width
+        fetch_barrier = 0
+        dispatch_barrier = 0
+        current_line = -1
+        rename_debt = 0.0
+
+        last_commit = 0
+        commit_in_cycle = 0
+        max_commit = 0
+        index = 0
+
+        branches = mispredicts = indirect_mispredicts = 0
+        drains = drain_cycles = spm_cycles = 0
+
+        pred = None
+        for chunk in chunks:
+            if chunk.pred is not pred:
+                pred = chunk.pred
+                if pred.line_bytes != line_bytes:
+                    raise ValueError(
+                        f"chunk predecoded for {pred.line_bytes}B icache "
+                        f"lines, timing model uses {line_bytes}B"
+                    )
+                p_cls = pred.cls_id
+                p_op = pred.op_id
+                p_srcs = pred.srcs
+                p_dst = pred.dst
+                p_sec = pred.secure
+                p_line = pred.line
+                p_tgt = pred.target
+                p_lat = tuple(lat_by_cls[cls] for cls in p_cls)
+            for pc, dyn_addr, tk in zip(chunk.pc, chunk.addr, chunk.taken):
+                if pc < 0:
+                    # Drain: rename/dispatch halts until the ROB drains
+                    # and the SPM transfer completes (see run()).
+                    drain_end = max_commit + dyn_addr
+                    if drain_end > dispatch_barrier:
+                        dispatch_barrier = drain_end
+                    drains += 1
+                    spm_cycles += dyn_addr
+                    drain_cycles += dyn_addr
+                    continue
+
+                cls = p_cls[pc]
+
+                # ---- fetch ----
+                if fetch_cycle < fetch_barrier:
+                    fetch_cycle = fetch_barrier
+                    fetch_slots = fetch_width
+                    current_line = -1
+                if fetch_slots <= 0:
+                    fetch_cycle += 1
+                    fetch_slots = fetch_width
+                    if fetch_cycle < fetch_barrier:
+                        fetch_cycle = fetch_barrier
+                line = p_line[pc]
+                if line != current_line:
+                    miss_latency = fetch_latency(pc * INSTRUCTION_BYTES)
+                    if miss_latency:
+                        fetch_cycle += miss_latency
+                        fetch_slots = fetch_width
+                    current_line = line
+                this_fetch = fetch_cycle
+                fetch_slots -= 1
+
+                if rename_overhead:
+                    rename_debt += rename_overhead
+                    if rename_debt >= 1.0:
+                        whole = int(rename_debt)
+                        rename_debt -= whole
+                        fetch_cycle += whole
+
+                # ---- dispatch ----
+                dispatch = this_fetch + frontend_depth
+                if dispatch < dispatch_barrier:
+                    dispatch = dispatch_barrier
+                if rob_commits[rob_head] > dispatch:
+                    dispatch = rob_commits[rob_head]
+                if iq_issues[iq_head] > dispatch:
+                    dispatch = iq_issues[iq_head]
+                if cls == cls_load:
+                    if lq_commits[lq_head] > dispatch:
+                        dispatch = lq_commits[lq_head]
+                elif cls == cls_store:
+                    if sq_commits[sq_head] > dispatch:
+                        dispatch = sq_commits[sq_head]
+
+                # ---- operand readiness ----
+                ready = dispatch
+                for reg in p_srcs[pc]:
+                    producer = reg_ready[reg]
+                    if producer > ready:
+                        ready = producer
+
+                # ---- issue + execute ----
+                if cls == cls_load:
+                    cycle = ready if ready > issue_floor else issue_floor
+                    used = issue_used_get(cycle, 0)
+                    while used >= issue_width:
+                        cycle += 1
+                        used = issue_used_get(cycle, 0)
+                    issue_used[cycle] = used + 1
+                    if cycle < load_floor:
+                        cycle = load_floor
+                    used = load_used_get(cycle, 0)
+                    while used >= load_issue_width:
+                        cycle += 1
+                        used = load_used_get(cycle, 0)
+                    load_used[cycle] = used + 1
+                    issue = cycle
+                    forward_from = store_ready_get(dyn_addr & ~7, 0)
+                    complete = issue + data_latency(pc, dyn_addr, False)
+                    if forward_from > complete:
+                        complete = forward_from
+                else:
+                    cycle = ready if ready > issue_floor else issue_floor
+                    used = issue_used_get(cycle, 0)
+                    while used >= issue_width:
+                        cycle += 1
+                        used = issue_used_get(cycle, 0)
+                    issue_used[cycle] = used + 1
+                    issue = cycle
+                    if cls == cls_store:
+                        data_latency(pc, dyn_addr, True)
+                        complete = issue + p_lat[pc]
+                        store_ready[dyn_addr & ~7] = complete
+                    else:
+                        complete = issue + p_lat[pc]
+
+                # ---- branch resolution ----
+                if tk >= 0:
+                    branches += 1
+                    if p_sec[pc] and sempe:
+                        # sJMP: front end always falls through (§IV-E).
+                        pass
+                    else:
+                        pc_bytes = pc * INSTRUCTION_BYTES
+                        redirect = None
+                        if cls == cls_branch:
+                            predicted = predict(pc_bytes)
+                            taken_b = bool(tk)
+                            predictor_update(pc_bytes, taken_b)
+                            mispredicted = predictor_record(predicted,
+                                                            taken_b)
+                            if tk:
+                                btb_update(pc_bytes, p_tgt[pc])
+                            if mispredicted:
+                                mispredicts += 1
+                                redirect = complete + mispredict_penalty
+                        else:
+                            op = p_op[pc]
+                            if op == op_jal:
+                                if p_dst[pc] >= 0:
+                                    ras.push(pc + 1)
+                                btb_update(pc_bytes, p_tgt[pc])
+                            elif op == op_jalr:
+                                target = dyn_addr
+                                ras_prediction = ras.pop()
+                                ittage_prediction = ittage.predict(pc_bytes)
+                                ittage.update(pc_bytes, target)
+                                predicted_target = (
+                                    ras_prediction
+                                    if ras_prediction is not None
+                                    else ittage_prediction
+                                )
+                                if predicted_target != target:
+                                    indirect_mispredicts += 1
+                                    mispredicts += 1
+                                    redirect = complete + mispredict_penalty
+                        if redirect is not None:
+                            if redirect > fetch_barrier:
+                                fetch_barrier = redirect
+                        elif tk:
+                            fetch_cycle = max(fetch_cycle, this_fetch) + 1
+                            fetch_slots = fetch_width
+                            current_line = -1
+
+                # ---- register writeback ----
+                dst = p_dst[pc]
+                if dst >= 0:
+                    reg_ready[dst] = complete
+
+                # ---- commit ----
+                commit = complete + 1
+                if commit < last_commit:
+                    commit = last_commit
+                if commit == last_commit:
+                    commit_in_cycle += 1
+                    if commit_in_cycle > retire_width:
+                        commit += 1
+                        commit_in_cycle = 1
+                else:
+                    commit_in_cycle = 1
+                last_commit = commit
+                if commit > max_commit:
+                    max_commit = commit
+
+                # ---- occupancy bookkeeping ----
+                rob_commits[rob_head] = commit
+                rob_head = (rob_head + 1) % rob_entries
+                iq_issues[iq_head] = issue
+                iq_head = (iq_head + 1) % int_issue_buffer
+                if cls == cls_load:
+                    lq_commits[lq_head] = commit
+                    lq_head = (lq_head + 1) % load_queue
+                elif cls == cls_store:
+                    sq_commits[sq_head] = commit
+                    sq_head = (sq_head + 1) % store_queue
+
+                index += 1
+                if index % 8192 == 0:
+                    floor = this_fetch - 64
+                    if floor > issue_floor:
+                        issue_floor = floor
+                    if floor > load_floor:
+                        load_floor = floor
+                    if len(issue_used) > 4096:
+                        issue_used = {c: n for c, n in issue_used.items()
+                                      if c >= floor}
+                        issue_used_get = issue_used.get
+                    if len(load_used) > 4096:
+                        load_used = {c: n for c, n in load_used.items()
+                                     if c >= floor}
+                        load_used_get = load_used.get
+                    if len(store_ready) > 16384:
+                        floor = this_fetch - 512
+                        store_ready = {a: c for a, c in store_ready.items()
+                                       if c >= floor}
+                        store_ready_get = store_ready.get
+
+        stats = self.stats
+        stats.instructions = index
+        stats.cycles = max_commit
+        stats.branches += branches
+        stats.mispredicts += mispredicts
+        stats.indirect_mispredicts += indirect_mispredicts
+        stats.drains += drains
+        stats.drain_cycles += drain_cycles
+        stats.spm_cycles += spm_cycles
+        self._collect_memory_stats()
+        return stats
 
     # -- helpers ---------------------------------------------------------------
 

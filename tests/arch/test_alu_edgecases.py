@@ -1,0 +1,87 @@
+"""Signed/unsigned comparison edge cases for SLT / SLTI / SLTU.
+
+Audit record for the ``Executor._alu`` signed-immediate handling: the
+former ``b & MASK64 if op is Op.SLT else b`` masking was redundant —
+``to_signed`` masks first — but the behaviour at the edges was never
+pinned down.  These tests fix the contract for negative immediates and
+large unsigned operands, on both engines.
+"""
+
+import pytest
+
+from repro.arch.executor import Executor
+from repro.arch.fast_executor import FastExecutor
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+MASK64 = (1 << 64) - 1
+INT_MIN = 1 << 63          # as an unsigned pattern: most negative value
+NEG = lambda v: (-v) & MASK64  # noqa: E731 - two's-complement literal
+
+
+def alu_result(op, a, b=None, imm=None):
+    """Run ``op rd, rs1(, rs2|imm)`` on both engines; assert they agree."""
+    inst = Instruction(op, rd=10, rs1=11,
+                       rs2=None if b is None else 12, imm=imm)
+    program = Program([inst, Instruction(Op.HALT)], name="alu-edge")
+    results = []
+    for executor_class, drive in (
+        (Executor, lambda e: e.run_to_completion()),
+        (FastExecutor, lambda e: list(e.run_chunks())),
+    ):
+        executor = executor_class(program, sempe=False)
+        executor.state.regs[11] = a & MASK64
+        if b is not None:
+            executor.state.regs[12] = b & MASK64
+        drive(executor)
+        results.append(executor.state.regs[10])
+    assert results[0] == results[1], (
+        f"engine mismatch for {op}: {results[0]} != {results[1]}"
+    )
+    return results[0]
+
+
+@pytest.mark.parametrize("a,imm,expected", [
+    (0, -1, 0),            # 0 < -1 is false
+    (NEG(2), -1, 1),       # -2 < -1
+    (NEG(1), -1, 0),       # -1 < -1 is false
+    (INT_MIN, 5, 1),       # most negative < 5
+    (INT_MIN, -1, 1),      # most negative < -1
+    (MASK64, 0, 1),        # -1 < 0 (large unsigned pattern is negative)
+    (5, 5, 0),
+    (4, 5, 1),
+    (0, 1 << 63, 0),       # oversized imm wraps to the most negative value
+])
+def test_slti_signed_compare(a, imm, expected):
+    assert alu_result(Op.SLTI, a, imm=imm) == expected
+
+
+@pytest.mark.parametrize("a,b,expected", [
+    (1, MASK64, 0),        # 1 < -1 is false signed
+    (INT_MIN, 1, 1),       # most negative < 1
+    (MASK64, NEG(2), 0),   # -1 < -2 is false
+    (NEG(2), MASK64, 1),   # -2 < -1
+    (INT_MIN, INT_MIN, 0),
+])
+def test_slt_signed_compare(a, b, expected):
+    assert alu_result(Op.SLT, a, b=b) == expected
+
+
+@pytest.mark.parametrize("a,b,expected", [
+    (1, MASK64, 1),        # unsigned: 1 < 2^64-1
+    (MASK64, 1, 0),
+    (INT_MIN, 1, 0),       # 2^63 is a big unsigned number
+    (1, INT_MIN, 1),
+    (0, 0, 0),
+])
+def test_sltu_unsigned_compare(a, b, expected):
+    assert alu_result(Op.SLTU, a, b=b) == expected
+
+
+def test_slti_branchless_abs_idiom():
+    """The motivating use: sign tests in branchless code must treat a
+    large unsigned register as negative."""
+    pattern = NEG(123456789)
+    assert alu_result(Op.SLTI, pattern, imm=0) == 1
+    assert alu_result(Op.SLT, pattern, b=0) == 1

@@ -1,0 +1,113 @@
+"""Nested SecBlock regression tests for the O(1) modified-register
+tracking in ``Executor._write_reg``.
+
+A register written inside a nested region must be visible in every
+enclosing region's modified set, otherwise the enclosing constant-time
+restore leaves wrong-path values in the registers.  The strongest
+architectural check: a SeMPE run of a sempe-compiled binary must end in
+exactly the same architectural state as a legacy run of the same binary
+(backward compatibility), for every secret assignment.
+"""
+
+import itertools
+
+import pytest
+
+from repro.arch.executor import Executor
+from repro.lang.compiler import compile_source
+
+NESTED = """
+secret int s1 = {s1};
+secret int s2 = {s2};
+secret int s3 = {s3};
+int result = 0;
+
+void main() {{
+  int x = 10;
+  int y = 20;
+  if (s1) {{
+    x = x + 100;
+    if (s2) {{
+      x = x + 1000;
+      if (s3) {{ y = y + 7; }}
+      y = y + 1;
+    }}
+    y = y + 2;
+  }} else {{
+    x = x + 5;
+    if (s2) {{ x = x + 3; }}
+  }}
+  result = x * 1000 + y;
+}}
+"""
+
+
+def _expected(s1, s2, s3):
+    x, y = 10, 20
+    if s1:
+        x += 100
+        if s2:
+            x += 1000
+            if s3:
+                y += 7
+            y += 1
+        y += 2
+    else:
+        x += 5
+        if s2:
+            x += 3
+    return x * 1000 + y
+
+
+def _run(source, sempe):
+    program = compile_source(source, mode="sempe").program
+    executor = Executor(program, sempe=sempe)
+    executor.run_to_completion()
+    result = executor.state.memory.load_signed(program.symbols["result"])
+    return executor, result
+
+
+@pytest.mark.parametrize("s1,s2,s3",
+                         list(itertools.product((0, 1), repeat=3)))
+def test_nested_regions_restore_correctly(s1, s2, s3):
+    """Program-visible results must match the source semantics and the
+    legacy machine for every secret assignment.  (Raw register files are
+    *not* compared: the compiler privatizes SecBlock variables into
+    per-path stack slots merged by CMOV, and that privatized memory is
+    deliberately not rolled back, so dead temporaries may differ.)"""
+    source = NESTED.format(s1=s1, s2=s2, s3=s3)
+    secure, secure_result = _run(source, sempe=True)
+    legacy, legacy_result = _run(source, sempe=False)
+    assert secure_result == _expected(s1, s2, s3)
+    assert legacy_result == secure_result
+    # Both paths of every secure branch actually executed.
+    assert secure.result.instructions > legacy.result.instructions
+    assert secure.result.max_nesting >= 2
+
+
+def test_inner_writes_propagate_to_outer_restore():
+    """The precise failure mode of per-write region iteration gone
+    wrong: s1=0 makes the outer NT (else) path correct, so registers
+    the *taken* path modified — including those written only inside the
+    nested region — must be rolled back at the outer merge."""
+    source = NESTED.format(s1=0, s2=1, s3=1)
+    _, result = _run(source, sempe=True)
+    # x: 10 + 5 + 3 = 18; y stays 20 (the y writes happened on the
+    # discarded taken path, two levels deep).
+    assert result == 18 * 1000 + 20
+
+
+def test_modified_sets_fold_into_parent():
+    """White-box check: after a nested region exits, the registers it
+    wrote appear in the still-open parent region's accumulating set."""
+    source = NESTED.format(s1=1, s2=1, s3=0)
+    program = compile_source(source, mode="sempe").program
+    executor = Executor(program, sempe=True)
+    max_outer_set = 0
+    for _record in executor.run():
+        if len(executor._regions) == 1:
+            max_outer_set = max(max_outer_set,
+                                len(executor._modified_stack[0]))
+    # The outer region's set ends up holding more registers than any
+    # single straight-line segment writes, because nested unions fold in.
+    assert max_outer_set >= 2

@@ -1,0 +1,81 @@
+"""Columnar trace chunks and their record-materializing adapter.
+
+The fast executor's chunk stream, flattened back through
+``TraceChunk.records()``, must reproduce the reference executor's
+object stream field for field — that is what lets security observers
+and trace-level tests consume either engine.
+"""
+
+from repro.arch.executor import Executor
+from repro.arch.fast_executor import FastExecutor
+from repro.arch.trace import CHUNK_RECORDS, DRAIN_REASONS, chunk_records
+from repro.isa.assembler import assemble
+from repro.workloads.microbench import MicrobenchSpec, compile_microbench
+
+DYN_FIELDS = ("seq", "pc", "op", "opclass", "srcs", "dst", "mem_addr",
+              "mem_width", "is_store", "taken", "target", "secure")
+DRAIN_FIELDS = ("seq", "reason", "spm_cycles", "level")
+
+
+def assert_streams_identical(program, sempe):
+    reference = list(Executor(program, sempe=sempe).run())
+    chunks = list(FastExecutor(program, sempe=sempe).run_chunks())
+    materialized = list(chunk_records(chunks))
+    assert len(reference) == len(materialized)
+    for ref, fast in zip(reference, materialized):
+        assert ref.kind == fast.kind
+        fields = DYN_FIELDS if ref.kind == "inst" else DRAIN_FIELDS
+        for field in fields:
+            assert getattr(ref, field) == getattr(fast, field), (
+                f"{field} differs at seq {ref.seq}: "
+                f"{getattr(ref, field)!r} != {getattr(fast, field)!r}"
+            )
+    return chunks
+
+
+def test_records_match_reference_sempe():
+    """quicksort has calls (JAL/JALR), loads/stores and secure regions."""
+    program = compile_microbench(
+        MicrobenchSpec("quicksort", w=1, iters=1), "sempe").program
+    chunks = assert_streams_identical(program, sempe=True)
+    # Drains are present and correctly tagged.
+    reasons = {record.reason for chunk in chunks
+               for record in chunk.records() if record.kind == "drain"}
+    assert reasons == set(DRAIN_REASONS)
+
+
+def test_records_match_reference_legacy():
+    program = compile_microbench(
+        MicrobenchSpec("quicksort", w=1, iters=1), "sempe").program
+    assert_streams_identical(program, sempe=False)
+
+
+def test_chunk_batching_and_seq_continuity():
+    program = compile_microbench(
+        MicrobenchSpec("quicksort", w=2, iters=2), "sempe").program
+    chunks = list(FastExecutor(program, sempe=True).run_chunks())
+    assert len(chunks) > 1, "workload too small to exercise batching"
+    expected_seq = 0
+    for chunk in chunks[:-1]:
+        # Drain rows can push a chunk slightly past the nominal size.
+        assert CHUNK_RECORDS <= chunk.n <= CHUNK_RECORDS + 3
+        assert chunk.seq0 == expected_seq
+        expected_seq += chunk.n
+    assert chunks[-1].seq0 == expected_seq
+
+
+def test_run_chunks_is_single_use():
+    program = assemble("""
+        .text
+    main:
+        addi a0, a0, 1
+        halt
+    """)
+    executor = FastExecutor(program, sempe=False)
+    list(executor.run_chunks())
+    try:
+        list(executor.run_chunks())
+    except RuntimeError:
+        pass
+    else:
+        raise AssertionError("second run_chunks() should be rejected")

@@ -1,0 +1,140 @@
+"""Golden parity: the fast engine is bit-identical to the reference.
+
+The reference engine is the oracle; every field of the
+:class:`SimulationReport` — cycles, IPC, miss rates, final registers,
+the full functional counters (including drains and op counts) and the
+full pipeline stats — must match exactly for every workload, machine
+mode, and snapshot mechanism.
+"""
+
+import pytest
+
+from repro.arch.executor import Executor, InstructionLimitError
+from repro.arch.fast_executor import FastExecutor
+from repro.core.engine import (
+    get_default_engine,
+    set_default_engine,
+    simulate,
+)
+from repro.isa.assembler import assemble
+from repro.workloads.microbench import (
+    MicrobenchSpec,
+    WORKLOADS,
+    compile_microbench,
+)
+
+
+def assert_identical_reports(reference, fast):
+    assert reference.cycles == fast.cycles
+    assert reference.ipc == fast.ipc
+    assert reference.miss_rates == fast.miss_rates
+    assert reference.final_regs == fast.final_regs
+    # Full functional counters: instructions, loads/stores, branches,
+    # secure-region bookkeeping, drains, SPM cycles, op_counts.
+    assert reference.functional == fast.functional
+    # Full timing stats: cycles, mispredicts, drain/SPM cycles, cache
+    # accesses and misses at every level.
+    assert reference.pipeline == fast.pipeline
+
+
+def both_engines(program, sempe, config):
+    reference = simulate(program, sempe=sempe, config=config,
+                         engine="reference")
+    fast = simulate(program, sempe=sempe, config=config, engine="fast")
+    return reference, fast
+
+
+@pytest.mark.parametrize("mode", ["sempe", "plain"])
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_microbench_parity(workload, mode, fast_config):
+    spec = MicrobenchSpec(workload, w=2, iters=1)
+    program = compile_microbench(spec, mode).program
+    reference, fast = both_engines(program, mode == "sempe", fast_config)
+    assert_identical_reports(reference, fast)
+
+
+@pytest.mark.parametrize("mechanism", ["archrs", "phyrs", "lrs"])
+@pytest.mark.parametrize("mode", ["sempe", "plain"])
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_snapshot_mechanism_parity(workload, mode, mechanism, fast_config):
+    """Workloads x modes x snapshot mechanisms, all bit-identical.
+
+    Non-ArchRS mechanisms exercise the drain-scaling path (PhyRS) and
+    the per-instruction rename-overhead path (LRS) of both engines.
+    """
+    fast_config.snapshot_mechanism = mechanism
+    spec = MicrobenchSpec(workload, w=1, iters=1)
+    program = compile_microbench(spec, mode).program
+    reference, fast = both_engines(program, mode == "sempe", fast_config)
+    assert_identical_reports(reference, fast)
+
+
+def test_deep_nesting_parity(fast_config):
+    """W=4 nesting exercises stacked snapshot slots and drain chains."""
+    spec = MicrobenchSpec("fibonacci", w=4, iters=2)
+    program = compile_microbench(spec, "sempe").program
+    reference, fast = both_engines(program, True, fast_config)
+    assert_identical_reports(reference, fast)
+
+
+INFINITE_LOOP = """
+    .text
+main:
+    addi a0, a0, 1
+    jmp  main
+"""
+
+
+def test_instruction_limit_parity():
+    """Both engines hit the budget identically, counters included."""
+    program = assemble(INFINITE_LOOP)
+    reference = Executor(program, sempe=False, max_instructions=100)
+    with pytest.raises(InstructionLimitError):
+        for _record in reference.run():
+            pass
+    fast = FastExecutor(program, sempe=False, max_instructions=100)
+    with pytest.raises(InstructionLimitError):
+        for _chunk in fast.run_chunks():
+            pass
+    assert reference.result == fast.result
+    assert reference.state.regs == fast.state.regs
+    assert reference.state.pc == fast.state.pc
+
+
+def test_engine_selection_default_and_override():
+    import repro.core.engine as engine_module
+
+    previous = engine_module._default_engine
+    previous_overridden = engine_module._default_engine_overridden
+    try:
+        assert get_default_engine() in ("fast", "reference")
+        set_default_engine("reference")
+        assert get_default_engine() == "reference"
+        with pytest.raises(ValueError):
+            set_default_engine("warp")
+    finally:
+        engine_module._default_engine = previous
+        engine_module._default_engine_overridden = previous_overridden
+
+
+def test_explicit_default_beats_environment(monkeypatch):
+    """`experiments --engine X` (set_default_engine) must win over a
+    stray REPRO_ENGINE in the environment."""
+    import repro.core.engine as engine_module
+
+    previous = engine_module._default_engine
+    previous_overridden = engine_module._default_engine_overridden
+    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    try:
+        set_default_engine("reference")
+        assert get_default_engine() == "reference"
+    finally:
+        engine_module._default_engine = previous
+        engine_module._default_engine_overridden = previous_overridden
+
+
+def test_unknown_engine_rejected(fast_config):
+    spec = MicrobenchSpec("ones", w=1, iters=1)
+    program = compile_microbench(spec, "plain").program
+    with pytest.raises(ValueError):
+        simulate(program, sempe=False, config=fast_config, engine="turbo")

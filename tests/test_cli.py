@@ -51,6 +51,15 @@ def test_run_legacy_machine(source_file, capsys):
     assert "result = 7" in out
 
 
+def test_run_engine_flag_bit_identical(source_file, capsys):
+    assert main(["run", source_file, "--engine", "fast"]) == 0
+    fast_out = capsys.readouterr().out
+    assert main(["run", source_file, "--engine", "reference"]) == 0
+    reference_out = capsys.readouterr().out
+    assert fast_out == reference_out
+    assert "cycles:" in fast_out
+
+
 def test_run_unknown_global(source_file, capsys):
     assert main(["run", source_file, "--globals", "nope"]) == 0
     assert "<no such global>" in capsys.readouterr().out

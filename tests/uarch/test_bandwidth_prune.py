@@ -1,0 +1,41 @@
+"""_BandwidthTable pruning: the floor must advance on every prune."""
+
+from repro.uarch.pipeline import _BandwidthTable
+
+
+def test_prune_advances_floor_even_when_small():
+    table = _BandwidthTable(width=2)
+    table.reserve(0)
+    table.reserve(0)
+    table.prune(100)
+    assert table._floor == 100
+    # A reserve below the floor is clamped up to it.
+    assert table.reserve(0) == 100
+
+
+def test_prune_never_moves_floor_backwards():
+    table = _BandwidthTable(width=1)
+    table.prune(50)
+    table.prune(10)
+    assert table._floor == 50
+
+
+def test_prune_drops_stale_entries():
+    table = _BandwidthTable(width=1)
+    for cycle in range(5000):
+        table.reserve(cycle)
+    assert len(table._used) == 5000
+    table.prune(4000)
+    assert all(cycle >= 4000 for cycle in table._used)
+    # Entries at/above the cutoff survive, so re-reserving skips them.
+    assert table.reserve(4000) == 5000
+
+
+def test_reserve_after_prune_cannot_land_on_pruned_cycle():
+    table = _BandwidthTable(width=1)
+    for cycle in range(5000):
+        table.reserve(cycle)
+    table.prune(4500)
+    # Cycles < 4500 were dropped from the map; without the floor this
+    # reserve would incorrectly see them as free.
+    assert table.reserve(0) >= 4500
