@@ -3,11 +3,30 @@ export PYTHONPATH
 
 PYTEST := python -m pytest
 
-.PHONY: test bench-perf bench-quick bench-full
+.PHONY: test test-fast test-slow parity sweep bench-perf bench-quick \
+	bench-full ci
 
 # Tier-1: the full unit/integration suite.
 test:
 	$(PYTEST) -x -q
+
+# Fast lane: everything except the slow property/attack/experiment tests.
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+# Slow lane: the complement of the fast lane (fast + slow = tier-1).
+test-slow:
+	$(PYTEST) -x -q -m slow
+
+# Golden fast-vs-reference engine equivalence suite.
+parity:
+	$(PYTEST) -x -q -m parity
+
+# The evaluation grid as one parallel, store-backed batch (djpeg at
+# the paper sizes; pass --w 10 via ARGS for the paper-depth microbench
+# sweep, e.g. `make sweep ARGS="--w 10"`).
+sweep:
+	python -m repro sweep --jobs 4 --progress --cache-stats $(ARGS)
 
 # Engine throughput benchmark only (appends to BENCH_perf.json).
 bench-perf:
@@ -19,3 +38,9 @@ bench-quick: test bench-perf
 # Paper-scale sweeps for every table/figure (slow).
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTEST) benchmarks -q -s
+
+# Mirror of .github/workflows/ci.yml: fast lane then slow lane (their
+# union is exactly tier-1), the parity gate (re-run deliberately as a
+# named check even though the fast lane includes it), and the bench
+# smoke (which refreshes BENCH_perf.json).
+ci: test-fast test-slow parity bench-perf

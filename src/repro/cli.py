@@ -7,7 +7,11 @@ Commands:
 * ``check``    — noninterference report for a named secret across values;
 * ``disasm``   — encode a compiled program and show the SeMPE vs legacy
   decode of the same bytes (the backward-compatibility story);
-* ``experiments`` — regenerate a paper table/figure by name.
+* ``experiments`` — regenerate a paper table/figure by name;
+* ``sweep``    — run the evaluation grid as one batch: fan cells out
+  across ``--jobs`` worker processes and persist results in an on-disk
+  store (``--store DIR``), so a repeated invocation re-renders every
+  table from disk instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -26,6 +30,24 @@ def _read_source(path: str) -> str:
         return sys.stdin.read()
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+def _print_cache_stats() -> None:
+    """Run-cache and store counters (the ``--cache-stats`` flag)."""
+    from repro.harness import cache_info, get_store, store_info
+
+    info = cache_info()
+    print(f"run cache: hits={info['hits']} misses={info['misses']} "
+          f"entries={info['entries']}")
+    store = get_store()
+    if store is None:
+        print("store: (none)")
+    else:
+        stats = store_info()
+        print(f"store [{store.root}]: hits={stats['hits']} "
+              f"misses={stats['misses']} stores={stats['stores']} "
+              f"invalidations={stats['invalidations']} "
+              f"entries={len(store)}")
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -64,6 +86,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             else:
                 value = executor.state.memory.load_signed(address)
                 print(f"{name} = {value}")
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
 
 
@@ -97,29 +121,91 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         from repro.core.engine import set_default_engine
 
         set_default_engine(args.engine)
+    from repro.harness import EXPERIMENTS, format_table, render_experiment
+
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; "
+              f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    result = render_experiment(args.name, w=args.w,
+                               w_sweep=tuple(range(1, args.w + 1)))
+    print(format_table(result.headers, result.rows, title=result.experiment))
+    if args.cache_stats:
+        _print_cache_stats()
+    return 0
+
+
+def _parse_int_csv(text: str) -> tuple[int, ...]:
+    return tuple(int(token) for token in text.split(",") if token.strip())
+
+
+def _sweep_progress(done: int, total: int, name: str) -> None:
+    end = "\n" if done == total else ""
+    print(f"\r[{done}/{total}] {name:<44}", end=end,
+          file=sys.stderr, flush=True)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness import (
-        fig8_djpeg_overhead, fig9_cache_missrates, fig10a_microbench,
-        fig10b_normalized_to_ideal, format_table, table1_comparison,
-        table2_config,
+        EXPERIMENTS, ResultStore, SweepSpec, experiment_cells,
+        format_table, render_experiment, run_sweep, set_default_jobs,
+        set_store,
     )
 
-    registry = {
-        "table1": lambda: table1_comparison(w=args.w),
-        "table2": table2_config,
-        "fig8": fig8_djpeg_overhead,
-        "fig9": fig9_cache_missrates,
-        "fig10a": lambda: fig10a_microbench(w_sweep=tuple(
-            range(1, args.w + 1))),
-        "fig10b": lambda: fig10b_normalized_to_ideal(w_sweep=tuple(
-            range(1, args.w + 1))),
-    }
-    maker = registry.get(args.name)
-    if maker is None:
-        print(f"unknown experiment {args.name!r}; "
-              f"choose from {sorted(registry)}", file=sys.stderr)
+    if args.engine:
+        from repro.core.engine import set_default_engine
+
+        set_default_engine(args.engine)
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments {unknown}; "
+              f"choose from {list(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    result = maker()
-    print(format_table(result.headers, result.rows, title=result.experiment))
+
+    # Validate all sizing inputs before touching the store directory.
+    from repro.workloads.microbench import WORKLOADS
+
+    w_sweep = tuple(range(1, args.w + 1))
+    try:
+        sizes = _parse_int_csv(args.sizes)
+    except ValueError:
+        print(f"invalid --sizes {args.sizes!r}: expected "
+              f"comma-separated integers", file=sys.stderr)
+        return 2
+    workloads = tuple(
+        token.strip() for token in args.workloads.split(",")
+        if token.strip())
+    bad = [w for w in workloads if w not in WORKLOADS]
+    if bad:
+        print(f"unknown workloads {bad}; choose from {list(WORKLOADS)}",
+              file=sys.stderr)
+        return 2
+
+    # --no-store must actually disable persistence, including a store
+    # installed earlier in this process.
+    set_store(None if args.no_store else ResultStore(args.store))
+    cells = []
+    for name in names:
+        cells.extend(experiment_cells(
+            name, w=args.w, w_sweep=w_sweep, sizes=sizes,
+            workloads=workloads))
+    spec = SweepSpec("+".join(names), cells)
+
+    set_default_jobs(args.jobs)
+    stats = run_sweep(spec, jobs=args.jobs,
+                      progress=_sweep_progress if args.progress else None)
+
+    # All cells are now warm: rendering pulls straight from the cache.
+    for name in names:
+        result = render_experiment(name, w=args.w, w_sweep=w_sweep,
+                                   sizes=sizes, workloads=workloads)
+        print(format_table(result.headers, result.rows,
+                           title=result.experiment))
+        print()
+    print(stats.summary())
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
 
 
@@ -152,6 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--collapse-ifs", action="store_true")
     run_parser.add_argument("--globals", default="",
                             help="comma-separated globals to print")
+    run_parser.add_argument("--cache-stats", action="store_true",
+                            help="print run-cache and store counters")
     run_parser.set_defaults(func=cmd_run)
 
     check_parser = subparsers.add_parser(
@@ -177,7 +265,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiments_parser.add_argument("--engine", choices=ENGINES,
                                     default=None,
                                     help="simulation engine for the sweep")
+    experiments_parser.add_argument("--cache-stats", action="store_true",
+                                    help="print run-cache and store "
+                                         "counters")
     experiments_parser.set_defaults(func=cmd_experiments)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run the evaluation grid as one parallel, store-backed batch")
+    sweep_parser.add_argument(
+        "experiments", nargs="*",
+        help="experiments to sweep (default: all of "
+             "table1 table2 fig8 fig9 fig10a fig10b)")
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes (results are "
+                                   "bit-identical for any value)")
+    sweep_parser.add_argument("--store", default=".repro-store",
+                              help="result-store directory "
+                                   "(default: .repro-store)")
+    sweep_parser.add_argument("--no-store", action="store_true",
+                              help="disable the on-disk store")
+    sweep_parser.add_argument("--progress", action="store_true",
+                              help="live cell progress on stderr")
+    sweep_parser.add_argument("--w", type=int, default=3,
+                              help="max nesting depth for sweeps "
+                                   "(paper scale: 10)")
+    sweep_parser.add_argument("--sizes", default="512,1024,2048,4096",
+                              help="comma-separated djpeg pixel counts; "
+                                   "the default matches the fig8/fig9 "
+                                   "experiment defaults, so a sweep warms "
+                                   "the store for `repro experiments`")
+    sweep_parser.add_argument("--workloads",
+                              default="fibonacci,ones,quicksort,queens",
+                              help="comma-separated microbenchmarks")
+    sweep_parser.add_argument("--engine", choices=ENGINES, default=None,
+                              help="simulation engine for the sweep")
+    sweep_parser.add_argument("--cache-stats", action="store_true",
+                              help="print run-cache and store counters")
+    sweep_parser.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -24,6 +24,7 @@ CLI's ``--engine`` flag), or the ``REPRO_ENGINE`` environment variable.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 
 from dataclasses import dataclass, field
@@ -64,6 +65,29 @@ class SimulationReport:
         if baseline.cycles == 0:
             return float("inf")
         return self.cycles / baseline.cycles
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe) for the on-disk result store."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Round-trips bit-exactly: every field of the nested
+        :class:`~repro.arch.executor.ExecutionResult` and
+        :class:`~repro.uarch.pipeline.PipelineStats` is a plain int,
+        bool, float, or str-keyed dict of ints.
+        """
+        return cls(
+            program_name=data["program_name"],
+            sempe=data["sempe"],
+            cycles=data["cycles"],
+            functional=ExecutionResult(**data["functional"]),
+            pipeline=PipelineStats(**data["pipeline"]),
+            miss_rates=dict(data["miss_rates"]),
+            final_regs=list(data["final_regs"]),
+        )
 
 
 # Engine registry.  "fast" and "reference" are bit-identical (the golden

@@ -3,18 +3,35 @@
 Every table and figure of the paper's evaluation has a function in
 :mod:`repro.harness.experiments` that regenerates it; the benchmark
 modules under ``benchmarks/`` are thin wrappers that time these and
-print the rows.
+print the rows.  :mod:`repro.harness.sweep` turns the grids behind
+those functions into declarative, parallelizable batches, and
+:mod:`repro.harness.store` persists their results across runs.
 """
 
 from repro.harness.runner import (
     RunResult,
     cache_info,
     clear_cache,
+    get_store,
     run_djpeg,
     run_microbench,
+    set_store,
+    store_info,
 )
 from repro.harness.report import format_table
+from repro.harness.store import ResultStore
+from repro.harness.sweep import (
+    SweepCell,
+    SweepSpec,
+    SweepStats,
+    ensure_cells,
+    run_sweep,
+    set_default_jobs,
+)
 from repro.harness.experiments import (
+    EXPERIMENTS,
+    experiment_cells,
+    render_experiment,
     table1_comparison,
     table2_config,
     fig8_djpeg_overhead,
@@ -26,11 +43,24 @@ from repro.harness.experiments import (
 
 __all__ = [
     "RunResult",
+    "ResultStore",
+    "SweepCell",
+    "SweepSpec",
+    "SweepStats",
     "run_microbench",
     "run_djpeg",
     "clear_cache",
     "cache_info",
+    "set_store",
+    "get_store",
+    "store_info",
+    "run_sweep",
+    "ensure_cells",
+    "set_default_jobs",
     "format_table",
+    "EXPERIMENTS",
+    "experiment_cells",
+    "render_experiment",
     "table1_comparison",
     "table2_config",
     "fig8_djpeg_overhead",

@@ -3,6 +3,17 @@
 Each function returns a ``(headers, rows)`` pair plus derived data so
 the benchmark modules can both print the regenerated table and assert
 on its shape.  EXPERIMENTS.md records the paper-vs-measured values.
+
+Every function is split into two layers:
+
+* a ``*_cells`` builder that *declares* the experiment's sweep grid as
+  :class:`~repro.harness.sweep.SweepCell` objects — the CLI's
+  ``repro sweep`` command unions these to run the full evaluation as
+  one (optionally parallel, store-backed) batch;
+* the table function itself, which first materializes its grid through
+  :func:`~repro.harness.sweep.ensure_cells` and then assembles rows
+  from the warmed run cache.  Serial and parallel materialization are
+  bit-identical, so the rendered tables never depend on ``--jobs``.
 """
 
 from __future__ import annotations
@@ -10,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.harness.runner import run_djpeg, run_microbench
+from repro.harness.sweep import MICRO_ITERS, SweepCell, ensure_cells
 from repro.models.priorwork import GhostRiderModel, RaccoonModel
 from repro.uarch.config import MachineConfig, haswell_like
 from repro.workloads.djpeg import FORMATS, DjpegSpec
@@ -20,12 +32,19 @@ from repro.workloads.microbench import WORKLOADS, MicrobenchSpec
 DEFAULT_W_SWEEP = (1, 2, 4, 6, 8, 10)
 DEFAULT_DJPEG_SIZES = (512, 1024, 2048, 4096)   # paper: 256k..2048k pixels
 
-_MICRO_ITERS = {
-    "fibonacci": 12,
-    "ones": 10,
-    "quicksort": 4,
-    "queens": 3,
-}
+# Backward-compatible alias (the iteration table moved to the sweep
+# layer so cell builders and table functions share one source of truth).
+_MICRO_ITERS = MICRO_ITERS
+
+
+def _micro_trio(workload: str, w: int) -> tuple[MicrobenchSpec,
+                                                MicrobenchSpec]:
+    """The (natural, oblivious) spec pair every microbench point uses."""
+    iters = MICRO_ITERS[workload]
+    natural = MicrobenchSpec(workload, w=w, iters=iters)
+    oblivious = MicrobenchSpec(workload, w=w, iters=iters,
+                               variant="oblivious")
+    return natural, oblivious
 
 
 @dataclass
@@ -42,6 +61,17 @@ class ExperimentResult:
 # Table I — approach comparison
 # --------------------------------------------------------------------------
 
+def table1_cells(w: int = 10, workloads=WORKLOADS) -> list[SweepCell]:
+    """Sweep grid behind :func:`table1_comparison`."""
+    cells: list[SweepCell] = []
+    for workload in workloads:
+        natural, oblivious = _micro_trio(workload, w)
+        cells.append(SweepCell("micro", natural, "plain"))
+        cells.append(SweepCell("micro", natural, "sempe"))
+        cells.append(SweepCell("micro", oblivious, "cte"))
+    return cells
+
+
 def table1_comparison(w: int = 10, workloads=WORKLOADS) -> ExperimentResult:
     """Regenerate Table I.
 
@@ -49,15 +79,13 @@ def table1_comparison(w: int = 10, workloads=WORKLOADS) -> ExperimentResult:
     the paper's *reported* numbers with overheads measured (SeMPE, CTE)
     or modelled (Raccoon, GhostRider) on our microbenchmarks at W=*w*.
     """
+    ensure_cells("table1", table1_cells(w, workloads))
     raccoon = RaccoonModel()
     ghostrider = GhostRiderModel()
     measured: dict[str, list[float]] = {
         "CTE": [], "SeMPE": [], "Raccoon": [], "GhostRider": []}
     for workload in workloads:
-        iters = _MICRO_ITERS[workload]
-        natural = MicrobenchSpec(workload, w=w, iters=iters)
-        oblivious = MicrobenchSpec(workload, w=w, iters=iters,
-                                   variant="oblivious")
+        natural, oblivious = _micro_trio(workload, w)
         base = run_microbench(natural, "plain")
         sempe = run_microbench(natural, "sempe")
         cte = run_microbench(oblivious, "cte")
@@ -90,6 +118,11 @@ def table1_comparison(w: int = 10, workloads=WORKLOADS) -> ExperimentResult:
 # --------------------------------------------------------------------------
 # Table II — configuration echo (sanity: we model the paper's machine)
 # --------------------------------------------------------------------------
+
+def table2_cells() -> list[SweepCell]:
+    """Table II echoes the config; it simulates nothing."""
+    return []
+
 
 def table2_config(config: MachineConfig | None = None) -> ExperimentResult:
     config = config or haswell_like()
@@ -131,8 +164,21 @@ def _cache_text(cache_config) -> str:
 # Fig. 8 — djpeg execution-time overhead
 # --------------------------------------------------------------------------
 
+def fig8_cells(sizes=DEFAULT_DJPEG_SIZES,
+               formats=FORMATS) -> list[SweepCell]:
+    """Sweep grid behind Fig. 8 (and, identically, Fig. 9)."""
+    cells: list[SweepCell] = []
+    for fmt in formats:
+        for size in sizes:
+            spec = DjpegSpec(fmt, size)
+            cells.append(SweepCell("djpeg", spec, "plain"))
+            cells.append(SweepCell("djpeg", spec, "sempe"))
+    return cells
+
+
 def fig8_djpeg_overhead(sizes=DEFAULT_DJPEG_SIZES,
                         formats=FORMATS) -> ExperimentResult:
+    ensure_cells("fig8", fig8_cells(sizes, formats))
     headers = ["format"] + [f"{size}px" for size in sizes]
     rows = []
     series: dict[str, list[float]] = {}
@@ -152,8 +198,14 @@ def fig8_djpeg_overhead(sizes=DEFAULT_DJPEG_SIZES,
 # Fig. 9 — cache miss rates (baseline vs SeMPE)
 # --------------------------------------------------------------------------
 
+def fig9_cells(sizes=DEFAULT_DJPEG_SIZES,
+               formats=FORMATS) -> list[SweepCell]:
+    return fig8_cells(sizes, formats)
+
+
 def fig9_cache_missrates(sizes=DEFAULT_DJPEG_SIZES,
                          formats=FORMATS) -> ExperimentResult:
+    ensure_cells("fig9", fig9_cells(sizes, formats))
     headers = ["config", "IL1 base", "IL1 sempe", "DL1 base", "DL1 sempe",
                "L2 base", "L2 sempe"]
     rows = []
@@ -183,21 +235,31 @@ def fig9_cache_missrates(sizes=DEFAULT_DJPEG_SIZES,
 # Fig. 10a — microbenchmark slowdown vs nesting depth, SeMPE vs FaCT
 # --------------------------------------------------------------------------
 
+def fig10a_cells(w_sweep=DEFAULT_W_SWEEP,
+                 workloads=WORKLOADS) -> list[SweepCell]:
+    cells: list[SweepCell] = []
+    for workload in workloads:
+        for w in w_sweep:
+            natural, oblivious = _micro_trio(workload, w)
+            cells.append(SweepCell("micro", natural, "plain"))
+            cells.append(SweepCell("micro", natural, "sempe"))
+            cells.append(SweepCell("micro", oblivious, "cte"))
+    return cells
+
+
 def fig10a_microbench(w_sweep=DEFAULT_W_SWEEP,
                       workloads=WORKLOADS) -> ExperimentResult:
+    ensure_cells("fig10a", fig10a_cells(w_sweep, workloads))
     headers = ["workload", "scheme"] + [f"W={w}" for w in w_sweep]
     rows = []
     series: dict[tuple[str, str], list[float]] = {}
     for workload in workloads:
-        iters = _MICRO_ITERS[workload]
         sempe_row: list[object] = [workload, "SeMPE"]
         cte_row: list[object] = [workload, "FaCT/CTE"]
         sempe_series: list[float] = []
         cte_series: list[float] = []
         for w in w_sweep:
-            natural = MicrobenchSpec(workload, w=w, iters=iters)
-            oblivious = MicrobenchSpec(workload, w=w, iters=iters,
-                                       variant="oblivious")
+            natural, oblivious = _micro_trio(workload, w)
             base = run_microbench(natural, "plain")
             sempe = run_microbench(natural, "sempe")
             cte = run_microbench(oblivious, "cte")
@@ -218,8 +280,24 @@ def fig10a_microbench(w_sweep=DEFAULT_W_SWEEP,
 # Fig. 10b — slowdown normalized to the ideal (sum of all paths)
 # --------------------------------------------------------------------------
 
+def fig10b_cells(w_sweep=DEFAULT_W_SWEEP,
+                 workloads=WORKLOADS) -> list[SweepCell]:
+    cells: list[SweepCell] = []
+    for workload in workloads:
+        for w in w_sweep:
+            natural, oblivious = _micro_trio(workload, w)
+            ideal = MicrobenchSpec(workload, w=w,
+                                   iters=MICRO_ITERS[workload],
+                                   variant="unconditional")
+            cells.append(SweepCell("micro", ideal, "plain"))
+            cells.append(SweepCell("micro", natural, "sempe"))
+            cells.append(SweepCell("micro", oblivious, "cte"))
+    return cells
+
+
 def fig10b_normalized_to_ideal(w_sweep=DEFAULT_W_SWEEP,
                                workloads=WORKLOADS) -> ExperimentResult:
+    ensure_cells("fig10b", fig10b_cells(w_sweep, workloads))
     headers = ["scheme"] + [f"W={w}" for w in w_sweep]
     sempe_norms: list[float] = []
     cte_norms: list[float] = []
@@ -227,11 +305,9 @@ def fig10b_normalized_to_ideal(w_sweep=DEFAULT_W_SWEEP,
         sempe_vals = []
         cte_vals = []
         for workload in workloads:
-            iters = _MICRO_ITERS[workload]
-            natural = MicrobenchSpec(workload, w=w, iters=iters)
-            oblivious = MicrobenchSpec(workload, w=w, iters=iters,
-                                       variant="oblivious")
-            ideal_spec = MicrobenchSpec(workload, w=w, iters=iters,
+            natural, oblivious = _micro_trio(workload, w)
+            ideal_spec = MicrobenchSpec(workload, w=w,
+                                        iters=MICRO_ITERS[workload],
                                         variant="unconditional")
             ideal = run_microbench(ideal_spec, "plain")
             sempe = run_microbench(natural, "sempe")
@@ -248,3 +324,77 @@ def fig10b_normalized_to_ideal(w_sweep=DEFAULT_W_SWEEP,
         "Fig. 10b", headers, rows,
         series={"sempe": sempe_norms, "cte": cte_norms},
     )
+
+
+# --------------------------------------------------------------------------
+# Registry used by the CLI sweep command
+# --------------------------------------------------------------------------
+
+# name -> (cells builder, table renderer).  Both take the same sizing
+# keywords, so the CLI can enumerate a grid and render its table from
+# one source of truth; add new experiments here and nowhere else.
+_REGISTRY = {
+    "table1": (
+        lambda w, w_sweep, sizes, workloads, formats:
+            table1_cells(w, workloads),
+        lambda w, w_sweep, sizes, workloads, formats:
+            table1_comparison(w=w, workloads=workloads),
+    ),
+    "table2": (
+        lambda w, w_sweep, sizes, workloads, formats: table2_cells(),
+        lambda w, w_sweep, sizes, workloads, formats: table2_config(),
+    ),
+    "fig8": (
+        lambda w, w_sweep, sizes, workloads, formats:
+            fig8_cells(sizes, formats),
+        lambda w, w_sweep, sizes, workloads, formats:
+            fig8_djpeg_overhead(sizes=sizes, formats=formats),
+    ),
+    "fig9": (
+        lambda w, w_sweep, sizes, workloads, formats:
+            fig9_cells(sizes, formats),
+        lambda w, w_sweep, sizes, workloads, formats:
+            fig9_cache_missrates(sizes=sizes, formats=formats),
+    ),
+    "fig10a": (
+        lambda w, w_sweep, sizes, workloads, formats:
+            fig10a_cells(w_sweep, workloads),
+        lambda w, w_sweep, sizes, workloads, formats:
+            fig10a_microbench(w_sweep=w_sweep, workloads=workloads),
+    ),
+    "fig10b": (
+        lambda w, w_sweep, sizes, workloads, formats:
+            fig10b_cells(w_sweep, workloads),
+        lambda w, w_sweep, sizes, workloads, formats:
+            fig10b_normalized_to_ideal(w_sweep=w_sweep,
+                                       workloads=workloads),
+    ),
+}
+
+EXPERIMENTS = tuple(_REGISTRY)
+
+
+def _lookup(name: str):
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"choose from {sorted(_REGISTRY)}")
+    return entry
+
+
+def experiment_cells(name: str, *, w: int = 10,
+                     w_sweep=DEFAULT_W_SWEEP,
+                     sizes=DEFAULT_DJPEG_SIZES,
+                     workloads=WORKLOADS,
+                     formats=FORMATS) -> list[SweepCell]:
+    """The sweep grid of one named experiment (for ``repro sweep``)."""
+    return _lookup(name)[0](w, w_sweep, sizes, workloads, formats)
+
+
+def render_experiment(name: str, *, w: int = 10,
+                      w_sweep=DEFAULT_W_SWEEP,
+                      sizes=DEFAULT_DJPEG_SIZES,
+                      workloads=WORKLOADS,
+                      formats=FORMATS) -> ExperimentResult:
+    """Regenerate one named experiment with the same sizing knobs."""
+    return _lookup(name)[1](w, w_sweep, sizes, workloads, formats)

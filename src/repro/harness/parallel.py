@@ -1,0 +1,133 @@
+"""Multiprocessing execution of sweep cells.
+
+The simulator is pure Python and CPU-bound, so a sweep's cells —
+independent ``(spec, mode, config, engine)`` simulations — are the
+natural unit of process-level parallelism.  :func:`run_cells` shards
+cells across a worker pool and merges the results so that the outcome
+is *independent of scheduling*:
+
+* **Deterministic per-cell seeds.**  Every cell derives its seed from
+  its own structural fingerprint (not from a shared RNG stream or the
+  submission index), so a cell is seeded identically whether it runs
+  first or last, in one process or eight, alone or inside a bigger
+  sweep.  The simulator itself is deterministic; the seed pins down
+  Python's ``random`` module for any stochastic helper a workload might
+  grow, keeping that determinism future-proof.
+* **Submission-independent results.**  Workers return results as they
+  finish (``imap_unordered``, so progress reporting is live) and the
+  parent installs each one immediately.  Cache entries and store
+  records are keyed by content fingerprint, so the *final state* is
+  bit-identical for ``--jobs 1`` and ``--jobs 8`` regardless of
+  completion order — and because installs are incremental, a cell that
+  fails mid-sweep loses only itself: everything already completed is
+  in the store, and a re-invocation resumes from there.
+
+Workers are forked (or spawned) with an empty in-process cache and no
+store; they return plain report dicts, and the parent owns all cache
+and store writes, so stats stay coherent and the store sees exactly
+one writer per record.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from typing import Callable, Iterable
+
+from repro.core.engine import SimulationReport, simulate
+from repro.harness.runner import cell_descriptor, install_result
+from repro.harness.store import fingerprint
+from repro.workloads.djpeg import compile_djpeg
+from repro.workloads.microbench import compile_microbench
+
+ProgressFn = Callable[[int, int, str], None]
+
+
+def cell_seed(fp: str) -> int:
+    """Deterministic seed for the cell with fingerprint *fp*.
+
+    The leading 64 bits of the content address: stable across
+    processes, machines, and shard assignments.
+    """
+    return int(fp[:16], 16)
+
+
+def _execute_payload(payload: tuple) -> tuple[str, str, str, dict]:
+    """Worker body: simulate one cell, return a picklable record.
+
+    ``payload`` is ``(fingerprint, kind, spec, mode, config, engine)``.
+    Returns ``(fingerprint, name, mode, report_dict)``.
+    """
+    fp, kind, spec, mode, config, engine = payload
+    random.seed(cell_seed(fp))
+    if kind == "micro":
+        compiled = compile_microbench(spec, mode)
+    else:
+        compiled = compile_djpeg(spec, mode)
+    report = simulate(compiled.program, sempe=(mode == "sempe"),
+                      config=config, engine=engine)
+    return fp, spec.name, mode, report.to_dict()
+
+
+def _payload(cell) -> tuple:
+    # The engine comes from the descriptor, not a fresh resolution: the
+    # descriptor memoized the session default at construction time, and
+    # the simulation must run on exactly the engine its fingerprint
+    # claims even if the default changed since.
+    descriptor = cell.descriptor()
+    return (fingerprint(descriptor), cell.kind, cell.spec, cell.mode,
+            cell.config, descriptor["engine"])
+
+
+def run_cells(cells: Iterable, jobs: int = 1,
+              progress: ProgressFn | None = None) -> int:
+    """Simulate *cells* with *jobs* worker processes.
+
+    Each result is installed into the run cache (and the configured
+    store) as soon as it completes; the final state is independent of
+    completion order because both levels are keyed by content
+    fingerprint, and a failure mid-sweep keeps everything finished so
+    far (the next invocation resumes from the store).  Returns the
+    number of cells computed.  Cells already resident in the cache or
+    store should be filtered out by the caller (see
+    :func:`repro.harness.sweep.run_sweep`); any duplicates passed here
+    are collapsed by fingerprint.
+    """
+    by_fp: dict[str, tuple] = {}
+    for cell in cells:
+        payload = _payload(cell)
+        by_fp.setdefault(payload[0], (cell, payload))
+    if not by_fp:
+        return 0
+    ordered = [entry[1] for _fp, entry in sorted(by_fp.items())]
+    descriptors = {
+        fp: entry[0].descriptor() for fp, entry in by_fp.items()}
+
+    total = len(ordered)
+    done = 0
+
+    def _install(fp: str, name: str, mode: str, report: dict) -> None:
+        nonlocal done
+        install_result(descriptors[fp], name, mode,
+                       SimulationReport.from_dict(report))
+        done += 1
+        if progress is not None:
+            progress(done, total, name)
+
+    if jobs <= 1 or total == 1:
+        # Per-cell seeding must not leak into the caller's RNG stream:
+        # the parent's random state is identical whether cells ran here
+        # or in worker processes.
+        rng_state = random.getstate()
+        try:
+            for payload in ordered:
+                _install(*_execute_payload(payload))
+        finally:
+            random.setstate(rng_state)
+    else:
+        with multiprocessing.Pool(processes=min(jobs, total)) as pool:
+            for outcome in pool.imap_unordered(_execute_payload, ordered):
+                _install(*outcome)
+            pool.close()
+            pool.join()
+    return total

@@ -1,0 +1,183 @@
+"""Content-addressed on-disk result store.
+
+PR 1's run cache memoizes simulations within one process; this module
+persists the same records across runs.  Each record is keyed by the
+*structural fingerprint* of the cell that produced it — the SHA-256 of
+the canonical JSON of a descriptor dict covering the workload spec,
+compiler mode, full machine configuration, engine, and the report
+schema version — so two processes (or two machines) that simulate the
+same configuration address the same object, and any change to any
+field of the configuration addresses a different one.
+
+Layout (``ResultStore(root)``)::
+
+    root/
+      STORE_FORMAT            # format marker, for forward compatibility
+      objects/ab/abcdef....json   # one record per fingerprint
+
+Records are written atomically (temp file + ``os.replace``) so
+concurrent writers — e.g. two sweep processes sharing a store —
+cannot corrupt each other; both produce the same bytes for the same
+fingerprint.
+
+A record stores its own descriptor next to the report, which lets
+:meth:`ResultStore.get` *verify* the match instead of trusting the
+file name: a schema bump, a hash collision, or a hand-edited file is
+detected, counted as an invalidation, and dropped from disk so it is
+recomputed rather than silently served stale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+# Bump whenever SimulationReport (or anything feeding it) changes shape
+# or semantics: old records become invalidations, not wrong answers.
+SCHEMA_VERSION = 1
+
+STORE_FORMAT = "repro-result-store-v1"
+
+
+def canonical_json(data: dict) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(descriptor: dict) -> str:
+    """SHA-256 content address of a cell descriptor."""
+    return hashlib.sha256(canonical_json(descriptor).encode()).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class ResultStore:
+    """A directory of simulation reports keyed by config fingerprint."""
+
+    root: str
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        # Validate before mutating: a directory claiming another format
+        # is rejected untouched.
+        self.root = os.path.abspath(self.root)
+        marker = os.path.join(self.root, "STORE_FORMAT")
+        if os.path.exists(marker):
+            with open(marker, "r", encoding="utf-8") as handle:
+                found = handle.read().strip()
+            if found != STORE_FORMAT:
+                raise ValueError(
+                    f"{self.root} is a {found or 'unrecognized'} store, "
+                    f"not {STORE_FORMAT}; point --store elsewhere or "
+                    f"delete the directory")
+            os.makedirs(self._objects_dir, exist_ok=True)
+        else:
+            os.makedirs(self._objects_dir, exist_ok=True)
+            self._atomic_write(marker, STORE_FORMAT + "\n")
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def _objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def path_for(self, fp: str) -> str:
+        """On-disk location of the record for fingerprint *fp*."""
+        return os.path.join(self._objects_dir, fp[:2], fp + ".json")
+
+    # -- record access ----------------------------------------------------
+
+    def contains(self, fp: str) -> bool:
+        """Whether a record file exists (no validation, no stat change)."""
+        return os.path.exists(self.path_for(fp))
+
+    def get(self, fp: str, descriptor: dict) -> dict | None:
+        """Load the report for *fp*, or ``None`` on miss/invalidation.
+
+        The stored descriptor must equal *descriptor* and the stored
+        schema must match :data:`SCHEMA_VERSION`; any mismatch (or an
+        unreadable record) is an invalidation — the file is removed so
+        the caller recomputes and re-stores it.
+        """
+        path = self.path_for(fp)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._invalidate(path)
+            return None
+        if (record.get("schema") != SCHEMA_VERSION
+                or record.get("key") != descriptor
+                or "report" not in record):
+            self._invalidate(path)
+            return None
+        self.stats.hits += 1
+        return record["report"]
+
+    def put(self, fp: str, descriptor: dict, report: dict) -> None:
+        """Persist *report* under *fp* (atomic, last-writer-wins)."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fp,
+            "key": descriptor,
+            "report": report,
+        }
+        path = self.path_for(fp)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._atomic_write(path, canonical_json(record) + "\n")
+        self.stats.stores += 1
+
+    def _invalidate(self, path: str) -> None:
+        self.stats.invalidations += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- maintenance ------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of records on disk (walks the objects directory)."""
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self._objects_dir):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count
+
+    def _atomic_write(self, path: str, text: str) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=os.path.dirname(path),
+            prefix=".tmp-", delete=False)
+        try:
+            handle.write(text)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            try:
+                os.remove(handle.name)
+            except OSError:
+                pass
+            raise

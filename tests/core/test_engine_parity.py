@@ -7,7 +7,10 @@ full pipeline stats — must match exactly for every workload, machine
 mode, and snapshot mechanism.
 """
 
+
 import pytest
+
+pytestmark = pytest.mark.parity
 
 from repro.arch.executor import Executor, InstructionLimitError
 from repro.arch.fast_executor import FastExecutor

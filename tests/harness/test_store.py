@@ -1,0 +1,177 @@
+"""Persistent result store: round-trips, invalidation, runner backing."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.engine import SimulationReport
+from repro.harness import runner
+from repro.harness.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    canonical_json,
+    fingerprint,
+)
+from repro.uarch.config import MachineConfig
+from repro.workloads.microbench import MicrobenchSpec
+
+SPEC = MicrobenchSpec("fibonacci", w=1, iters=1)
+
+
+@pytest.fixture(autouse=True)
+def clean_runner():
+    runner.clear_cache()
+    previous = runner.set_store(None)
+    yield
+    runner.set_store(previous)
+    runner.clear_cache()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "store"))
+
+
+def _descriptor(engine="fast", config=None, mode="plain"):
+    return runner.cell_descriptor("micro", SPEC, mode, config, engine)
+
+
+def test_report_dict_round_trip():
+    result = runner.run_microbench(SPEC, "sempe")
+    report = result.report
+    rebuilt = SimulationReport.from_dict(report.to_dict())
+    assert rebuilt == report
+    assert rebuilt.to_dict() == report.to_dict()
+
+
+def test_store_round_trip(store):
+    result = runner.run_microbench(SPEC, "plain")
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+    store.put(fp, descriptor, result.report.to_dict())
+    assert store.contains(fp)
+    assert len(store) == 1
+    loaded = store.get(fp, descriptor)
+    assert loaded == result.report.to_dict()
+    assert store.stats.hits == 1 and store.stats.stores == 1
+
+
+def test_fingerprint_is_structural():
+    """Equal configs address the same record; any field change
+    re-addresses."""
+    assert fingerprint(_descriptor(config=MachineConfig())) == \
+        fingerprint(_descriptor(config=MachineConfig()))
+    shrunk = MachineConfig()
+    shrunk.rob_entries = 32
+    assert fingerprint(_descriptor(config=MachineConfig())) != \
+        fingerprint(_descriptor(config=shrunk))
+    assert fingerprint(_descriptor(engine="fast")) != \
+        fingerprint(_descriptor(engine="reference"))
+    assert fingerprint(_descriptor(mode="plain")) != \
+        fingerprint(_descriptor(mode="sempe"))
+
+
+def test_miss_on_absent_record(store):
+    descriptor = _descriptor()
+    assert store.get(fingerprint(descriptor), descriptor) is None
+    assert store.stats.misses == 1
+
+
+def test_corrupt_record_invalidated(store):
+    result = runner.run_microbench(SPEC, "plain")
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+    store.put(fp, descriptor, result.report.to_dict())
+    with open(store.path_for(fp), "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    assert store.get(fp, descriptor) is None
+    assert store.stats.invalidations == 1
+    assert not store.contains(fp)
+
+
+def test_schema_bump_invalidates(store):
+    result = runner.run_microbench(SPEC, "plain")
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+    store.put(fp, descriptor, result.report.to_dict())
+    path = store.path_for(fp)
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    record["schema"] = SCHEMA_VERSION + 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(record))
+    assert store.get(fp, descriptor) is None
+    assert store.stats.invalidations == 1
+
+
+def test_key_mismatch_invalidates(store):
+    """A record whose stored descriptor disagrees with the requested one
+    (hash collision / hand-edited file) is dropped, not served."""
+    result = runner.run_microbench(SPEC, "plain")
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+    store.put(fp, _descriptor(mode="sempe"), result.report.to_dict())
+    assert store.get(fp, descriptor) is None
+    assert store.stats.invalidations == 1
+
+
+def test_runner_served_from_store_across_sessions(store):
+    """clear_cache() simulates a new process: the second run must come
+    from disk, bit-identical, with zero new simulations."""
+    runner.set_store(store)
+    first = runner.run_microbench(SPEC, "sempe")
+    assert store.stats.stores == 1
+
+    runner.clear_cache()          # "new process"
+    second = runner.run_microbench(SPEC, "sempe")
+    assert store.stats.hits == 1
+    assert store.stats.stores == 1          # nothing re-simulated
+    assert second is not first
+    assert second.report == first.report
+    # and it is now an L1 entry: a third call is a pure cache hit
+    third = runner.run_microbench(SPEC, "sempe")
+    assert third is second
+
+
+def test_config_change_misses_store(store):
+    runner.set_store(store)
+    runner.run_microbench(SPEC, "plain", config=MachineConfig())
+    shrunk = MachineConfig()
+    shrunk.rob_entries = 32
+    runner.clear_cache()
+    runner.run_microbench(SPEC, "plain", config=shrunk)
+    assert store.stats.stores == 2          # distinct records
+    assert len(store) == 2
+
+
+def test_store_survives_reopen(tmp_path):
+    root = str(tmp_path / "store")
+    runner.set_store(ResultStore(root))
+    first = runner.run_microbench(SPEC, "plain")
+    runner.clear_cache()
+    reopened = ResultStore(root)            # fresh instance, same dir
+    runner.set_store(reopened)
+    second = runner.run_microbench(SPEC, "plain")
+    assert reopened.stats.hits == 1
+    assert second.report == first.report
+
+
+def test_store_layout(store):
+    runner.set_store(store)
+    runner.run_microbench(SPEC, "plain")
+    assert os.path.exists(os.path.join(store.root, "STORE_FORMAT"))
+    fp = fingerprint(_descriptor())
+    path = store.path_for(fp)
+    assert path.endswith(os.path.join(fp[:2], fp + ".json"))
+    assert os.path.exists(path)
+
+
+def test_format_marker_validated(tmp_path):
+    root = str(tmp_path / "store")
+    ResultStore(root)
+    with open(os.path.join(root, "STORE_FORMAT"), "w",
+              encoding="utf-8") as handle:
+        handle.write("someone-elses-format-v9\n")
+    with pytest.raises(ValueError, match="someone-elses-format-v9"):
+        ResultStore(root)

@@ -1,5 +1,10 @@
 """Property tests: the functional ALU matches Python's 64-bit semantics."""
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,6 +8,10 @@ carries at most one sJMP per chain.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

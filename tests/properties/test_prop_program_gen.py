@@ -14,6 +14,10 @@ random secrets:
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import hashlib
 
 from hypothesis import given, settings

@@ -1,5 +1,10 @@
 """Property tests on core data structures: jbTable, caches, encoding."""
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,9 @@
 """Concrete key-recovery attacks (Fig. 1 scenario)."""
 
+
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.lang.compiler import compile_source
 from repro.security.attacks import BranchTraceAttack, TimingAttack

@@ -5,7 +5,10 @@ be indistinguishable to the §III attacker when decoded on the SeMPE
 machine, and distinguishable on the baseline.
 """
 
+
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.security import collect_observation, distinguishing_channels
 from repro.workloads.djpeg import DjpegSpec, compile_djpeg, generate_image

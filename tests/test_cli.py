@@ -104,3 +104,97 @@ def test_stdin_input(monkeypatch, capsys):
     monkeypatch.setattr("sys.stdin", io.StringIO(SOURCE))
     assert main(["compile", "-"]) == 0
     assert "sJMPs=1" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------
+# sweep command + cache/store statistics
+# --------------------------------------------------------------------------
+
+@pytest.fixture
+def clean_harness():
+    from repro.harness import clear_cache, set_store
+
+    clear_cache()
+    previous = set_store(None)
+    yield
+    set_store(previous)
+    clear_cache()
+
+
+SWEEP_ARGS = ["sweep", "fig10a", "--w", "1", "--workloads", "fibonacci",
+              "--jobs", "1", "--cache-stats"]
+
+
+def test_sweep_smoke(clean_harness, tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    assert main(SWEEP_ARGS + ["--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 10a" in out
+    assert "3 cells" in out and "3 computed" in out
+    assert "run cache:" in out
+    assert f"store [{store_dir}]" in out and "stores=3" in out
+
+
+def test_sweep_second_invocation_served_from_store(clean_harness, tmp_path,
+                                                   capsys):
+    from repro.harness import clear_cache
+
+    store_dir = str(tmp_path / "store")
+    assert main(SWEEP_ARGS + ["--store", store_dir]) == 0
+    first = capsys.readouterr().out
+    clear_cache()                       # simulate a fresh process
+    assert main(SWEEP_ARGS + ["--store", store_dir]) == 0
+    second = capsys.readouterr().out
+    assert "3 from store" in second and "0 computed" in second
+    # the rendered table is identical either way
+    assert first.split("run cache:")[0].split("sweep fig10a:")[0] == \
+        second.split("run cache:")[0].split("sweep fig10a:")[0]
+
+
+def test_sweep_no_store(clean_harness, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(SWEEP_ARGS + ["--no-store"]) == 0
+    out = capsys.readouterr().out
+    assert "store: (none)" in out
+    assert not (tmp_path / ".repro-store").exists()
+
+
+def test_sweep_unknown_experiment(clean_harness, capsys):
+    assert main(["sweep", "fig99"]) == 2
+
+
+def test_run_cache_stats_flag(clean_harness, source_file, capsys):
+    assert main(["run", source_file, "--cache-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "run cache: hits=" in out
+    assert "store: (none)" in out
+
+
+def test_experiments_cache_stats_flag(clean_harness, capsys):
+    assert main(["experiments", "table2", "--cache-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "run cache: hits=" in out
+
+
+def test_sweep_invalid_workloads_and_sizes(clean_harness, tmp_path, capsys):
+    assert main(["sweep", "fig10a", "--workloads", "bogus",
+                 "--store", str(tmp_path / "s1")]) == 2
+    assert "unknown workloads" in capsys.readouterr().err
+    assert not (tmp_path / "s1").exists()     # rejected before store I/O
+    assert main(["sweep", "fig8", "--sizes", "12x",
+                 "--store", str(tmp_path / "s2")]) == 2
+    assert "invalid --sizes" in capsys.readouterr().err
+    assert not (tmp_path / "s2").exists()
+
+
+def test_sweep_no_store_clears_installed_store(clean_harness, tmp_path,
+                                               capsys):
+    from repro.harness import get_store
+
+    store_dir = str(tmp_path / "store")
+    assert main(SWEEP_ARGS + ["--store", store_dir]) == 0
+    capsys.readouterr()
+    assert get_store() is not None
+    assert main(SWEEP_ARGS + ["--no-store"]) == 0
+    assert get_store() is None
+    assert "store: (none)" in capsys.readouterr().out
