@@ -3,8 +3,8 @@ export PYTHONPATH
 
 PYTEST := python -m pytest
 
-.PHONY: test test-fast test-slow parity sweep bench-perf bench-quick \
-	bench-full ci
+.PHONY: test test-fast test-slow parity sweep registry-smoke bench-perf \
+	bench-quick bench-full ci
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -28,6 +28,12 @@ parity:
 sweep:
 	python -m repro sweep --jobs 4 --progress --cache-stats $(ARGS)
 
+# Victim-workload registry smoke: the matrix lists and its
+# registration tests pass (the CI tier-1 lane runs this first).
+registry-smoke:
+	python -m repro workloads list
+	$(PYTEST) -x -q -m "not slow" tests/workloads/test_registry.py
+
 # Engine throughput benchmark only (appends to BENCH_perf.json).
 bench-perf:
 	REPRO_BENCH_SCALE=quick $(PYTEST) benchmarks/bench_perf_engine.py -q -s
@@ -39,8 +45,8 @@ bench-quick: test bench-perf
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTEST) benchmarks -q -s
 
-# Mirror of .github/workflows/ci.yml: fast lane then slow lane (their
-# union is exactly tier-1), the parity gate (re-run deliberately as a
-# named check even though the fast lane includes it), and the bench
-# smoke (which refreshes BENCH_perf.json).
-ci: test-fast test-slow parity bench-perf
+# Mirror of .github/workflows/ci.yml: registry smoke, fast lane then
+# slow lane (their union is exactly tier-1), the parity gate (re-run
+# deliberately as a named check even though the fast lane includes it),
+# and the bench smoke (which refreshes BENCH_perf.json).
+ci: registry-smoke test-fast test-slow parity bench-perf

@@ -125,13 +125,21 @@ class FastExecutor(Executor):
                 next_pc = pc + 1
 
                 if k <= K_LAST_ALU:
+                    # Register operands are masked at read so that raw
+                    # out-of-range values poked directly into
+                    # ``state.regs`` (negative, or >= 2**64) behave
+                    # exactly as in the reference engine, whose
+                    # ``to_signed``/``to_unsigned`` helpers normalize
+                    # every operand per op.  Immediates stay raw — the
+                    # reference uses them raw too, and each handler
+                    # below masks them where its semantics require.
                     r1 = rs1_t[pc]
-                    a = regs[r1] if r1 >= 0 else 0
+                    a = regs[r1] & MASK64 if r1 >= 0 else 0
                     if b_imm_t[pc]:
                         b = imm_t[pc]
                     else:
                         r2 = rs2_t[pc]
-                        b = regs[r2] if r2 >= 0 else 0
+                        b = regs[r2] & MASK64 if r2 >= 0 else 0
                     if k == K_ADD:
                         value = a + b
                     elif k == K_SUB:
@@ -207,6 +215,10 @@ class FastExecutor(Executor):
                     ap(pc); aa(addr); at(-1)
 
                 elif k <= K_LAST_BRANCH:
+                    # BEQ/BNE compare raw register contents (so does the
+                    # reference); the ordered compares normalize first,
+                    # mirroring to_unsigned/to_signed in
+                    # Executor._branch_condition.
                     a = regs[rs1_t[pc]]
                     b = regs[rs2_t[pc]]
                     if k == K_BEQ:
@@ -214,10 +226,12 @@ class FastExecutor(Executor):
                     elif k == K_BNE:
                         taken = a != b
                     elif k == K_BLTU:
-                        taken = a < b
+                        taken = (a & MASK64) < (b & MASK64)
                     elif k == K_BGEU:
-                        taken = a >= b
+                        taken = (a & MASK64) >= (b & MASK64)
                     else:
+                        a &= MASK64
+                        b &= MASK64
                         sa = a - TWO64 if a >= SIGN_BIT else a
                         sb = b - TWO64 if b >= SIGN_BIT else b
                         taken = sa < sb if k == K_BLT else sa >= sb

@@ -4,9 +4,14 @@ Commands:
 
 * ``compile``  — compile a mini-C file and print the assembly listing;
 * ``run``      — compile and simulate, printing cycles/IPC/miss rates;
-* ``check``    — noninterference report for a named secret across values;
+  ``--workload NAME`` runs a registered victim instead of a file;
+* ``check``    — noninterference report for a named secret across
+  values; ``--workload NAME`` audits a registered victim using its
+  declared secret and representative values;
 * ``disasm``   — encode a compiled program and show the SeMPE vs legacy
   decode of the same bytes (the backward-compatibility story);
+* ``workloads`` — list the victim-workload registry, or show one
+  victim's generated source;
 * ``experiments`` — regenerate a paper table/figure by name;
 * ``sweep``    — run the evaluation grid as one batch: fan cells out
   across ``--jobs`` worker processes and persist results in an on-disk
@@ -59,9 +64,61 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_params(text: str) -> dict:
+    """Parse ``key=value,key=value`` workload parameter overrides."""
+    params: dict = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(f"expected key=value, got {token!r}")
+        key, _, raw = token.partition("=")
+        if raw.lower() in ("true", "false"):
+            value: object = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw, 0)
+            except ValueError:
+                value = raw
+        params[key.strip()] = value
+    return params
+
+
+class _UsageError(Exception):
+    """CLI-level misuse: printed to stderr, exit code 2."""
+
+
+def _workload_program(args: argparse.Namespace):
+    """Compile either the file or the ``--workload`` registry victim."""
+    from repro.workloads.registry import get_workload
+
+    if getattr(args, "workload", None):
+        if args.file:
+            raise _UsageError("give either a source file or --workload, "
+                              "not both")
+        try:
+            spec = get_workload(args.workload)
+            overrides = _parse_params(getattr(args, "params", "") or "")
+            return spec.compile(
+                args.mode,
+                collapse_ifs=getattr(args, "collapse_ifs", False),
+                **overrides)
+        except ValueError as error:
+            # WorkloadError (unknown name/param/mode) and builder
+            # parameter validation both surface as usage errors, not
+            # tracebacks.
+            raise _UsageError(str(error)) from error
+    if not args.file:
+        raise _UsageError("a source file (or --workload NAME) is required")
+    if getattr(args, "params", ""):
+        raise _UsageError("--params only applies to --workload runs")
+    return compile_source(_read_source(args.file), mode=args.mode,
+                          collapse_ifs=getattr(args, "collapse_ifs", False))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    compiled = compile_source(_read_source(args.file), mode=args.mode,
-                              collapse_ifs=args.collapse_ifs)
+    compiled = _workload_program(args)
     sempe = args.mode == "sempe" and not args.legacy
     report = simulate(compiled.program, sempe=sempe, engine=args.engine)
     machine = "SeMPE" if sempe else "baseline"
@@ -92,13 +149,49 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    from repro.security.leakage import noninterference_report
+    from repro.security.leakage import noninterference_report, victim_report
 
-    compiled = compile_source(_read_source(args.file), mode=args.mode)
-    sempe = args.mode == "sempe"
-    values = [int(token, 0) for token in args.values.split(",")]
-    report = noninterference_report(compiled.program, args.secret, values,
-                                    sempe=sempe)
+    # --values default is None so an explicit request is distinguishable
+    # from "use the defaults" (workloads have their own representative
+    # values; files fall back to 0,1,2).
+    values = None
+    if args.values is not None:
+        try:
+            values = [int(token, 0) for token in args.values.split(",")]
+        except ValueError as error:
+            raise _UsageError(f"invalid --values {args.values!r}: "
+                              "expected comma-separated integers"
+                              ) from error
+    if args.workload:
+        if args.file:
+            raise _UsageError("give either a source file or --workload, "
+                              "not both")
+        if args.secret:
+            raise _UsageError("--secret conflicts with --workload (the "
+                              "registered spec declares its own secret); "
+                              "drop one of them")
+        try:
+            overrides = _parse_params(args.params or "")
+            report = victim_report(args.workload, args.mode,
+                                   engine=args.engine, secret_values=values,
+                                   **overrides)
+        except ValueError as error:
+            raise _UsageError(str(error)) from error
+    else:
+        if not args.file:
+            raise _UsageError("a source file (or --workload NAME) is "
+                              "required")
+        if args.params:
+            raise _UsageError("--params only applies to --workload audits")
+        if not args.secret:
+            raise _UsageError("--secret is required when checking a "
+                              "source file")
+        compiled = compile_source(_read_source(args.file), mode=args.mode)
+        sempe = args.mode == "sempe"
+        report = noninterference_report(compiled.program, args.secret,
+                                        values if values is not None
+                                        else [0, 1, 2],
+                                        sempe=sempe, engine=args.engine)
     print(report.summary())
     print()
     print("verdict:", "SECURE (all channels closed)" if report.secure
@@ -113,6 +206,47 @@ def cmd_disasm(args: argparse.Namespace) -> int:
     print(disassemble_binary(blob, legacy=False))
     print()
     print(disassemble_binary(blob, legacy=True))
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.harness.report import format_table
+    from repro.workloads.registry import get_workload, iter_workloads
+
+    if args.action == "show":
+        if not args.name:
+            raise _UsageError("workloads show requires a workload name")
+        try:
+            spec = get_workload(args.name)
+            overrides = _parse_params(args.params or "")
+            source = spec.source(**overrides)
+        except ValueError as error:
+            raise _UsageError(str(error)) from error
+        print(f"// workload {spec.name}: {spec.title}")
+        print(f"// secret: {spec.secret}   "
+              f"expected channels: {', '.join(spec.channels)}")
+        print(source.strip())
+        return 0
+
+    if args.name or args.params:
+        raise _UsageError(
+            f"workloads {args.action} takes no further arguments "
+            f"(did you mean `workloads show {args.name}`?)")
+    headers = ["name", "secret", "modes", "grid",
+               "expected baseline leak channels", "description"]
+    rows = []
+    for spec in iter_workloads():
+        row = spec.describe()
+        rows.append([
+            row["name"],
+            row["secret"],
+            ",".join(row["modes"]),
+            row["grid"],
+            ", ".join(row["channels"]),
+            row["title"],
+        ])
+    print(format_table(headers, rows, title="Victim workload registry"))
+    print(f"{len(rows)} workloads registered")
     return 0
 
 
@@ -216,8 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub):
-        sub.add_argument("file", help="mini-C source file ('-' for stdin)")
+    def add_common(sub, file_optional=False):
+        if file_optional:
+            sub.add_argument("file", nargs="?", default=None,
+                             help="mini-C source file ('-' for stdin); "
+                                  "omit when using --workload")
+        else:
+            sub.add_argument("file", help="mini-C source file ('-' for stdin)")
         sub.add_argument("--mode", choices=MODES, default="sempe")
 
     compile_parser = subparsers.add_parser(
@@ -228,7 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.set_defaults(func=cmd_compile)
 
     run_parser = subparsers.add_parser("run", help="compile and simulate")
-    add_common(run_parser)
+    add_common(run_parser, file_optional=True)
+    run_parser.add_argument("--workload", default=None,
+                            help="run a registered victim workload "
+                                 "(see `repro workloads list`)")
+    run_parser.add_argument("--params", default="",
+                            help="workload parameter overrides "
+                                 "(key=value[,key=value...])")
     run_parser.add_argument("--legacy", action="store_true",
                             help="run the binary on the non-SeMPE machine")
     run_parser.add_argument("--engine", choices=ENGINES,
@@ -244,12 +389,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_parser = subparsers.add_parser(
         "check", help="noninterference report across secret values")
-    add_common(check_parser)
-    check_parser.add_argument("--secret", required=True,
-                              help="name of the secret global to vary")
-    check_parser.add_argument("--values", default="0,1,2",
-                              help="comma-separated secret values")
+    add_common(check_parser, file_optional=True)
+    check_parser.add_argument("--workload", default=None,
+                              help="audit a registered victim workload "
+                                   "with its declared secret and values")
+    check_parser.add_argument("--params", default="",
+                              help="workload parameter overrides "
+                                   "(key=value[,key=value...])")
+    check_parser.add_argument("--secret", default=None,
+                              help="name of the secret global to vary "
+                                   "(required for source files)")
+    check_parser.add_argument("--values", default=None,
+                              help="comma-separated secret values "
+                                   "(default: 0,1,2 for files, the "
+                                   "declared representative values for "
+                                   "--workload)")
+    check_parser.add_argument("--engine", choices=ENGINES, default=None,
+                              help="functional engine for the observations")
     check_parser.set_defaults(func=cmd_check)
+
+    workloads_parser = subparsers.add_parser(
+        "workloads", help="victim-workload registry")
+    workloads_parser.add_argument(
+        "action", nargs="?", default="list", choices=("list", "show"),
+        help="list the registry, or show one victim's generated source")
+    workloads_parser.add_argument("name", nargs="?", default=None,
+                                  help="workload name (for `show`)")
+    workloads_parser.add_argument("--params", default="",
+                                  help="parameter overrides for `show`")
+    workloads_parser.set_defaults(func=cmd_workloads)
 
     disasm_parser = subparsers.add_parser(
         "disasm", help="show SeMPE vs legacy decode of the same bytes")
@@ -309,7 +477,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _UsageError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

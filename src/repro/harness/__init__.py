@@ -15,6 +15,7 @@ from repro.harness.runner import (
     get_store,
     run_djpeg,
     run_microbench,
+    run_workload,
     set_store,
     store_info,
 )
@@ -38,10 +39,17 @@ from repro.harness.experiments import (
     fig9_cache_missrates,
     fig10a_microbench,
     fig10b_normalized_to_ideal,
+    victims_overhead,
+    victims_cells,
+    leakmatrix,
     DEFAULT_W_SWEEP,
 )
 
 __all__ = [
+    "run_workload",
+    "victims_overhead",
+    "victims_cells",
+    "leakmatrix",
     "RunResult",
     "ResultStore",
     "SweepCell",

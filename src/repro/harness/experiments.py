@@ -20,12 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.harness.runner import run_djpeg, run_microbench
+from repro.harness.runner import run_djpeg, run_microbench, run_workload
 from repro.harness.sweep import MICRO_ITERS, SweepCell, ensure_cells
 from repro.models.priorwork import GhostRiderModel, RaccoonModel
 from repro.uarch.config import MachineConfig, haswell_like
 from repro.workloads.djpeg import FORMATS, DjpegSpec
 from repro.workloads.microbench import WORKLOADS, MicrobenchSpec
+from repro.workloads.registry import WorkloadRunSpec, iter_workloads
 
 # Default sweep parameters, sized so the pure-Python timing model
 # finishes in benchmark-friendly time (see DESIGN.md substitution 4).
@@ -327,6 +328,104 @@ def fig10b_normalized_to_ideal(w_sweep=DEFAULT_W_SWEEP,
 
 
 # --------------------------------------------------------------------------
+# Victim matrix — overhead per registered workload (the registry sweep)
+# --------------------------------------------------------------------------
+
+def victims_cells(**_ignored) -> list[SweepCell]:
+    """Every registered workload × its parameter grid × plain/sempe."""
+    cells: list[SweepCell] = []
+    for spec in iter_workloads():
+        for params in spec.grid_points():
+            run_spec = WorkloadRunSpec(spec.name, params)
+            cells.append(SweepCell("workload", run_spec, "plain"))
+            cells.append(SweepCell("workload", run_spec, "sempe"))
+    return cells
+
+
+def victims_overhead(**_ignored) -> ExperimentResult:
+    """SeMPE overhead across the full victim-workload matrix."""
+    ensure_cells("victims", victims_cells())
+    headers = ["victim", "params", "secret", "plain cycles",
+               "sempe cycles", "overhead"]
+    rows: list[list[object]] = []
+    series: dict[str, list[float]] = {}
+    for spec in iter_workloads():
+        overheads: list[float] = []
+        for params in spec.grid_points():
+            run_spec = WorkloadRunSpec(spec.name, params)
+            base = run_workload(run_spec, "plain")
+            sempe = run_workload(run_spec, "sempe")
+            overhead = sempe.cycles / base.cycles
+            overheads.append(overhead)
+            tag = ",".join(f"{key}={params[key]}" for key in sorted(params))
+            rows.append([spec.name, tag, spec.secret, base.cycles,
+                         sempe.cycles, f"{overhead:.2f}x"])
+        series[spec.name] = overheads
+    return ExperimentResult("Victim matrix", headers, rows, series=series)
+
+
+# --------------------------------------------------------------------------
+# Leak matrix — per-victim noninterference verdicts (baseline vs SeMPE)
+# --------------------------------------------------------------------------
+
+def leakmatrix_cells(**_ignored) -> list[SweepCell]:
+    """Leak analysis needs per-secret observation traces, which do not
+    flow through the run cache; the matrix renders live."""
+    return []
+
+
+def _leak_config() -> MachineConfig:
+    """A compact machine for the leak matrix.
+
+    Leak verdicts do not depend on structure sizes (the baseline leak
+    and the SeMPE closure both hold on any machine); the small caches
+    and windows just keep the per-secret simulations quick.
+    """
+    from repro.mem.cache import CacheConfig
+    from repro.mem.hierarchy import HierarchyConfig
+
+    config = MachineConfig()
+    config.rob_entries = 64
+    config.int_issue_buffer = 24
+    config.fp_issue_buffer = 24
+    config.hierarchy = HierarchyConfig(
+        il1=CacheConfig(name="IL1", size_bytes=4 * 1024, assoc=2,
+                        hit_latency=1),
+        dl1=CacheConfig(name="DL1", size_bytes=8 * 1024, assoc=2,
+                        hit_latency=2),
+        l2=CacheConfig(name="L2", size_bytes=64 * 1024, assoc=2,
+                       hit_latency=12),
+    )
+    return config
+
+
+def leakmatrix(**_ignored) -> ExperimentResult:
+    """Baseline-leaks vs SeMPE-closed verdicts for every victim."""
+    from repro.security.leakage import victim_report
+
+    config = _leak_config()
+    headers = ["victim", "secret", "expected channels",
+               "baseline", "sempe"]
+    rows: list[list[object]] = []
+    series: dict[str, dict[str, object]] = {}
+    for spec in iter_workloads():
+        plain = victim_report(spec, "plain", config=config)
+        sempe = victim_report(spec, "sempe", config=config)
+        leaking = plain.leaking_channels()
+        missing = [c for c in spec.channels if c not in leaking]
+        baseline_verdict = (f"LEAKS ({len(leaking)} ch)" if not missing
+                            else f"MISSING {missing}")
+        sempe_verdict = ("closed" if sempe.secure
+                         else f"LEAKS {sempe.leaking_channels()}")
+        rows.append([spec.name, spec.secret,
+                     ", ".join(spec.channels),
+                     baseline_verdict, sempe_verdict])
+        series[spec.name] = {"baseline_leaks": leaking,
+                             "sempe_secure": sempe.secure}
+    return ExperimentResult("Leak matrix", headers, rows, series=series)
+
+
+# --------------------------------------------------------------------------
 # Registry used by the CLI sweep command
 # --------------------------------------------------------------------------
 
@@ -368,6 +467,14 @@ _REGISTRY = {
         lambda w, w_sweep, sizes, workloads, formats:
             fig10b_normalized_to_ideal(w_sweep=w_sweep,
                                        workloads=workloads),
+    ),
+    "victims": (
+        lambda w, w_sweep, sizes, workloads, formats: victims_cells(),
+        lambda w, w_sweep, sizes, workloads, formats: victims_overhead(),
+    ),
+    "leakmatrix": (
+        lambda w, w_sweep, sizes, workloads, formats: leakmatrix_cells(),
+        lambda w, w_sweep, sizes, workloads, formats: leakmatrix(),
     ),
 }
 

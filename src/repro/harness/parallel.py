@@ -39,6 +39,7 @@ from repro.harness.runner import cell_descriptor, install_result
 from repro.harness.store import fingerprint
 from repro.workloads.djpeg import compile_djpeg
 from repro.workloads.microbench import compile_microbench
+from repro.workloads.registry import compile_workload
 
 ProgressFn = Callable[[int, int, str], None]
 
@@ -62,6 +63,8 @@ def _execute_payload(payload: tuple) -> tuple[str, str, str, dict]:
     random.seed(cell_seed(fp))
     if kind == "micro":
         compiled = compile_microbench(spec, mode)
+    elif kind == "workload":
+        compiled = compile_workload(spec, mode)
     else:
         compiled = compile_djpeg(spec, mode)
     report = simulate(compiled.program, sempe=(mode == "sempe"),

@@ -27,6 +27,7 @@ from repro.harness.store import ResultStore, SCHEMA_VERSION, fingerprint
 from repro.uarch.config import MachineConfig
 from repro.workloads.djpeg import DjpegSpec, compile_djpeg
 from repro.workloads.microbench import MicrobenchSpec, compile_microbench
+from repro.workloads.registry import WorkloadRunSpec, compile_workload
 
 _CACHE: dict[str, "RunResult"] = {}
 _HITS = 0
@@ -174,6 +175,8 @@ def probe(descriptor: dict) -> str | None:
 def _spec_name(kind: str, spec_fields: dict) -> str:
     if kind == "micro":
         return MicrobenchSpec(**spec_fields).name
+    if kind == "workload":
+        return WorkloadRunSpec(**spec_fields).name
     return DjpegSpec(**spec_fields).name
 
 
@@ -228,4 +231,14 @@ def run_djpeg(spec: DjpegSpec, mode: str,
     engine = engine or get_default_engine()
     descriptor = cell_descriptor("djpeg", spec, mode, config, engine)
     return _cached_run(descriptor, lambda: compile_djpeg(spec, mode),
+                       spec.name, mode, config, engine)
+
+
+def run_workload(spec: WorkloadRunSpec, mode: str,
+                 config: MachineConfig | None = None,
+                 engine: str | None = None) -> RunResult:
+    """Simulate one registry-workload configuration (cached)."""
+    engine = engine or get_default_engine()
+    descriptor = cell_descriptor("workload", spec, mode, config, engine)
+    return _cached_run(descriptor, lambda: compile_workload(spec, mode),
                        spec.name, mode, config, engine)

@@ -115,21 +115,27 @@ class ResultStore:
         """Load the report for *fp*, or ``None`` on miss/invalidation.
 
         The stored descriptor must equal *descriptor* and the stored
-        schema must match :data:`SCHEMA_VERSION`; any mismatch (or an
-        unreadable record) is an invalidation — the file is removed so
-        the caller recomputes and re-stores it.
+        schema must match :data:`SCHEMA_VERSION`.  Any unreadable record
+        — truncated JSON, binary garbage, a non-object top level, an
+        undecodable file — and any mismatch is treated as a *miss* and
+        an *invalidation*: the file is removed so the caller recomputes
+        and re-stores it.  ``get`` never raises on record content; a
+        corrupt store degrades to recomputation, not a crashed sweep.
         """
         path = self.path_for(fp)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
+            with open(path, "rb") as handle:
+                record = json.loads(handle.read().decode("utf-8"))
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            # ValueError covers json.JSONDecodeError and
+            # UnicodeDecodeError (truncated or binary records).
             self._invalidate(path)
             return None
-        if (record.get("schema") != SCHEMA_VERSION
+        if (not isinstance(record, dict)
+                or record.get("schema") != SCHEMA_VERSION
                 or record.get("key") != descriptor
                 or "report" not in record):
             self._invalidate(path)
@@ -151,6 +157,9 @@ class ResultStore:
         self.stats.stores += 1
 
     def _invalidate(self, path: str) -> None:
+        # An invalidated record is also a miss: the caller recomputes,
+        # so hit/miss totals keep accounting for every lookup.
+        self.stats.misses += 1
         self.stats.invalidations += 1
         try:
             os.remove(path)

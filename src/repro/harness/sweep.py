@@ -34,11 +34,13 @@ from repro.harness.runner import (
     probe,
     run_djpeg,
     run_microbench,
+    run_workload,
 )
 from repro.harness.store import fingerprint
 from repro.uarch.config import MachineConfig
 from repro.workloads.djpeg import FORMATS, DjpegSpec
 from repro.workloads.microbench import WORKLOADS, MicrobenchSpec
+from repro.workloads.registry import WorkloadRunSpec
 
 # Iteration counts used by the paper sweeps (sized so the pure-Python
 # timing model finishes in benchmark-friendly time; see DESIGN.md).
@@ -60,8 +62,8 @@ MODES = tuple(_MODE_VARIANT)
 class SweepCell:
     """One grid point: a workload spec on a machine, mode, and engine."""
 
-    kind: str                                  # "micro" | "djpeg"
-    spec: MicrobenchSpec | DjpegSpec
+    kind: str                                  # "micro" | "djpeg" | "workload"
+    spec: MicrobenchSpec | DjpegSpec | WorkloadRunSpec
     mode: str                                  # plain | sempe | cte
     config: MachineConfig | None = None
     engine: str | None = None                  # None = session default
@@ -103,6 +105,9 @@ class SweepCell:
         if self.kind == "micro":
             return run_microbench(self.spec, self.mode,
                                   config=self.config, engine=engine)
+        if self.kind == "workload":
+            return run_workload(self.spec, self.mode,
+                                config=self.config, engine=engine)
         return run_djpeg(self.spec, self.mode,
                          config=self.config, engine=engine)
 

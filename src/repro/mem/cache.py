@@ -30,29 +30,79 @@ class CacheConfig:
 
 @dataclass
 class CacheStats:
-    """Per-cache counters."""
+    """Per-cache counters, split explicitly into demand and prefetch.
 
-    accesses: int = 0
-    misses: int = 0
+    ``demand_accesses``/``demand_misses`` count only program-issued
+    accesses (:meth:`Cache.access`); prefetcher-installed lines are
+    tracked separately in ``prefetch_fills``.  Keeping the populations
+    disjoint is what makes ``hits`` well-defined: a prefetch fill can
+    never be recorded as a demand miss without a matching demand access,
+    so ``demand_accesses - demand_misses`` cannot go negative.  The
+    :meth:`validate` invariants are asserted by the tier-1 memory tests
+    after every workload they run.
+
+    ``accesses``/``misses``/``prefetches`` remain as read-only aliases
+    for the pre-split field names.
+    """
+
+    demand_accesses: int = 0
+    demand_misses: int = 0
     writebacks: int = 0
-    prefetches: int = 0
+    prefetch_fills: int = 0
     prefetch_hits: int = 0   # demand hits on prefetched lines
 
     @property
+    def accesses(self) -> int:
+        return self.demand_accesses
+
+    @property
+    def misses(self) -> int:
+        return self.demand_misses
+
+    @property
+    def prefetches(self) -> int:
+        return self.prefetch_fills
+
+    @property
     def hits(self) -> int:
-        return self.accesses - self.misses
+        hits = self.demand_accesses - self.demand_misses
+        if hits < 0:
+            raise ValueError(
+                f"cache accounting corrupt: {self.demand_misses} demand "
+                f"misses exceed {self.demand_accesses} demand accesses "
+                "(a non-demand fill was counted as a miss?)")
+        return hits
 
     @property
     def miss_rate(self) -> float:
-        if self.accesses == 0:
+        if self.demand_accesses == 0:
             return 0.0
-        return self.misses / self.accesses
+        return self.demand_misses / self.demand_accesses
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any accounting invariant is broken."""
+        for name in ("demand_accesses", "demand_misses", "writebacks",
+                     "prefetch_fills", "prefetch_hits"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"cache counter {name} is negative")
+        if self.demand_misses > self.demand_accesses:
+            raise ValueError(
+                "more demand misses than demand accesses "
+                f"({self.demand_misses} > {self.demand_accesses})")
+        if self.prefetch_hits > self.prefetch_fills:
+            raise ValueError(
+                "more prefetch hits than prefetch fills "
+                f"({self.prefetch_hits} > {self.prefetch_fills})")
+        if self.prefetch_hits > self.demand_accesses:
+            raise ValueError(
+                "more prefetch hits than demand accesses "
+                f"({self.prefetch_hits} > {self.demand_accesses})")
 
     def reset(self) -> None:
-        self.accesses = 0
-        self.misses = 0
+        self.demand_accesses = 0
+        self.demand_misses = 0
         self.writebacks = 0
-        self.prefetches = 0
+        self.prefetch_fills = 0
         self.prefetch_hits = 0
 
 
@@ -98,12 +148,12 @@ class Cache:
         On a miss the caller is responsible for filling (after fetching
         from the next level) via :meth:`fill`.
         """
-        self.stats.accesses += 1
+        self.stats.demand_accesses += 1
         line_address = self.line_address(address)
         cache_set = self._sets[self.set_index(line_address)]
         line = cache_set.get(line_address)
         if line is None:
-            self.stats.misses += 1
+            self.stats.demand_misses += 1
             return False
         # LRU bump.
         del cache_set[line_address]
@@ -139,13 +189,29 @@ class Cache:
                 victim_address = victim_tag << self._line_shift
         cache_set[line_address] = _Line(line_address, is_write, prefetched)
         if prefetched:
-            self.stats.prefetches += 1
+            self.stats.prefetch_fills += 1
         return victim_address
 
     def contains(self, address: int) -> bool:
         """Non-updating lookup (used by observers / prefetchers)."""
         line_address = self.line_address(address)
         return line_address in self._sets[self.set_index(line_address)]
+
+    def reset_stats(self) -> None:
+        """Start a new measurement epoch.
+
+        Clears the counters *and* the resident lines' prefetched flags:
+        a line prefetched before the reset must not produce a
+        ``prefetch_hits`` increment in the new epoch (whose
+        ``prefetch_fills`` is zero), or the epoch's invariants —
+        ``prefetch_hits <= prefetch_fills`` — would break on a healthy
+        cache.  Always reset through this method, not ``stats.reset()``
+        directly, so counters and flags restart together.
+        """
+        self.stats.reset()
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                line.prefetched = False
 
     def invalidate_all(self) -> None:
         for cache_set in self._sets:

@@ -149,7 +149,9 @@ class MemoryHierarchy:
         }
 
     def reset_stats(self) -> None:
-        self.il1.stats.reset()
-        self.dl1.stats.reset()
-        self.l2.stats.reset()
+        # Cache.reset_stats (not stats.reset) so resident prefetched
+        # flags restart with the counters — see its docstring.
+        self.il1.reset_stats()
+        self.dl1.reset_stats()
+        self.l2.reset_stats()
         self.dram_accesses = 0

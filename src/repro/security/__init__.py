@@ -20,9 +20,11 @@ from repro.security.leakage import (
     noninterference_report,
     distinguishing_channels,
     mutual_information_bits,
+    victim_report,
 )
 
 __all__ = [
+    "victim_report",
     "ObservationTrace",
     "TraceObserver",
     "collect_observation",

@@ -88,8 +88,13 @@ def noninterference_report(
     symbols: dict[str, int] | None = None,
     config: MachineConfig | None = None,
     max_instructions: int = 50_000_000,
+    engine: str | None = None,
 ) -> NoninterferenceReport:
-    """Run *program* once per secret value and compare all channels."""
+    """Run *program* once per secret value and compare all channels.
+
+    Array-valued secrets must be passed as tuples (they key the
+    per-secret observation table).
+    """
     report = NoninterferenceReport(
         program_name=program.name, sempe=sempe, secret_name=secret_name
     )
@@ -102,6 +107,7 @@ def noninterference_report(
             symbols=symbols,
             config=config,
             max_instructions=max_instructions,
+            engine=engine,
         )
     for channel in CHANNELS:
         channel_report = ChannelReport(channel=channel)
@@ -109,6 +115,43 @@ def noninterference_report(
             channel_report.observations[value] = trace.channels()[channel]
         report.channels[channel] = channel_report
     return report
+
+
+def victim_report(
+    spec,
+    mode: str,
+    config: MachineConfig | None = None,
+    engine: str | None = None,
+    secret_values: list | None = None,
+    max_instructions: int = 50_000_000,
+    **param_overrides,
+) -> NoninterferenceReport:
+    """Noninterference report for one registered workload.
+
+    *spec* is a :class:`~repro.workloads.registry.WorkloadSpec` (or its
+    name).  The victim is compiled in *mode* with the spec's leak
+    parameters applied, its declared secret is swept over the spec's
+    representative values (or *secret_values*), and every channel is
+    compared — the generic form of the per-victim leak experiments.
+    """
+    if isinstance(spec, str):
+        from repro.workloads.registry import get_workload
+
+        spec = get_workload(spec)
+    params = spec.leak_resolve(param_overrides)
+    compiled = spec.compile(mode, **params)
+    values = (spec.leak_values(params) if secret_values is None
+              else secret_values)
+    values = [tuple(v) if isinstance(v, list) else v for v in values]
+    return noninterference_report(
+        compiled.program,
+        spec.secret,
+        values,
+        sempe=(mode == "sempe"),
+        config=config,
+        max_instructions=max_instructions,
+        engine=engine,
+    )
 
 
 def distinguishing_channels(

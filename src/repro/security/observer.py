@@ -23,6 +23,8 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro.arch.executor import Executor
+from repro.arch.fast_executor import FastExecutor
+from repro.core.engine import _resolve_engine
 from repro.isa.program import Program
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import OutOfOrderPipeline
@@ -95,14 +97,23 @@ def collect_observation(
     config: MachineConfig | None = None,
     keep_streams: bool = False,
     max_instructions: int = 50_000_000,
+    engine: str | None = None,
 ) -> ObservationTrace:
     """Run *program* with the given secrets and collect the observation.
 
     ``secret_values`` maps symbol names (resolved through ``symbols`` or
     ``program.symbols``) to the values poked into memory before the run.
+
+    ``engine`` selects the functional engine (``"fast"``/``"reference"``,
+    default the session default); both produce identical observations,
+    so leak verdicts are engine-independent — which the victim test
+    suite asserts for every registered workload.
     """
     config = config or MachineConfig()
-    executor = Executor(program, sempe=sempe, max_instructions=max_instructions)
+    engine = _resolve_engine(engine)
+    executor_cls = FastExecutor if engine == "fast" else Executor
+    executor = executor_cls(program, sempe=sempe,
+                            max_instructions=max_instructions)
     symbol_table = symbols if symbols is not None else program.symbols
     for name, value in (secret_values or {}).items():
         if isinstance(value, (list, tuple)):
@@ -119,12 +130,27 @@ def collect_observation(
     )
     pipeline = OutOfOrderPipeline(config, sempe=sempe)
 
-    def observed(trace):
-        for record in trace:
-            observer.observe(record)
-            yield record
+    if engine == "fast":
+        # Tee the columnar chunk stream: feed the observer through the
+        # re-materializing records() adapter (bit-identical to the
+        # reference stream by the chunk protocol) while the timing model
+        # consumes the chunks natively.
+        def observed_chunks(chunks):
+            for chunk in chunks:
+                for record in chunk.records():
+                    observer.observe(record)
+                yield chunk
 
-    stats = pipeline.run(observed(executor.run()))
+        chunks = executor.run_chunks(
+            line_bytes=config.hierarchy.il1.line_bytes)
+        stats = pipeline.run_chunks(observed_chunks(chunks))
+    else:
+        def observed(trace):
+            for record in trace:
+                observer.observe(record)
+                yield record
+
+        stats = pipeline.run(observed(executor.run()))
 
     cache_state = (
         tuple(sorted(pipeline.hierarchy.il1.resident_lines())),

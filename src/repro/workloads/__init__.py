@@ -11,8 +11,26 @@
   secret-dependent and public work per block.
 * :mod:`repro.workloads.crypto` — RSA-style modular exponentiation
   (the paper's Fig. 1 motivating example).
+* :mod:`repro.workloads.memcmp`, :mod:`repro.workloads.table_lookup`,
+  :mod:`repro.workloads.bsearch`, :mod:`repro.workloads.gcd` — classic
+  side-channel victims from the literature (early-exit comparison,
+  secret-indexed lookup, secret-guided search, data-dependent trip
+  count).
+* :mod:`repro.workloads.registry` — the declarative
+  :class:`~repro.workloads.registry.WorkloadSpec` registry that the
+  experiments, sweeps, security tooling, and CLI iterate.
 """
 
+from repro.workloads.registry import (
+    WorkloadError,
+    WorkloadRunSpec,
+    WorkloadSpec,
+    compile_workload,
+    get_workload,
+    iter_workloads,
+    load_all,
+    workload_names,
+)
 from repro.workloads.microbench import (
     WORKLOADS,
     MicrobenchSpec,
@@ -28,7 +46,17 @@ from repro.workloads.djpeg import (
 )
 from repro.workloads.crypto import modexp_source, modexp_reference
 
+load_all()
+
 __all__ = [
+    "WorkloadError",
+    "WorkloadRunSpec",
+    "WorkloadSpec",
+    "compile_workload",
+    "get_workload",
+    "iter_workloads",
+    "load_all",
+    "workload_names",
     "WORKLOADS",
     "MicrobenchSpec",
     "microbench_source",

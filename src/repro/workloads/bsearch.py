@@ -1,0 +1,84 @@
+"""Secret-guided binary search (the data-dependent branch-pattern victim).
+
+Searching a public sorted table for a secret key is a classic leak: the
+taken/not-taken pattern of the ``key < table[mid]`` comparison *is* the
+key's binary encoding, and the probed positions betray it through the
+cache.  The SeMPE-safe form keeps the address stream public by
+selecting ``table[mid]`` with a comparison branch over a full scan
+(``if (j == mid)``), so the only secret-dependent artifacts are
+branches — which the baseline leaks through timing, control flow, the
+address stream and the predictor, and which SeMPE executes both ways.
+
+``rounds`` is fixed at ``log2(entries)`` (the public worst case), so
+the loop structure never depends on the key.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import workload
+
+
+def search_table(entries: int) -> list[int]:
+    """The public sorted table (same affine fill as the source)."""
+    return [i * 3 + 1 for i in range(entries)]
+
+
+def _leak_values(params: dict) -> list:
+    entries = params["entries"]
+    return [2, (entries // 2) * 3 + 2, (entries - 1) * 3 + 2]
+
+
+@workload(
+    name="bsearch",
+    title="secret-guided binary search (branch pattern)",
+    secret="key",
+    channels=("timing", "instruction-count", "control-flow",
+              "memory-address", "branch-predictor"),
+    params={"entries": 16},
+    leak_values=_leak_values,
+    grid=({}, {"entries": 32}),
+    result="pos",
+    reference=lambda params, secret: bsearch_reference(
+        secret, entries=params["entries"]),
+)
+def bsearch_source(entries: int = 16) -> str:
+    """mini-C source: ``log2(entries)`` halving rounds over the table."""
+    if entries & (entries - 1) or entries <= 1:
+        raise ValueError("entries must be a power of two > 1")
+    rounds = entries.bit_length() - 1
+    return f"""
+secret int key = 0;
+int table[{entries}];
+int pos = 0;
+
+void main() {{
+  for (int i = 0; i < {entries}; i = i + 1) {{
+    table[i] = i * 3 + 1;
+  }}
+  int lo = 0;
+  int hi = {entries};
+  for (int r = 0; r < {rounds}; r = r + 1) {{
+    int mid = (lo + hi) / 2;
+    int v = 0;
+    for (int j = 0; j < {entries}; j = j + 1) {{
+      if (j == mid) {{ v = table[j]; }}
+    }}
+    if (key < v) {{ hi = mid; }} else {{ lo = mid + 1; }}
+  }}
+  pos = lo;
+}}
+"""
+
+
+def bsearch_reference(key: int, entries: int = 16) -> int:
+    """Python model of the bounded search (the ``pos`` global)."""
+    table = search_table(entries)
+    key &= (1 << 64) - 1
+    lo, hi = 0, entries
+    for _ in range(entries.bit_length() - 1):
+        mid = (lo + hi) // 2
+        if key < table[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -13,7 +13,31 @@ exactly as in the original attack literature.
 
 from __future__ import annotations
 
+from repro.workloads.registry import workload
 
+
+def _leak_values(params: dict) -> list:
+    mask = (1 << params["bits"]) - 1
+    return [0, 0x0F & mask, 0x5A & mask, mask]
+
+
+@workload(
+    name="modexp",
+    title="RSA square-and-multiply (Fig. 1)",
+    secret="ekey",
+    channels=("timing", "instruction-count", "control-flow",
+              "branch-predictor"),
+    # Registry defaults are sized for leak experiments and smoke runs;
+    # call the builder directly for the paper-scale 16-bit key.
+    params={"bits": 8, "base": 7, "modulus": 1009, "key": 0x5A,
+            "mul_steps": 12},
+    leak_values=_leak_values,
+    grid=({}, {"bits": 12}),
+    result="result",
+    reference=lambda params, secret: modexp_reference(
+        params["bits"], params["base"], params["modulus"], secret,
+        params["mul_steps"]),
+)
 def modexp_source(bits: int = 16, base: int = 7,
                   modulus: int = 1000003, key: int = 0x5AD3,
                   mul_steps: int = 20) -> str:

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.workloads.registry import workload
+
 FORMATS = ("ppm", "gif", "bmp")
 
 BLOCK = 64
@@ -190,6 +192,38 @@ def djpeg_source(spec: DjpegSpec) -> str:
     lines.append("}")
     lines.append("}")
     return "\n".join(lines)
+
+
+def _leak_values(params: dict) -> list:
+    npixels = params["npixels"]
+    flat = (0,) * npixels
+    busy = tuple(generate_image(npixels, seed=77))
+    gradient = tuple((i % 512) - 256 for i in range(npixels))
+    return [flat, busy, gradient]
+
+
+@workload(
+    name="djpeg",
+    title="synthetic libjpeg decode (secret image)",
+    secret="img",
+    channels=("timing", "instruction-count", "control-flow",
+              "branch-predictor"),
+    params={"fmt": "ppm", "npixels": 128, "seed": 99991, "fill": True},
+    # Leak experiments poke the image directly, so the in-program fill
+    # must be off (it would overwrite the poked secret).
+    leak_params={"fill": False},
+    leak_values=_leak_values,
+    grid=({"fmt": "ppm"}, {"fmt": "gif"}, {"fmt": "bmp"}),
+    result="checksum",
+    reference=lambda params, secret: reference_decode(
+        DjpegSpec(params["fmt"], params["npixels"], seed=params["seed"],
+                  fill=params["fill"]),
+        list(secret) if params["fill"] is False else None)[1],
+)
+def djpeg_victim_source(fmt: str = "ppm", npixels: int = 128,
+                        seed: int = 99991, fill: bool = True) -> str:
+    """Keyword-argument builder for the registry (wraps ``DjpegSpec``)."""
+    return djpeg_source(DjpegSpec(fmt, npixels, seed=seed, fill=fill))
 
 
 def compile_djpeg(spec: DjpegSpec, mode: str):

@@ -1,0 +1,86 @@
+"""Secret-operand Euclid (the data-dependent trip-count victim).
+
+``gcd(secret, public)`` by repeated remainder takes a number of steps
+that depends on the secret operand — the leak behind several RSA/DSA
+key-recovery attacks on modular-inversion code.  mini-C (like the
+paper's compiler) rejects secret loop *bounds* outright, so the victim
+runs a public worst-case number of rounds and guards the Euclid step
+with ``if (b != 0)``: on the baseline the number of taken guards is the
+step count, observable through timing, control flow and the predictor.
+
+Under SeMPE every round executes both paths, including ``a % b`` with
+``b == 0`` on the spent rounds — which is exactly the paper's wrong-path
+exception story (§III): the machine adopts the RISC-V convention
+``x % 0 == x`` instead of trapping, and the merge discards the result.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import workload
+
+
+def worst_case_rounds(bits: int) -> int:
+    """Public bound on Euclid steps for *bits*-wide operands.
+
+    The step count is maximized by consecutive Fibonacci numbers and is
+    below ``1.5 * bits`` for any operand pair that fits in *bits* bits;
+    a small safety margin keeps the bound obviously sufficient.
+    """
+    return (bits * 3) // 2 + 2
+
+
+def _leak_values(params: dict) -> list:
+    mask = (1 << params["bits"]) - 1
+    other = params["other"]
+    return [0, 12, 35, other & mask, mask]
+
+
+@workload(
+    name="gcd",
+    title="secret-operand Euclid (trip count)",
+    secret="u",
+    channels=("timing", "instruction-count", "control-flow",
+              "memory-address", "branch-predictor"),
+    params={"bits": 16, "other": 40902},
+    leak_values=_leak_values,
+    grid=({}, {"other": 46368}),   # fib(24): the worst-case step count
+    result="out",
+    reference=lambda params, secret: gcd_reference(
+        secret, bits=params["bits"], other=params["other"]),
+)
+def gcd_source(bits: int = 16, other: int = 40902) -> str:
+    """mini-C source: bounded Euclid on ``(u & mask, other & mask)``."""
+    if not 1 <= bits <= 63:
+        raise ValueError("bits must be in 1..63")
+    mask = (1 << bits) - 1
+    rounds = worst_case_rounds(bits)
+    return f"""
+secret int u = 0;
+int out = 0;
+
+void main() {{
+  int a = u & {mask};
+  int b = {other & mask};
+  for (int r = 0; r < {rounds}; r = r + 1) {{
+    if (b != 0) {{
+      int t = b;
+      b = a % b;
+      a = t;
+    }}
+  }}
+  out = a;
+}}
+"""
+
+
+def gcd_reference(u: int, bits: int = 16, other: int = 40902) -> int:
+    """Python model of the bounded loop (equals ``math.gcd`` when the
+    bound covers the step count, which :func:`worst_case_rounds`
+    guarantees)."""
+    mask = (1 << bits) - 1
+    a = (u & ((1 << 64) - 1)) & mask
+    b = other & mask
+    for _ in range(worst_case_rounds(bits)):
+        if b != 0:
+            a, b = b, a % b
+    return a

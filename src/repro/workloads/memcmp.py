@@ -1,0 +1,87 @@
+"""Early-exit secret comparison (the password-check timing victim).
+
+The classic ``memcmp``-style side channel: the victim compares a secret
+byte string against an attacker-controlled guess and stops at the first
+mismatch, so execution time is proportional to the length of the
+matching prefix — the textbook password-recovery oracle.  mini-C has no
+``break``, so the early exit is expressed as a guard flag: once ``ok``
+drops to zero the per-element comparison body is skipped, which is the
+same observable shape (work ∝ matched prefix).
+
+Both branches are secret-dependent (``ok`` is tainted through the
+mismatch branch), so under SeMPE every element runs both the mismatch
+and the refinement path and the prefix length disappears from every
+channel.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import workload
+
+
+def guess_pattern(n: int) -> list[int]:
+    """The public guess the victim compares the secret against."""
+    return [(i * 37 + 11) % 251 for i in range(n)]
+
+
+def _leak_values(params: dict) -> list:
+    """Secrets with distinct matching-prefix lengths (incl. full match)."""
+    n = params["n"]
+    guess = guess_pattern(n)
+    return [
+        tuple(guess),                                  # full match
+        tuple(guess[: n // 2] + [255] * (n - n // 2)),  # half prefix
+        (255,) * n,                                    # immediate mismatch
+    ]
+
+
+@workload(
+    name="memcmp",
+    title="early-exit secret comparison (password check)",
+    secret="pw",
+    channels=("timing", "instruction-count", "control-flow",
+              "memory-address", "branch-predictor"),
+    params={"n": 12, "refine": 6},
+    leak_values=_leak_values,
+    grid=({}, {"n": 24}),
+    result="match",
+    reference=lambda params, secret: memcmp_reference(
+        list(secret), n=params["n"], refine=params["refine"]),
+)
+def memcmp_source(n: int = 12, refine: int = 6) -> str:
+    """mini-C source: compare secret ``pw[n]`` against the public guess.
+
+    ``refine`` sizes the per-matched-element follow-up work (modelling
+    the hashing/canonicalization real checkers do per byte), which makes
+    the prefix-length timing signal pronounced.
+    """
+    return f"""
+secret int pw[{n}];
+int match = 0;
+
+void main() {{
+  int ok = 1;
+  for (int i = 0; i < {n}; i = i + 1) {{
+    int g = (i * 37 + 11) % 251;
+    if (ok) {{
+      if (pw[i] != g) {{ ok = 0; }}
+      else {{
+        int acc = 0;
+        for (int j = 0; j < {refine}; j = j + 1) {{
+          acc = acc + ((g >> j) & 1);
+        }}
+        ok = 1 + acc - acc;
+      }}
+    }}
+  }}
+  match = ok;
+}}
+"""
+
+
+def memcmp_reference(pw: list[int], n: int = 12, refine: int = 6) -> int:
+    """Python model: 1 iff *pw* equals the public guess."""
+    del refine  # the follow-up work never changes the verdict
+    guess = guess_pattern(n)
+    masked = [(value & ((1 << 64) - 1)) for value in pw]
+    return 1 if masked[:n] == guess else 0

@@ -1,0 +1,106 @@
+"""Secret-indexed table lookup (the S-box / cache-channel victim).
+
+AES-style ciphers read lookup tables at secret-derived indices; on real
+hardware the touched cache lines betray the index (prime-and-probe).
+SeMPE protects secret *branches*, not secret *addresses*, so the
+SeMPE-safe form selects the entry with a comparison branch per slot:
+``if (j == t)`` over a public scan of the table.  On the baseline that
+branch's taken slot — and the fact that the load only happens in the
+taken path — leaks the index through timing, control flow, the address
+stream, and the predictor; under SeMPE both paths of every comparison
+run, so every slot is loaded on every round regardless of the secret.
+
+The looked-up value feeds the next round's index (``t = (t + e + 1)
+& mask``), chaining lookups the way cipher rounds chain S-box outputs.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import workload
+
+_LCG_MULT = 1103515245
+_LCG_ADD = 12345
+_LCG_MASK = 1073741823
+
+
+def sbox_table(entries: int, seed: int) -> list[int]:
+    """The public table the victim scans (same LCG as the source)."""
+    table = []
+    state = seed
+    for _ in range(entries):
+        state = (state * _LCG_MULT + _LCG_ADD) & _LCG_MASK
+        table.append(state & 255)
+    return table
+
+
+def _leak_values(params: dict) -> list:
+    entries = params["entries"]
+    return [0, entries // 3 + 1, entries - 3]
+
+
+@workload(
+    name="table_lookup",
+    title="secret-indexed S-box lookup (cache channel)",
+    secret="idx",
+    channels=("timing", "instruction-count", "control-flow",
+              "memory-address", "branch-predictor"),
+    params={"entries": 16, "rounds": 4, "seed": 40503},
+    leak_values=_leak_values,
+    grid=({}, {"entries": 32}),
+    result="out",
+    reference=lambda params, secret: table_lookup_reference(
+        secret, entries=params["entries"], rounds=params["rounds"],
+        seed=params["seed"]),
+)
+def table_lookup_source(entries: int = 16, rounds: int = 4,
+                        seed: int = 40503) -> str:
+    """mini-C source: *rounds* chained lookups into ``sbox[entries]``."""
+    if entries & (entries - 1) or entries <= 0:
+        raise ValueError("entries must be a power of two")
+    mask = entries - 1
+    return f"""
+secret int idx = 0;
+int sbox[{entries}];
+int out = 0;
+
+void main() {{
+  int seed = {seed};
+  for (int i = 0; i < {entries}; i = i + 1) {{
+    seed = (seed * {_LCG_MULT} + {_LCG_ADD}) & {_LCG_MASK};
+    sbox[i] = seed & 255;
+  }}
+  int t = idx & {mask};
+  int acc = 0;
+  for (int r = 0; r < {rounds}; r = r + 1) {{
+    for (int j = 0; j < {entries}; j = j + 1) {{
+      if (j == t) {{
+        int e = sbox[j];
+        acc = acc + e * 3 + r;
+        t = (t + e + 1) & {mask};
+      }}
+    }}
+  }}
+  out = acc;
+}}
+"""
+
+
+def table_lookup_reference(idx: int, entries: int = 16, rounds: int = 4,
+                           seed: int = 40503) -> int:
+    """Python model of the chained lookups (the ``out`` global)."""
+    table = sbox_table(entries, seed)
+    mask = entries - 1
+    t = (idx & ((1 << 64) - 1)) & mask
+    acc = 0
+    for r in range(rounds):
+        # One scan of the table; at most one slot matches per round, but
+        # the chained update can re-match later slots in the same scan,
+        # exactly as the in-program loop does.
+        j = 0
+        while j < entries:
+            if j == t:
+                e = table[j]
+                acc += e * 3 + r
+                t = (t + e + 1) & mask
+            j += 1
+    return acc

@@ -80,6 +80,110 @@ def test_deep_nesting_parity(fast_config):
     assert_identical_reports(reference, fast)
 
 
+# --------------------------------------------------------------------------
+# Adversarial operands (the fast-engine shift/compare/divide audit)
+#
+# The fast engine reads registers with an explicit & MASK64 so that raw
+# out-of-range values poked straight into ``state.regs`` — which
+# harnesses and tests legitimately do — normalize exactly like the
+# reference engine's to_signed/to_unsigned helpers.  These cases pin
+# that contract: shift amounts >= 64 and negative shift counts, sign
+# boundaries for SLT/SLTU and the ordered branches, RISC-V div/rem
+# conventions (x/0, overflow), and raw negative / >= 2**64 register
+# contents.
+# --------------------------------------------------------------------------
+
+from itertools import product
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+MASK64 = (1 << 64) - 1
+INT_MIN = 1 << 63
+
+ADVERSARIAL_VALUES = (
+    0, 1, 63, 64, 65, 127,
+    INT_MIN - 1, INT_MIN, INT_MIN + 1, MASK64,
+    -1, -5, -INT_MIN,             # raw negatives (unmasked pokes)
+    1 << 64, (1 << 64) + 9,       # raw values past 64 bits
+)
+
+ALU_OPS = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR,
+           Op.XOR, Op.SLL, Op.SRL, Op.SRA, Op.SLT, Op.SLTU)
+BRANCH_OPS = (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU)
+
+
+def _both_executors(program, a, b):
+    """Run *program* on both engines with raw register pokes."""
+    states = []
+    for executor_cls, drive in (
+        (Executor, lambda e: e.run_to_completion()),
+        (FastExecutor, lambda e: list(e.run_chunks())),
+    ):
+        executor = executor_cls(program, sempe=False)
+        executor.state.regs[11] = a
+        executor.state.regs[12] = b
+        drive(executor)
+        states.append(executor)
+    return states
+
+
+@pytest.mark.parametrize("op", ALU_OPS)
+def test_alu_adversarial_operand_parity(op):
+    program = Program([Instruction(op, rd=10, rs1=11, rs2=12),
+                       Instruction(Op.HALT)], name="alu-adversarial")
+    for a, b in product(ADVERSARIAL_VALUES, ADVERSARIAL_VALUES):
+        reference, fast = _both_executors(program, a, b)
+        assert reference.state.regs == fast.state.regs, (op, a, b)
+        assert reference.result == fast.result, (op, a, b)
+
+
+@pytest.mark.parametrize("op", BRANCH_OPS)
+def test_branch_adversarial_operand_parity(op):
+    program = Program([
+        Instruction(op, rs1=11, rs2=12, target=3, imm=3),
+        Instruction(Op.ADDI, rd=10, rs1=0, imm=1),
+        Instruction(Op.HALT),
+        Instruction(Op.ADDI, rd=10, rs1=0, imm=2),
+        Instruction(Op.HALT),
+    ], name="branch-adversarial")
+    for a, b in product(ADVERSARIAL_VALUES, ADVERSARIAL_VALUES):
+        reference, fast = _both_executors(program, a, b)
+        assert reference.state.regs == fast.state.regs, (op, a, b)
+        assert reference.state.pc == fast.state.pc, (op, a, b)
+
+
+@pytest.mark.parametrize("op,imm", [
+    (Op.SLLI, 63), (Op.SLLI, -1), (Op.SRLI, 63), (Op.SRLI, 64),
+    (Op.SRLI, -1), (Op.SRAI, 63), (Op.SRAI, 64), (Op.SRAI, -64),
+    (Op.SLTI, -1), (Op.SLTI, 1 << 63), (Op.ADDI, -(1 << 63)),
+])
+def test_immediate_adversarial_parity(op, imm):
+    """Negative and oversized immediates (masked to a 6-bit shift count
+    / wrapped to 64 bits) behave identically on both engines."""
+    program = Program([Instruction(op, rd=10, rs1=11, imm=imm),
+                       Instruction(Op.HALT)], name="imm-adversarial")
+    for a in ADVERSARIAL_VALUES:
+        reference, fast = _both_executors(program, a, 0)
+        assert reference.state.regs == fast.state.regs, (op, imm, a)
+
+
+def test_divide_by_zero_convention_parity():
+    """x / 0 == -1 and x % 0 == x (RISC-V), and INT_MIN / -1 wraps, on
+    both engines — including for raw negative register pokes."""
+    for op, expected in ((Op.DIV, MASK64), (Op.REM, 7)):
+        program = Program([Instruction(op, rd=10, rs1=11, rs2=12),
+                           Instruction(Op.HALT)], name="div0")
+        reference, fast = _both_executors(program, 7, 0)
+        assert reference.state.regs[10] == expected
+        assert fast.state.regs[10] == expected
+    program = Program([Instruction(Op.DIV, rd=10, rs1=11, rs2=12),
+                       Instruction(Op.HALT)], name="div-overflow")
+    reference, fast = _both_executors(program, INT_MIN, MASK64)
+    assert reference.state.regs[10] == fast.state.regs[10] == INT_MIN
+
+
 INFINITE_LOOP = """
     .text
 main:

@@ -8,8 +8,9 @@ qualitative shapes.  The full-size versions live in ``benchmarks/``.
 import pytest
 
 from repro.harness.experiments import (
-    fig8_djpeg_overhead, fig9_cache_missrates, fig10a_microbench,
-    fig10b_normalized_to_ideal, table1_comparison, table2_config,
+    EXPERIMENTS, experiment_cells, fig8_djpeg_overhead,
+    fig9_cache_missrates, fig10a_microbench, fig10b_normalized_to_ideal,
+    leakmatrix, table1_comparison, table2_config, victims_overhead,
 )
 from repro.harness.report import format_table
 
@@ -94,3 +95,40 @@ def test_experiment_tables_render():
     result = fig8_djpeg_overhead(sizes=(256,))
     text = format_table(result.headers, result.rows, title=result.experiment)
     assert "PPM" in text and "%" in text
+
+
+def test_registry_experiments_enumerated():
+    assert "victims" in EXPERIMENTS
+    assert "leakmatrix" in EXPERIMENTS
+    cells = experiment_cells("victims")
+    from repro.workloads.registry import iter_workloads
+
+    expected = sum(2 * len(spec.grid) for spec in iter_workloads())
+    assert len(cells) == expected
+    assert all(cell.kind == "workload" for cell in cells)
+    assert experiment_cells("leakmatrix") == []
+
+
+@pytest.mark.slow
+def test_victim_matrix_shape():
+    """Every registered victim slows down under SeMPE but stays within
+    an order of magnitude (the paper's low-overhead claim)."""
+    result = victims_overhead()
+    from repro.workloads.registry import workload_names
+
+    assert set(result.series) == set(workload_names())
+    for name, overheads in result.series.items():
+        for overhead in overheads:
+            assert 1.0 < overhead < 10.0, (name, overhead)
+
+
+@pytest.mark.slow
+def test_leakmatrix_verdicts():
+    """The leak matrix says: every victim leaks its declared channels on
+    the baseline and is closed under SeMPE."""
+    result = leakmatrix()
+    for name, verdict in result.series.items():
+        assert verdict["sempe_secure"] is True, name
+        assert verdict["baseline_leaks"], name
+    text = format_table(result.headers, result.rows)
+    assert "closed" in text and "LEAKS" in text and "MISSING" not in text

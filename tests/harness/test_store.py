@@ -90,6 +90,75 @@ def test_corrupt_record_invalidated(store):
     assert not store.contains(fp)
 
 
+def test_truncated_record_counts_as_miss_not_raise(store):
+    """A record cut off mid-write (crash, full disk) must behave like a
+    miss — invalidated and recomputed — never raise into the sweep."""
+    result = runner.run_microbench(SPEC, "plain")
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+    store.put(fp, descriptor, result.report.to_dict())
+    path = store.path_for(fp)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text[: len(text) // 2])
+    assert store.get(fp, descriptor) is None
+    assert store.stats.misses == 1
+    assert store.stats.invalidations == 1
+    assert not store.contains(fp)
+    # The slot is reusable: a re-put round-trips again.
+    store.put(fp, descriptor, result.report.to_dict())
+    assert store.get(fp, descriptor) == result.report.to_dict()
+
+
+def test_binary_garbage_record_counts_as_miss(store):
+    """Undecodable bytes (UnicodeDecodeError, not JSONDecodeError) are
+    an invalidation too."""
+    result = runner.run_microbench(SPEC, "plain")
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+    store.put(fp, descriptor, result.report.to_dict())
+    with open(store.path_for(fp), "wb") as handle:
+        handle.write(b"\x80\x81\xfe\xff\x00garbage")
+    assert store.get(fp, descriptor) is None
+    assert store.stats.misses == 1
+    assert store.stats.invalidations == 1
+    assert not store.contains(fp)
+
+
+def test_non_object_record_counts_as_miss(store):
+    """Valid JSON with the wrong top-level type must not crash the
+    ``record.get`` probes."""
+    result = runner.run_microbench(SPEC, "plain")
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+    store.put(fp, descriptor, result.report.to_dict())
+    with open(store.path_for(fp), "w", encoding="utf-8") as handle:
+        handle.write("[1, 2, 3]\n")
+    assert store.get(fp, descriptor) is None
+    assert store.stats.misses == 1
+    assert store.stats.invalidations == 1
+
+
+def test_corrupt_store_degrades_to_recompute(store):
+    """End-to-end: a corrupted record behind the runner is recomputed
+    and re-stored, bit-identical."""
+    runner.set_store(store)
+    first = runner.run_microbench(SPEC, "sempe")
+    fp_count = len(store)
+    for dirpath, _dirnames, filenames in os.walk(store.root):
+        for name in filenames:
+            if name.endswith(".json"):
+                with open(os.path.join(dirpath, name), "w",
+                          encoding="utf-8") as handle:
+                    handle.write('{"schema":')   # truncated
+    runner.clear_cache()
+    second = runner.run_microbench(SPEC, "sempe")
+    assert second.report == first.report
+    assert store.stats.invalidations == fp_count
+    assert store.stats.stores == 2 * fp_count   # re-persisted
+
+
 def test_schema_bump_invalidates(store):
     result = runner.run_microbench(SPEC, "plain")
     descriptor = _descriptor()

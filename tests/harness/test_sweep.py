@@ -180,6 +180,32 @@ def test_run_cells_collapses_duplicates():
     assert computed == len(cells)
 
 
+def test_workload_cells_through_worker_pool(tmp_path):
+    """Registry-workload cells run through the process pool, land in the
+    store, and a second (serial) sweep is fully served from it."""
+    from repro.workloads.registry import WorkloadRunSpec, get_workload
+
+    spec = get_workload("gcd")
+    cells = [
+        SweepCell("workload", WorkloadRunSpec("gcd", params), mode)
+        for params in spec.grid_points()
+        for mode in ("plain", "sempe")
+    ]
+    store = ResultStore(str(tmp_path / "store"))
+    runner.set_store(store)
+    stats = run_sweep(SweepSpec("victims", cells), jobs=2)
+    assert stats.computed == len(cells)
+    assert store.stats.stores == len(cells)
+
+    runner.clear_cache()
+    again = run_sweep(SweepSpec("victims", cells), jobs=1)
+    assert again.computed == 0
+    assert again.from_store == len(cells)
+    result = runner.run_workload(
+        WorkloadRunSpec("gcd", spec.grid_points()[0]), "sempe")
+    assert result.cycles > 0
+
+
 def test_sweep_respects_configs():
     shrunk = MachineConfig()
     shrunk.rob_entries = 32

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mem.cache import Cache, CacheConfig
+from repro.mem.cache import Cache, CacheConfig, CacheStats
 
 
 def make_cache(size=1024, assoc=2, line=64):
@@ -107,3 +107,74 @@ def test_invalidate_all():
     cache.fill(0)
     cache.invalidate_all()
     assert not cache.contains(0)
+
+
+# --------------------------------------------------------------------------
+# Demand vs prefetch accounting invariants
+# --------------------------------------------------------------------------
+
+
+def test_prefetch_fills_never_count_as_demand_misses():
+    """The regression the split fixes: a burst of prefetch fills with no
+    matching demand accesses must leave the demand counters untouched,
+    so ``hits`` stays well-defined (it used to be able to go negative if
+    any fill path was ever counted as a miss)."""
+    cache = make_cache()
+    for index in range(8):
+        cache.fill(index * 64, prefetched=True)
+    assert cache.stats.prefetch_fills == 8
+    assert cache.stats.demand_accesses == 0
+    assert cache.stats.demand_misses == 0
+    assert cache.stats.hits == 0
+    cache.stats.validate()
+
+
+def test_hits_raises_on_corrupt_accounting():
+    stats = CacheStats(demand_accesses=1, demand_misses=3)
+    with pytest.raises(ValueError, match="demand misses exceed"):
+        _ = stats.hits
+    with pytest.raises(ValueError, match="more demand misses"):
+        stats.validate()
+
+
+def test_validate_rejects_impossible_prefetch_hits():
+    stats = CacheStats(demand_accesses=5, demand_misses=0,
+                       prefetch_fills=1, prefetch_hits=2)
+    with pytest.raises(ValueError, match="prefetch hits than prefetch"):
+        stats.validate()
+    stats = CacheStats(demand_accesses=1, demand_misses=0,
+                       prefetch_fills=9, prefetch_hits=2)
+    with pytest.raises(ValueError, match="prefetch hits than demand"):
+        stats.validate()
+    with pytest.raises(ValueError, match="negative"):
+        CacheStats(demand_accesses=-1).validate()
+
+
+def test_legacy_aliases_read_through():
+    cache = make_cache()
+    cache.access(0, False)
+    cache.fill(0)
+    cache.fill(64, prefetched=True)
+    cache.access(0, False)
+    assert cache.stats.accesses == cache.stats.demand_accesses == 2
+    assert cache.stats.misses == cache.stats.demand_misses == 1
+    assert cache.stats.prefetches == cache.stats.prefetch_fills == 1
+    assert cache.stats.hits == 1
+    cache.stats.validate()
+
+
+def test_mixed_demand_prefetch_stream_invariants_hold():
+    """A randomized-ish interleaving keeps every invariant intact and
+    the populations disjoint: demand + prefetch never double-count."""
+    cache = make_cache(size=256, assoc=2, line=64)
+    addresses = [0, 64, 128, 192, 0, 256, 64, 320, 128, 0]
+    for step, address in enumerate(addresses):
+        if step % 3 == 2:
+            cache.fill(address, prefetched=True)
+        else:
+            if not cache.access(address, is_write=(step % 2 == 0)):
+                cache.fill(address, is_write=(step % 2 == 0))
+        cache.stats.validate()
+    stats = cache.stats
+    assert stats.demand_accesses == 7   # 10 steps minus 3 prefetch fills
+    assert stats.hits + stats.demand_misses == stats.demand_accesses

@@ -78,3 +78,58 @@ def test_reset_stats():
     hierarchy.reset_stats()
     assert hierarchy.dl1.stats.accesses == 0
     assert hierarchy.dram_accesses == 0
+
+
+def test_reset_stats_starts_a_clean_prefetch_epoch():
+    """Warmup-then-measure: a line prefetched before reset_stats() must
+    not count as a prefetch hit in the new epoch (whose fill count is
+    zero), so the epoch invariants hold on a healthy cache."""
+    hierarchy = make_hierarchy()
+    hierarchy.dl1.fill(0x4000, prefetched=True)
+    hierarchy.reset_stats()
+    result = hierarchy.access_data(0, 0x4000, False)
+    assert result.l1_hit                    # the line is still resident
+    stats = hierarchy.dl1.stats
+    assert stats.prefetch_hits == 0
+    assert stats.prefetch_fills == 0
+    stats.validate()                        # must not raise
+
+
+def test_invariants_hold_under_heavy_prefetch_traffic():
+    """Both prefetchers on, strided and irregular traffic: every level's
+    demand/prefetch accounting stays disjoint and non-negative."""
+    hierarchy = make_hierarchy(l1_prefetch=True, l2_prefetch=True)
+    for index in range(64):
+        hierarchy.access_data(0x44, 0x8000 + index * 64, False)
+        hierarchy.access_data(0x48, 0x20000 + (index * 7919) % 4096,
+                              index % 2 == 0)
+        hierarchy.access_instruction(index * 4 % 512)
+    for cache in (hierarchy.il1, hierarchy.dl1, hierarchy.l2):
+        cache.stats.validate()
+        assert cache.stats.hits >= 0
+        assert (cache.stats.hits + cache.stats.demand_misses
+                == cache.stats.demand_accesses)
+    # Prefetch fills happened and were never booked as demand misses.
+    assert hierarchy.dl1.stats.prefetch_fills > 0
+    assert hierarchy.l2.stats.prefetch_fills > 0
+
+
+def test_full_simulation_cache_accounting_validates(fast_config):
+    """End-to-end: a real workload through the whole machine leaves
+    every cache level with coherent demand/prefetch counters."""
+    from repro.core.engine import simulate
+    from repro.uarch.pipeline import OutOfOrderPipeline
+    from repro.workloads.microbench import MicrobenchSpec, compile_microbench
+
+    program = compile_microbench(
+        MicrobenchSpec("ones", w=2, iters=2), "sempe").program
+    report = simulate(program, sempe=True, config=fast_config)
+    assert report.pipeline.dl1_accesses >= report.pipeline.dl1_misses
+    pipeline = OutOfOrderPipeline(fast_config, sempe=True)
+    from repro.arch.executor import Executor
+
+    executor = Executor(program, sempe=True)
+    pipeline.run(executor.run())
+    for cache in (pipeline.hierarchy.il1, pipeline.hierarchy.dl1,
+                  pipeline.hierarchy.l2):
+        cache.stats.validate()

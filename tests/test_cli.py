@@ -89,6 +89,153 @@ def test_disasm_shows_both_decodes(source_file, capsys):
     assert "eosJMP (join point; NOP on legacy)" in out
 
 
+def test_workloads_list(capsys):
+    from repro.workloads.registry import workload_names
+
+    assert main(["workloads", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("modexp", "djpeg", "memcmp", "table_lookup", "bsearch",
+                 "gcd"):
+        assert name in out
+    count = len(workload_names())
+    assert count >= 6                        # the acceptance floor
+    assert f"{count} workloads registered" in out
+    # default action is list
+    assert main(["workloads"]) == 0
+    assert "Victim workload registry" in capsys.readouterr().out
+
+
+def test_workloads_show(capsys):
+    assert main(["workloads", "show", "memcmp", "--params", "n=4"]) == 0
+    out = capsys.readouterr().out
+    assert "secret int pw[4];" in out
+    assert "expected channels:" in out
+
+
+def test_workloads_show_requires_name(capsys):
+    assert main(["workloads", "show"]) == 2
+    assert "requires a workload name" in capsys.readouterr().err
+
+
+def test_workloads_list_rejects_trailing_name(capsys):
+    assert main(["workloads", "list", "gcd"]) == 2
+    assert "workloads show gcd" in capsys.readouterr().err
+
+
+def test_run_workload(capsys):
+    assert main(["run", "--workload", "gcd", "--globals", "out"]) == 0
+    out = capsys.readouterr().out
+    assert "machine:       SeMPE" in out
+    assert "out = 40902" in out      # gcd(0, 40902) with the default secret
+
+
+def test_run_workload_param_override(capsys):
+    assert main(["run", "--workload", "gcd", "--params", "other=35",
+                 "--globals", "out"]) == 0
+    assert "out = 35" in capsys.readouterr().out
+
+
+def test_run_rejects_file_plus_workload(source_file, capsys):
+    assert main(["run", source_file, "--workload", "gcd"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_run_unknown_workload_is_usage_error(capsys):
+    assert main(["run", "--workload", "nope"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_run_bad_params_are_usage_errors(capsys):
+    assert main(["run", "--workload", "gcd", "--params", "nope=1"]) == 2
+    assert "no parameter" in capsys.readouterr().err
+    assert main(["run", "--workload", "gcd", "--params", "bogus"]) == 2
+    assert "key=value" in capsys.readouterr().err
+    # Builder-level validation surfaces the same way.
+    assert main(["run", "--workload", "bsearch",
+                 "--params", "entries=10"]) == 2
+    assert "power of two" in capsys.readouterr().err
+
+
+def test_run_workload_collapse_ifs_threads_through(capsys, monkeypatch):
+    """--collapse-ifs must reach the workload compiler, not be silently
+    dropped on the --workload path."""
+    from repro.workloads.registry import get_workload
+
+    spec = get_workload("memcmp")
+    seen = {}
+    original = spec.compile
+
+    def spying_compile(mode, collapse_ifs=False, **overrides):
+        seen["collapse_ifs"] = collapse_ifs
+        return original(mode, collapse_ifs=collapse_ifs, **overrides)
+
+    monkeypatch.setattr(type(spec), "compile",
+                        lambda self, mode, collapse_ifs=False, **kw:
+                        spying_compile(mode, collapse_ifs, **kw))
+    assert main(["run", "--workload", "memcmp", "--collapse-ifs"]) == 0
+    assert seen["collapse_ifs"] is True
+    assert main(["run", "--workload", "memcmp"]) == 0
+    assert seen["collapse_ifs"] is False
+
+
+def test_check_workload_accepts_params(capsys):
+    code = main(["check", "--workload", "gcd", "--mode", "sempe",
+                 "--params", "bits=8"])
+    assert code == 0
+    assert "SECURE" in capsys.readouterr().out
+
+
+def test_check_workload_honours_explicit_values(capsys):
+    """--values overrides the spec's representative secrets: a single
+    value cannot leak (nothing to distinguish), so plain reports
+    SECURE."""
+    assert main(["check", "--workload", "gcd", "--mode", "plain",
+                 "--values", "7"]) == 0
+    assert "SECURE" in capsys.readouterr().out
+    assert main(["check", "--workload", "gcd", "--mode", "plain",
+                 "--values", "7,40902"]) == 1
+    assert "LEAKS" in capsys.readouterr().out
+
+
+def test_run_requires_file_or_workload(capsys):
+    assert main(["run"]) == 2
+    assert "required" in capsys.readouterr().err
+
+
+def test_check_workload_plain_leaks(capsys):
+    code = main(["check", "--workload", "gcd", "--mode", "plain"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "LEAKS" in out
+
+
+def test_check_workload_sempe_secure(capsys):
+    code = main(["check", "--workload", "gcd", "--mode", "sempe"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SECURE" in out
+
+
+def test_check_file_requires_secret(source_file, capsys):
+    assert main(["check", source_file]) == 2
+    assert "--secret is required" in capsys.readouterr().err
+
+
+def test_check_rejects_contradictory_flags(source_file, capsys):
+    assert main(["check", "--workload", "gcd", "--secret", "ekey"]) == 2
+    assert "conflicts with --workload" in capsys.readouterr().err
+    assert main(["check", source_file, "--secret", "key",
+                 "--params", "n=4"]) == 2
+    assert "--params only applies" in capsys.readouterr().err
+    assert main(["check", "--workload", "gcd", "--values", "7,abc"]) == 2
+    assert "invalid --values" in capsys.readouterr().err
+
+
+def test_run_rejects_params_with_file(source_file, capsys):
+    assert main(["run", source_file, "--params", "n=4"]) == 2
+    assert "--params only applies" in capsys.readouterr().err
+
+
 def test_experiments_table2(capsys):
     assert main(["experiments", "table2"]) == 0
     assert "2.0 GHz" in capsys.readouterr().out
@@ -157,6 +304,25 @@ def test_sweep_no_store(clean_harness, tmp_path, monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "store: (none)" in out
     assert not (tmp_path / ".repro-store").exists()
+
+
+def test_sweep_progress_goes_to_stderr(clean_harness, tmp_path, capsys):
+    """`repro sweep --progress | jq`-style piping: the live progress is
+    stderr-only and stdout stays byte-identical to a silent sweep."""
+    assert main(SWEEP_ARGS + ["--progress", "--no-store"]) == 0
+    captured = capsys.readouterr()
+    assert "[3/3]" in captured.err            # live cell progress
+    assert "\r[" not in captured.out          # no progress in the tables
+    assert "[1/3]" not in captured.out
+    assert "Fig. 10a" in captured.out
+
+    from repro.harness import clear_cache
+
+    clear_cache()                             # force a recomputation
+    assert main(SWEEP_ARGS + ["--no-store"]) == 0
+    silent = capsys.readouterr()
+    assert silent.err == ""                   # no --progress, no stderr
+    assert silent.out == captured.out         # machine-parseable either way
 
 
 def test_sweep_unknown_experiment(clean_harness, capsys):
