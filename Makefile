@@ -3,8 +3,8 @@ export PYTHONPATH
 
 PYTEST := python -m pytest
 
-.PHONY: test test-fast test-slow parity sweep registry-smoke bench-perf \
-	bench-quick bench-full ci
+.PHONY: test test-fast test-slow parity sweep registry-smoke attack-smoke \
+	bench-perf bench-quick bench-full ci
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -34,6 +34,14 @@ registry-smoke:
 	python -m repro workloads list
 	$(PYTEST) -x -q -m "not slow" tests/workloads/test_registry.py
 
+# Statistical-attack smoke: the attacker registry lists, and one
+# fast-engine prime+probe campaign recovers memcmp's secret on the
+# baseline and lands at chance under SeMPE (exit code checks both).
+attack-smoke:
+	python -m repro attack list
+	python -m repro attack run --workload memcmp --attacker prime-probe \
+		--trials 16 --engine fast
+
 # Engine throughput benchmark only (appends to BENCH_perf.json).
 bench-perf:
 	REPRO_BENCH_SCALE=quick $(PYTEST) benchmarks/bench_perf_engine.py -q -s
@@ -45,8 +53,8 @@ bench-quick: test bench-perf
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTEST) benchmarks -q -s
 
-# Mirror of .github/workflows/ci.yml: registry smoke, fast lane then
-# slow lane (their union is exactly tier-1), the parity gate (re-run
-# deliberately as a named check even though the fast lane includes it),
-# and the bench smoke (which refreshes BENCH_perf.json).
-ci: registry-smoke test-fast test-slow parity bench-perf
+# Mirror of .github/workflows/ci.yml: registry + attack smokes, fast
+# lane then slow lane (their union is exactly tier-1), the parity gate
+# (re-run deliberately as a named check even though the fast lane
+# includes it), and the bench smoke (which refreshes BENCH_perf.json).
+ci: registry-smoke attack-smoke test-fast test-slow parity bench-perf

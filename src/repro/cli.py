@@ -12,6 +12,9 @@ Commands:
   decode of the same bytes (the backward-compatibility story);
 * ``workloads`` — list the victim-workload registry, or show one
   victim's generated source;
+* ``attack``   — run a noisy multi-trial statistical attack against a
+  registered victim (``attack run --workload W --attacker A``), or
+  list the attacker registry (``attack list``);
 * ``experiments`` — regenerate a paper table/figure by name;
 * ``sweep``    — run the evaluation grid as one batch: fan cells out
   across ``--jobs`` worker processes and persist results in an on-disk
@@ -250,6 +253,96 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_attack(args: argparse.Namespace) -> int:
+    from repro.harness import format_table
+    from repro.security.attackers import (
+        applicable_attackers,
+        get_attacker,
+        iter_attackers,
+    )
+    from repro.workloads.registry import get_workload, workload_names
+
+    if args.action == "list":
+        if args.workload or args.attacker:
+            raise _UsageError("attack list takes no --workload/--attacker "
+                              "(it lists the whole registry)")
+        headers = ["name", "channel", "style", "applicable victims",
+                   "description"]
+        rows = []
+        for attacker in iter_attackers():
+            victims = [name for name in workload_names()
+                       if attacker.applies_to(get_workload(name))]
+            rows.append([
+                attacker.name,
+                attacker.channel,
+                "scalar" if attacker.scalar else "categorical",
+                ", ".join(victims),
+                attacker.description,
+            ])
+        print(format_table(headers, rows, title="Attacker registry"))
+        print(f"{len(rows)} attackers registered")
+        return 0
+
+    from repro.harness import ResultStore, run_attack, set_store
+    from repro.security.attackers import MIN_TRIALS, AttackSpec
+
+    if not args.workload or not args.attacker:
+        raise _UsageError("attack run requires --workload and --attacker "
+                          "(see `repro attack list`)")
+    if args.trials < MIN_TRIALS:
+        raise _UsageError(
+            f"--trials {args.trials} is below the statistical floor "
+            f"({MIN_TRIALS}); the distinguisher could not reach "
+            "significance even on a fully leaking channel")
+    try:
+        workload = get_workload(args.workload)
+        attacker = get_attacker(args.attacker)
+        if not attacker.applies_to(workload):
+            raise _UsageError(
+                f"attacker {attacker.name!r} exploits the "
+                f"{attacker.channel!r} channel, which workload "
+                f"{workload.name!r} does not declare; applicable: "
+                f"{', '.join(applicable_attackers(workload)) or 'none'}")
+        overrides = _parse_params(args.params or "")
+        workload.leak_resolve(overrides)     # unknown keys fail here
+        spec = AttackSpec(workload.name, attacker.name,
+                          trials=args.trials, seed=args.seed,
+                          jitter=args.jitter, flip=args.flip,
+                          params=overrides)
+    except _UsageError:
+        raise
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+    if args.store:
+        set_store(ResultStore(args.store))
+    modes = ("plain", "sempe") if args.mode == "both" else (args.mode,)
+    expected = {"plain": "recovered", "sempe": "chance"}
+    ok = True
+    for mode in modes:
+        report = run_attack(spec, mode, engine=args.engine).report
+        machine = "baseline" if mode == "plain" else "SeMPE"
+        print(f"{machine} machine:")
+        print(f"  channel:       {report.channel} "
+              f"(profiled I={report.profiled_mi:.2f} bits, "
+              f"{report.candidates} candidate secrets)")
+        print(f"  class pair:    {report.pair[0]} vs {report.pair[1]}")
+        print(f"  distinguisher: {report.stat_kind} "
+              f"statistic={report.statistic:.3g} "
+              f"p={report.p_value:.2e}")
+        print(f"  key recovery:  {report.bits_recovered}/"
+              f"{report.bits_total} bits "
+              f"({report.success_rate:.0%}; {report.reps} probe(s)/bit)")
+        print(f"  verdict:       {report.verdict}")
+        ok = ok and report.verdict == expected[mode]
+    if len(modes) == 2:
+        print("attack outcome:",
+              "key recovered on baseline, defeated by SeMPE" if ok
+              else "UNEXPECTED (see verdicts above)")
+    if args.cache_stats:
+        _print_cache_stats()
+    return 0 if ok else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     if args.engine:
         from repro.core.engine import set_default_engine
@@ -424,10 +517,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(disasm_parser)
     disasm_parser.set_defaults(func=cmd_disasm)
 
+    attack_parser = subparsers.add_parser(
+        "attack",
+        help="run a statistical attack, or list the attacker registry")
+    attack_parser.add_argument(
+        "action", nargs="?", default="run", choices=("run", "list"),
+        help="run one attack (default), or list registered attackers")
+    attack_parser.add_argument("--workload", default=None,
+                               help="victim workload (see `repro "
+                                    "workloads list`)")
+    attack_parser.add_argument("--attacker", default=None,
+                               help="adversary (see `repro attack list`)")
+    attack_parser.add_argument("--mode", default="both",
+                               choices=("plain", "sempe", "both"),
+                               help="attack the baseline, the SeMPE "
+                                    "machine, or both (default)")
+    attack_parser.add_argument("--trials", type=int, default=32,
+                               help="noisy measurements per campaign "
+                                    "(default 32)")
+    attack_parser.add_argument("--seed", type=int, default=0,
+                               help="attack RNG seed (runs are "
+                                    "reproducible per seed)")
+    attack_parser.add_argument("--jitter", type=float, default=4.0,
+                               help="stddev of timing measurement noise "
+                                    "in cycles (default 4.0)")
+    attack_parser.add_argument("--flip", type=float, default=0.02,
+                               help="categorical probe corruption rate "
+                                    "(default 0.02)")
+    attack_parser.add_argument("--params", default="",
+                               help="workload parameter overrides "
+                                    "(key=value[,key=value...])")
+    attack_parser.add_argument("--engine", choices=ENGINES, default=None,
+                               help="functional engine for the victim runs")
+    attack_parser.add_argument("--store", default=None,
+                               help="cache attack reports in this result "
+                                    "store directory")
+    attack_parser.add_argument("--cache-stats", action="store_true",
+                               help="print run-cache and store counters")
+    attack_parser.set_defaults(func=cmd_attack)
+
     experiments_parser = subparsers.add_parser(
         "experiments", help="regenerate a paper table/figure")
     experiments_parser.add_argument(
-        "name", help="table1|table2|fig8|fig9|fig10a|fig10b")
+        "name", help="table1|table2|fig8|fig9|fig10a|fig10b|victims|"
+                     "leakmatrix|attacks")
     experiments_parser.add_argument("--w", type=int, default=3,
                                     help="max nesting depth for sweeps")
     experiments_parser.add_argument("--engine", choices=ENGINES,
@@ -443,8 +576,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the evaluation grid as one parallel, store-backed batch")
     sweep_parser.add_argument(
         "experiments", nargs="*",
-        help="experiments to sweep (default: all of "
-             "table1 table2 fig8 fig9 fig10a fig10b)")
+        help="experiments to sweep (default: all, including the victim "
+             "and attack matrices)")
     sweep_parser.add_argument("--jobs", type=int, default=1,
                               help="worker processes (results are "
                                    "bit-identical for any value)")

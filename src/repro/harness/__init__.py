@@ -13,6 +13,7 @@ from repro.harness.runner import (
     cache_info,
     clear_cache,
     get_store,
+    run_attack,
     run_djpeg,
     run_microbench,
     run_workload,
@@ -42,11 +43,16 @@ from repro.harness.experiments import (
     victims_overhead,
     victims_cells,
     leakmatrix,
+    attack_matrix,
+    attacks_cells,
     DEFAULT_W_SWEEP,
 )
 
 __all__ = [
     "run_workload",
+    "run_attack",
+    "attack_matrix",
+    "attacks_cells",
     "victims_overhead",
     "victims_cells",
     "leakmatrix",

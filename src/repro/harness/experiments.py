@@ -20,10 +20,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.harness.runner import run_djpeg, run_microbench, run_workload
+from repro.harness.runner import (
+    run_attack,
+    run_djpeg,
+    run_microbench,
+    run_workload,
+)
 from repro.harness.sweep import MICRO_ITERS, SweepCell, ensure_cells
 from repro.models.priorwork import GhostRiderModel, RaccoonModel
-from repro.uarch.config import MachineConfig, haswell_like
+from repro.security.attackers import AttackSpec, applicable_attackers
+from repro.uarch.config import MachineConfig, fast_functional, haswell_like
 from repro.workloads.djpeg import FORMATS, DjpegSpec
 from repro.workloads.microbench import WORKLOADS, MicrobenchSpec
 from repro.workloads.registry import WorkloadRunSpec, iter_workloads
@@ -379,24 +385,11 @@ def _leak_config() -> MachineConfig:
 
     Leak verdicts do not depend on structure sizes (the baseline leak
     and the SeMPE closure both hold on any machine); the small caches
-    and windows just keep the per-secret simulations quick.
+    and windows of :func:`~repro.uarch.config.fast_functional` — the
+    same machine the attack engine defaults to — just keep the
+    per-secret simulations quick.
     """
-    from repro.mem.cache import CacheConfig
-    from repro.mem.hierarchy import HierarchyConfig
-
-    config = MachineConfig()
-    config.rob_entries = 64
-    config.int_issue_buffer = 24
-    config.fp_issue_buffer = 24
-    config.hierarchy = HierarchyConfig(
-        il1=CacheConfig(name="IL1", size_bytes=4 * 1024, assoc=2,
-                        hit_latency=1),
-        dl1=CacheConfig(name="DL1", size_bytes=8 * 1024, assoc=2,
-                        hit_latency=2),
-        l2=CacheConfig(name="L2", size_bytes=64 * 1024, assoc=2,
-                       hit_latency=12),
-    )
-    return config
+    return fast_functional()
 
 
 def leakmatrix(**_ignored) -> ExperimentResult:
@@ -423,6 +416,74 @@ def leakmatrix(**_ignored) -> ExperimentResult:
         series[spec.name] = {"baseline_leaks": leaking,
                              "sempe_secure": sempe.secure}
     return ExperimentResult("Leak matrix", headers, rows, series=series)
+
+
+# --------------------------------------------------------------------------
+# Attack matrix — every victim x every applicable adversary, both machines
+# --------------------------------------------------------------------------
+
+ATTACK_ENGINES = ("fast", "reference")
+ATTACK_TRIALS = 32
+
+
+def attacks_cells(**_ignored) -> list[SweepCell]:
+    """Every registered workload x applicable attacker x {plain, sempe}
+    x {fast, reference} — the full adversarial matrix, as sweep cells
+    (so ``repro sweep attacks --jobs N`` fans the trials out across the
+    pool and caches the reports in the store)."""
+    cells: list[SweepCell] = []
+    for spec in iter_workloads():
+        for attacker in applicable_attackers(spec):
+            attack = AttackSpec(spec.name, attacker, trials=ATTACK_TRIALS)
+            for mode in ("plain", "sempe"):
+                for engine in ATTACK_ENGINES:
+                    cells.append(SweepCell("attack", attack, mode,
+                                           None, engine))
+    return cells
+
+
+def attack_matrix(**_ignored) -> ExperimentResult:
+    """Key recovery per victim/attacker: baseline vs SeMPE, both engines.
+
+    The headline security table: on the baseline machine every
+    applicable adversary recovers the victim's key; under SeMPE every
+    one of them degrades to chance — with identical verdicts from the
+    reference and the fast engine.
+    """
+    ensure_cells("attacks", attacks_cells())
+    headers = ["victim", "attacker", "channel",
+               "baseline", "sempe", "engines"]
+    rows: list[list[object]] = []
+    series: dict[tuple[str, str], dict[str, object]] = {}
+    for spec in iter_workloads():
+        for attacker in applicable_attackers(spec):
+            attack = AttackSpec(spec.name, attacker, trials=ATTACK_TRIALS)
+            reports = {
+                (mode, engine): run_attack(attack, mode,
+                                           engine=engine).report
+                for mode in ("plain", "sempe")
+                for engine in ATTACK_ENGINES
+            }
+            base = reports[("plain", ATTACK_ENGINES[0])]
+            sempe = reports[("sempe", ATTACK_ENGINES[0])]
+            agree = all(
+                reports[("plain", engine)].verdict == base.verdict
+                and reports[("sempe", engine)].verdict == sempe.verdict
+                for engine in ATTACK_ENGINES)
+            rows.append([
+                spec.name, attacker, base.channel,
+                f"{base.verdict} {base.bits_recovered}/{base.bits_total} "
+                f"p={base.p_value:.0e}",
+                f"{sempe.verdict} {sempe.bits_recovered}/"
+                f"{sempe.bits_total} p={sempe.p_value:.0e}",
+                "agree" if agree else "DIVERGE",
+            ])
+            series[(spec.name, attacker)] = {
+                "baseline": base.verdict,
+                "sempe": sempe.verdict,
+                "engines_agree": agree,
+            }
+    return ExperimentResult("Attack matrix", headers, rows, series=series)
 
 
 # --------------------------------------------------------------------------
@@ -475,6 +536,10 @@ _REGISTRY = {
     "leakmatrix": (
         lambda w, w_sweep, sizes, workloads, formats: leakmatrix_cells(),
         lambda w, w_sweep, sizes, workloads, formats: leakmatrix(),
+    ),
+    "attacks": (
+        lambda w, w_sweep, sizes, workloads, formats: attacks_cells(),
+        lambda w, w_sweep, sizes, workloads, formats: attack_matrix(),
     ),
 }
 

@@ -34,9 +34,10 @@ import multiprocessing
 import random
 from typing import Callable, Iterable
 
-from repro.core.engine import SimulationReport, simulate
-from repro.harness.runner import cell_descriptor, install_result
+from repro.core.engine import simulate
+from repro.harness.runner import _report_from_dict, install_result
 from repro.harness.store import fingerprint
+from repro.security.attackers import execute_attack
 from repro.workloads.djpeg import compile_djpeg
 from repro.workloads.microbench import compile_microbench
 from repro.workloads.registry import compile_workload
@@ -61,6 +62,11 @@ def _execute_payload(payload: tuple) -> tuple[str, str, str, dict]:
     """
     fp, kind, spec, mode, config, engine = payload
     random.seed(cell_seed(fp))
+    if kind == "attack":
+        # Attack cells carry their own seeded RNG (derived from the
+        # AttackSpec), so the result is identical in-process or pooled.
+        return fp, spec.name, mode, execute_attack(
+            spec, mode, config=config, engine=engine).to_dict()
     if kind == "micro":
         compiled = compile_microbench(spec, mode)
     elif kind == "workload":
@@ -111,8 +117,9 @@ def run_cells(cells: Iterable, jobs: int = 1,
 
     def _install(fp: str, name: str, mode: str, report: dict) -> None:
         nonlocal done
-        install_result(descriptors[fp], name, mode,
-                       SimulationReport.from_dict(report))
+        descriptor = descriptors[fp]
+        install_result(descriptor, name, mode,
+                       _report_from_dict(descriptor["kind"], report))
         done += 1
         if progress is not None:
             progress(done, total, name)

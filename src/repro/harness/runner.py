@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.core.engine import SimulationReport, get_default_engine, simulate
 from repro.harness.store import ResultStore, SCHEMA_VERSION, fingerprint
+from repro.security.attackers import AttackReport, AttackSpec, execute_attack
 from repro.uarch.config import MachineConfig
 from repro.workloads.djpeg import DjpegSpec, compile_djpeg
 from repro.workloads.microbench import MicrobenchSpec, compile_microbench
@@ -37,11 +38,17 @@ _STORE: ResultStore | None = None
 
 @dataclass
 class RunResult:
-    """One simulated configuration."""
+    """One evaluated configuration.
+
+    ``report`` is a :class:`SimulationReport` for simulation cells and
+    an :class:`~repro.security.attackers.AttackReport` for ``attack``
+    cells; both round-trip through ``to_dict``/``from_dict``, which is
+    all the cache hierarchy relies on.
+    """
 
     name: str
     mode: str          # plain | sempe | cte
-    report: SimulationReport
+    report: SimulationReport | AttackReport
 
     @property
     def cycles(self) -> int:
@@ -127,8 +134,15 @@ def store_info() -> dict[str, int] | None:
     return _STORE.stats.as_dict()
 
 
+def _report_from_dict(kind: str, data: dict):
+    """Rebuild the kind-appropriate report object from a store record."""
+    if kind == "attack":
+        return AttackReport.from_dict(data)
+    return SimulationReport.from_dict(data)
+
+
 def install_result(descriptor: dict, name: str, mode: str,
-                   report: SimulationReport) -> RunResult:
+                   report: SimulationReport | AttackReport) -> RunResult:
     """Adopt an externally-computed report into the cache hierarchy.
 
     Used by the parallel sweep layer: worker processes return report
@@ -167,7 +181,7 @@ def probe(descriptor: dict) -> str | None:
             name = _spec_name(descriptor["kind"], spec)
             _CACHE[fp] = RunResult(
                 name=name, mode=descriptor["mode"],
-                report=SimulationReport.from_dict(stored))
+                report=_report_from_dict(descriptor["kind"], stored))
             return "store"
     return None
 
@@ -177,6 +191,8 @@ def _spec_name(kind: str, spec_fields: dict) -> str:
         return MicrobenchSpec(**spec_fields).name
     if kind == "workload":
         return WorkloadRunSpec(**spec_fields).name
+    if kind == "attack":
+        return AttackSpec(**spec_fields).name
     return DjpegSpec(**spec_fields).name
 
 
@@ -184,8 +200,13 @@ def _spec_name(kind: str, spec_fields: dict) -> str:
 # Cached execution
 # --------------------------------------------------------------------------
 
-def _cached_run(descriptor: dict, compile_fn, name: str, mode: str,
-                config: MachineConfig | None, engine: str) -> RunResult:
+def _cached_run(descriptor: dict, compute, name: str, mode: str) -> RunResult:
+    """L1 -> store -> *compute()* for one cell.
+
+    ``compute`` produces the cell's report object (a simulation for the
+    workload kinds, an attack run for ``attack`` cells); everything
+    else — lookup, rebuild, installation — is kind-independent.
+    """
     global _HITS, _MISSES
     fp = fingerprint(descriptor)
     cached = _CACHE.get(fp)
@@ -196,13 +217,12 @@ def _cached_run(descriptor: dict, compile_fn, name: str, mode: str,
     if _STORE is not None:
         stored = _STORE.get(fp, descriptor)
         if stored is not None:
-            result = RunResult(name=name, mode=mode,
-                               report=SimulationReport.from_dict(stored))
+            result = RunResult(
+                name=name, mode=mode,
+                report=_report_from_dict(descriptor["kind"], stored))
             _CACHE[fp] = result
             return result
-    compiled = compile_fn()
-    report = simulate(compiled.program, sempe=(mode == "sempe"),
-                      config=config, engine=engine)
+    report = compute()
     result = RunResult(name=name, mode=mode, report=report)
     _CACHE[fp] = result
     if _STORE is not None:
@@ -220,8 +240,12 @@ def run_microbench(spec: MicrobenchSpec, mode: str,
     """
     engine = engine or get_default_engine()
     descriptor = cell_descriptor("micro", spec, mode, config, engine)
-    return _cached_run(descriptor, lambda: compile_microbench(spec, mode),
-                       spec.name, mode, config, engine)
+    return _cached_run(
+        descriptor,
+        lambda: simulate(compile_microbench(spec, mode).program,
+                         sempe=(mode == "sempe"), config=config,
+                         engine=engine),
+        spec.name, mode)
 
 
 def run_djpeg(spec: DjpegSpec, mode: str,
@@ -230,8 +254,12 @@ def run_djpeg(spec: DjpegSpec, mode: str,
     """Simulate one djpeg configuration (cached)."""
     engine = engine or get_default_engine()
     descriptor = cell_descriptor("djpeg", spec, mode, config, engine)
-    return _cached_run(descriptor, lambda: compile_djpeg(spec, mode),
-                       spec.name, mode, config, engine)
+    return _cached_run(
+        descriptor,
+        lambda: simulate(compile_djpeg(spec, mode).program,
+                         sempe=(mode == "sempe"), config=config,
+                         engine=engine),
+        spec.name, mode)
 
 
 def run_workload(spec: WorkloadRunSpec, mode: str,
@@ -240,5 +268,28 @@ def run_workload(spec: WorkloadRunSpec, mode: str,
     """Simulate one registry-workload configuration (cached)."""
     engine = engine or get_default_engine()
     descriptor = cell_descriptor("workload", spec, mode, config, engine)
-    return _cached_run(descriptor, lambda: compile_workload(spec, mode),
-                       spec.name, mode, config, engine)
+    return _cached_run(
+        descriptor,
+        lambda: simulate(compile_workload(spec, mode).program,
+                         sempe=(mode == "sempe"), config=config,
+                         engine=engine),
+        spec.name, mode)
+
+
+def run_attack(spec: AttackSpec, mode: str,
+               config: MachineConfig | None = None,
+               engine: str | None = None) -> RunResult:
+    """Evaluate one attack cell (cached).
+
+    ``mode`` selects the machine the victim runs on (``plain`` =
+    unprotected baseline, ``sempe`` = protected); the resulting
+    :class:`~repro.security.attackers.AttackReport` flows through the
+    same two-level cache as simulation reports, so a repeated attack
+    sweep is served from the store instead of re-attacked.
+    """
+    engine = engine or get_default_engine()
+    descriptor = cell_descriptor("attack", spec, mode, config, engine)
+    return _cached_run(
+        descriptor,
+        lambda: execute_attack(spec, mode, config=config, engine=engine),
+        spec.name, mode)

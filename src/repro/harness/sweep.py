@@ -32,14 +32,16 @@ from repro.harness.runner import (
     RunResult,
     cell_descriptor,
     probe,
+    run_attack,
     run_djpeg,
     run_microbench,
     run_workload,
 )
 from repro.harness.store import fingerprint
+from repro.security.attackers import AttackSpec
 from repro.uarch.config import MachineConfig
-from repro.workloads.djpeg import FORMATS, DjpegSpec
-from repro.workloads.microbench import WORKLOADS, MicrobenchSpec
+from repro.workloads.djpeg import DjpegSpec
+from repro.workloads.microbench import MicrobenchSpec
 from repro.workloads.registry import WorkloadRunSpec
 
 # Iteration counts used by the paper sweeps (sized so the pure-Python
@@ -60,10 +62,16 @@ MODES = tuple(_MODE_VARIANT)
 
 @dataclass
 class SweepCell:
-    """One grid point: a workload spec on a machine, mode, and engine."""
+    """One grid point: a workload spec on a machine, mode, and engine.
 
-    kind: str                                  # "micro" | "djpeg" | "workload"
-    spec: MicrobenchSpec | DjpegSpec | WorkloadRunSpec
+    ``kind`` is ``"micro"``, ``"djpeg"``, ``"workload"`` or
+    ``"attack"`` (a statistical attack run instead of a bare
+    simulation — same caching, same pool, an
+    :class:`~repro.security.attackers.AttackReport` as the result).
+    """
+
+    kind: str
+    spec: MicrobenchSpec | DjpegSpec | WorkloadRunSpec | AttackSpec
     mode: str                                  # plain | sempe | cte
     config: MachineConfig | None = None
     engine: str | None = None                  # None = session default
@@ -108,6 +116,9 @@ class SweepCell:
         if self.kind == "workload":
             return run_workload(self.spec, self.mode,
                                 config=self.config, engine=engine)
+        if self.kind == "attack":
+            return run_attack(self.spec, self.mode,
+                              config=self.config, engine=engine)
         return run_djpeg(self.spec, self.mode,
                          config=self.config, engine=engine)
 

@@ -32,6 +32,41 @@ CHANNELS = (
 )
 
 
+def observation_key(value: object) -> object:
+    """A stable, hashable dedupe key for one channel observation.
+
+    Observations are compared *by value*: two runs that produced equal
+    observations must map to the same key, and unequal observations must
+    (for every type the channels actually produce) map to different
+    keys.  Hashing the value directly would raise on lists; the old
+    ``repr`` fallback was worse — two equal objects whose ``repr``
+    includes identity (the ``object`` default) looked distinct, and two
+    distinct objects with a lossy ``repr`` collided.  Containers are
+    therefore canonicalized recursively, and every key is tagged with
+    the value's type so ``1``, ``1.0`` and ``True`` — equal but
+    differently-typed observations — never alias.
+    """
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,
+                tuple(observation_key(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        # Sort *by* repr for a deterministic order, but keep the
+        # canonical keys themselves as the components — deduping by
+        # repr would reintroduce the collision this function fixes.
+        return (type(value).__name__,
+                tuple(sorted((observation_key(item) for item in value),
+                             key=repr)))
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted(
+            ((observation_key(k), observation_key(v))
+             for k, v in value.items()), key=repr)))
+    try:
+        hash(value)
+    except TypeError:
+        return (type(value).__name__, repr(value))
+    return (type(value).__name__, value)
+
+
 @dataclass
 class ChannelReport:
     """One channel's behaviour across the tested secrets."""
@@ -41,7 +76,8 @@ class ChannelReport:
 
     @property
     def leaks(self) -> bool:
-        return len(set(map(repr, self.observations.values()))) > 1
+        keys = set(map(observation_key, self.observations.values()))
+        return len(keys) > 1
 
     @property
     def mutual_information(self) -> float:
@@ -168,11 +204,16 @@ def mutual_information_bits(observations: list[object]) -> float:
 
     Each element of *observations* is the channel value for one secret.
     The conditional distribution is deterministic (one observation per
-    secret), so I = H(observation).
+    secret), so I = H(observation).  Degenerate channels — no
+    observations, or a single one — carry no information and return
+    0.0; observations are deduplicated by :func:`observation_key`, so
+    unhashable values are compared canonically rather than through
+    ``repr`` collisions.  The result is always bounded by
+    ``log2(len(observations))``, the entropy of the uniform secret.
     """
-    if not observations:
+    if len(observations) < 2:
         return 0.0
-    counts = Counter(map(repr, observations))
+    counts = Counter(map(observation_key, observations))
     total = len(observations)
     entropy = 0.0
     for count in counts.values():

@@ -42,6 +42,9 @@ class ObservationTrace:
     predictor_digest: str
     pc_sequence: list[int] = field(default_factory=list, repr=False)
     mem_addresses: list[int] = field(default_factory=list, repr=False)
+    # Per-set valid-line counts (IL1, DL1, L2) — the prime-and-probe
+    # residue an attacker measures by timing its own primed lines.
+    cache_occupancy: tuple = ()
 
     def channels(self) -> dict[str, object]:
         """Channel name -> observable value (digests for big streams)."""
@@ -89,6 +92,26 @@ class TraceObserver:
         return self._mem_hash.hexdigest()
 
 
+def poke_secrets(memory, symbols: dict[str, int],
+                 secret_values: dict[str, object] | None) -> None:
+    """Install secret values into *memory* before a victim run.
+
+    This is the one place secrets are encoded into the machine: scalar
+    secrets are masked to the 8-byte word their ``secret int`` symbol
+    occupies, and array secrets (lists/tuples) fill consecutive 8-byte
+    words.  Every consumer — observation collection, the concrete
+    attacks, the leak experiments — must poke through here so attacker
+    and victim agree on the secret's width and encoding.
+    """
+    for name, value in (secret_values or {}).items():
+        if isinstance(value, (list, tuple)):
+            for index, element in enumerate(value):
+                memory.store(symbols[name] + 8 * index,
+                             element & ((1 << 64) - 1), 8)
+        else:
+            memory.store(symbols[name], value & ((1 << 64) - 1), 8)
+
+
 def collect_observation(
     program: Program,
     sempe: bool,
@@ -108,6 +131,15 @@ def collect_observation(
     default the session default); both produce identical observations,
     so leak verdicts are engine-independent — which the victim test
     suite asserts for every registered workload.
+
+    **Hermeticity contract:** every call builds a fresh executor,
+    pipeline, cache hierarchy, prefetchers, and predictors, and never
+    mutates *program* or *config*.  Two calls with the same arguments
+    return identical traces regardless of what ran in between — the
+    multi-trial attack engine depends on this (residue from a previous
+    trial, e.g. a trained ``StridePrefetcher`` table, must never
+    masquerade as a leak), and ``tests/security/test_observer.py``
+    pins it on both engines.
     """
     config = config or MachineConfig()
     engine = _resolve_engine(engine)
@@ -115,15 +147,7 @@ def collect_observation(
     executor = executor_cls(program, sempe=sempe,
                             max_instructions=max_instructions)
     symbol_table = symbols if symbols is not None else program.symbols
-    for name, value in (secret_values or {}).items():
-        if isinstance(value, (list, tuple)):
-            # Array secrets: consecutive 8-byte words.
-            for index, element in enumerate(value):
-                executor.state.memory.store(
-                    symbol_table[name] + 8 * index, element & ((1 << 64) - 1), 8)
-        else:
-            executor.state.memory.store(symbol_table[name],
-                                        value & ((1 << 64) - 1), 8)
+    poke_secrets(executor.state.memory, symbol_table, secret_values)
 
     observer = TraceObserver(
         line_bytes=config.hierarchy.dl1.line_bytes, keep_streams=keep_streams
@@ -158,6 +182,11 @@ def collect_observation(
         tuple(sorted(pipeline.hierarchy.l2.resident_lines())),
     )
     cache_digest = hashlib.sha256(repr(cache_state).encode()).hexdigest()
+    cache_occupancy = (
+        tuple(pipeline.hierarchy.il1.set_occupancy()),
+        tuple(pipeline.hierarchy.dl1.set_occupancy()),
+        tuple(pipeline.hierarchy.l2.set_occupancy()),
+    )
     predictor_state = (
         pipeline.predictor.state_digest(),
         pipeline.btb.state_digest(),
@@ -177,4 +206,5 @@ def collect_observation(
         predictor_digest=predictor_digest,
         pc_sequence=observer.pc_sequence,
         mem_addresses=observer.mem_addresses,
+        cache_occupancy=cache_occupancy,
     )

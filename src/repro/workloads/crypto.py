@@ -25,8 +25,11 @@ def _leak_values(params: dict) -> list:
     name="modexp",
     title="RSA square-and-multiply (Fig. 1)",
     secret="ekey",
+    # cache-state: the multiply block's code lines are only fetched for
+    # set key bits, so IL1 residue betrays the key (prime-and-probe on
+    # the instruction cache).
     channels=("timing", "instruction-count", "control-flow",
-              "branch-predictor"),
+              "cache-state", "branch-predictor"),
     # Registry defaults are sized for leak experiments and smoke runs;
     # call the builder directly for the paper-scale 16-bit key.
     params={"bits": 8, "base": 7, "modulus": 1009, "key": 0x5A,

@@ -206,8 +206,11 @@ def _leak_values(params: dict) -> list:
     name="djpeg",
     title="synthetic libjpeg decode (secret image)",
     secret="img",
+    # memory-address: the sign/saturation decode steps only load their
+    # correction tables on coefficient-dependent paths, so the
+    # line-granular access stream betrays the image (flush-and-reload).
     channels=("timing", "instruction-count", "control-flow",
-              "branch-predictor"),
+              "memory-address", "branch-predictor"),
     params={"fmt": "ppm", "npixels": 128, "seed": 99991, "fill": True},
     # Leak experiments poke the image directly, so the in-program fill
     # must be off (it would overwrite the poked secret).

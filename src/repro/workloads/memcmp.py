@@ -39,8 +39,11 @@ def _leak_values(params: dict) -> list:
     name="memcmp",
     title="early-exit secret comparison (password check)",
     secret="pw",
+    # cache-state: the matched prefix determines which pw[] lines are
+    # ever touched, so the post-run cache residue betrays its length
+    # (the prime-and-probe target).
     channels=("timing", "instruction-count", "control-flow",
-              "memory-address", "branch-predictor"),
+              "memory-address", "cache-state", "branch-predictor"),
     params={"n": 12, "refine": 6},
     leak_values=_leak_values,
     grid=({}, {"n": 24}),

@@ -100,6 +100,7 @@ def test_experiment_tables_render():
 def test_registry_experiments_enumerated():
     assert "victims" in EXPERIMENTS
     assert "leakmatrix" in EXPERIMENTS
+    assert "attacks" in EXPERIMENTS
     cells = experiment_cells("victims")
     from repro.workloads.registry import iter_workloads
 
@@ -107,6 +108,20 @@ def test_registry_experiments_enumerated():
     assert len(cells) == expected
     assert all(cell.kind == "workload" for cell in cells)
     assert experiment_cells("leakmatrix") == []
+
+
+def test_attacks_experiment_cells_shape():
+    from repro.security.attackers import applicable_attackers
+    from repro.workloads.registry import iter_workloads
+
+    cells = experiment_cells("attacks")
+    expected = sum(4 * len(applicable_attackers(spec))
+                   for spec in iter_workloads())
+    assert len(cells) == expected
+    assert all(cell.kind == "attack" for cell in cells)
+    assert {cell.resolved_engine() for cell in cells} == {
+        "fast", "reference"}
+    assert {cell.mode for cell in cells} == {"plain", "sempe"}
 
 
 @pytest.mark.slow

@@ -3,10 +3,15 @@
 
 import pytest
 
-pytestmark = pytest.mark.slow
+pytestmark = [pytest.mark.slow, pytest.mark.attack]
 
 from repro.lang.compiler import compile_source
-from repro.security.attacks import BranchTraceAttack, TimingAttack
+from repro.security.attacks import (
+    AttackResult,
+    BranchTraceAttack,
+    NoisyBranchTraceAttack,
+    TimingAttack,
+)
 from repro.workloads.crypto import modexp_source
 
 BITS = 8
@@ -86,3 +91,128 @@ def test_timing_attack_defeated_by_sempe(victims, fast_config):
                           config=fast_config)
     estimate, _actual = attack.estimate_weight(0x5A)
     assert estimate is None      # flat timing: no signal to invert
+
+
+# --------------------------------------------------------------------------
+# Regression: observations are driven off the record stream, and secrets
+# are poked through the shared word-sized encoding (not raw stores).
+# --------------------------------------------------------------------------
+
+def test_branch_trace_succeeds_with_word_sized_secret(victims):
+    """The secret symbol is an 8-byte word; poking a value that fills
+    the whole word (garbage above the attacked bits, high word bit set)
+    must still recover the low key bits exactly."""
+    program = victims["plain"].program
+    attack = BranchTraceAttack(program, sempe=False)
+    branch_pc = secret_branch_pc_plain(program, victims["sempe"])
+    full_word = (1 << 63) | (0xABCD << 16) | 0x5A
+    directions = attack.observed_directions({"ekey": full_word}, branch_pc)
+    bits_seen = [1 - d for d in directions[:BITS]]
+    assert AttackResult(bits_seen, "exact").as_int() == 0x5A
+
+
+def test_branch_trace_confidence_comes_from_calibration(victims):
+    """``exact`` on the baseline (calibration keys separate), ``none``
+    under SeMPE (identical streams) — observed behaviour, not a flag."""
+    plain = BranchTraceAttack(victims["plain"].program, sempe=False)
+    plain_pc = secret_branch_pc_plain(victims["plain"].program,
+                                      victims["sempe"])
+    assert plain.recover_key("ekey", 0x5A, BITS,
+                             plain_pc).confidence == "exact"
+    sempe = BranchTraceAttack(victims["sempe"].program, sempe=True)
+    sempe_pc = secure_branch_pc(victims["sempe"].program)
+    assert sempe.recover_key("ekey", 0x5A, BITS,
+                             sempe_pc).confidence == "none"
+
+
+def test_sempe_directions_are_stream_derived_not_flagged(victims):
+    """On the SeMPE machine the committed stream after the sJMP really
+    does continue on the fall-through path: the observed direction is
+    constant because of the machine, and the attack reads it off the
+    records rather than assuming it."""
+    program = victims["sempe"].program
+    attack = BranchTraceAttack(program, sempe=True)
+    branch_pc = secure_branch_pc(program)
+    target = program.instructions[branch_pc].target
+    assert target != branch_pc + 1    # directions are distinguishable
+    for key in (0x00, 0xFF):
+        directions = attack.observed_directions({"ekey": key}, branch_pc)
+        assert len(directions) == BITS
+        assert set(directions) == {0}
+
+
+def test_noisy_branch_trace_majority_vote_recovers_key(victims):
+    program = victims["plain"].program
+    branch_pc = secret_branch_pc_plain(program, victims["sempe"])
+    attack = NoisyBranchTraceAttack(program, sempe=False,
+                                    flip=0.2, trials=15, seed=3)
+    result = attack.recover_key("ekey", 0xA7, BITS, branch_pc)
+    assert result.as_int() == 0xA7
+    assert result.confidence == "exact"
+
+
+def test_noisy_branch_trace_still_defeated_by_sempe(victims):
+    program = victims["sempe"].program
+    attack = NoisyBranchTraceAttack(program, sempe=True,
+                                    flip=0.2, trials=15, seed=3)
+    result = attack.recover_key("ekey", 0xA7, BITS,
+                                secure_branch_pc(program))
+    assert result.confidence == "none"
+
+
+def test_noisy_branch_trace_rejects_bad_flip(victims):
+    with pytest.raises(ValueError, match="flip"):
+        NoisyBranchTraceAttack(victims["plain"].program, sempe=False,
+                               flip=0.5)
+
+
+# --------------------------------------------------------------------------
+# Adversarial bit-ordering tests for AttackResult / recover_key
+# --------------------------------------------------------------------------
+
+def test_as_int_lsb_first_ordering():
+    assert AttackResult([], "exact").as_int() == 0
+    assert AttackResult([1], "exact").as_int() == 1
+    assert AttackResult([0, 1], "exact").as_int() == 2
+    assert AttackResult([1, 0, 1, 1], "exact").as_int() == 0b1101
+
+
+def test_as_int_high_bit_set():
+    bits = [0] * 7 + [1]
+    assert AttackResult(bits, "exact").as_int() == 0x80
+    assert AttackResult([1] * 8, "exact").as_int() == 0xFF
+
+
+def test_as_int_masks_non_binary_votes():
+    # Defensive: vote values are used modulo 2, never shifted raw.
+    assert AttackResult([2, 3], "exact").as_int() == 0b10
+
+
+def test_recover_key_high_bit_keys(victims):
+    program = victims["plain"].program
+    attack = BranchTraceAttack(program, sempe=False)
+    branch_pc = secret_branch_pc_plain(program, victims["sempe"])
+    for key in (0x80, 0xC3, 0xFF):
+        result = attack.recover_key("ekey", key, BITS, branch_pc)
+        assert result.as_int() == key, hex(key)
+
+
+def test_recover_key_zero_key(victims):
+    program = victims["plain"].program
+    attack = BranchTraceAttack(program, sempe=False)
+    branch_pc = secret_branch_pc_plain(program, victims["sempe"])
+    result = attack.recover_key("ekey", 0, BITS, branch_pc)
+    assert result.as_int() == 0
+    assert result.confidence == "exact"
+
+
+def test_recover_key_more_bits_than_branch_executions(victims):
+    """Asking for more bits than the loop tests must not fabricate
+    them: the recovered list stays at the observed length and the
+    reassembled integer covers exactly those bits."""
+    program = victims["plain"].program
+    attack = BranchTraceAttack(program, sempe=False)
+    branch_pc = secret_branch_pc_plain(program, victims["sempe"])
+    result = attack.recover_key("ekey", 0xA7, BITS + 4, branch_pc)
+    assert len(result.recovered_bits) == BITS
+    assert result.as_int() == 0xA7

@@ -3,9 +3,11 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.security.leakage import (
-    ChannelReport, mutual_information_bits,
+    ChannelReport, mutual_information_bits, observation_key,
 )
 
 
@@ -44,3 +46,107 @@ def test_channel_report_leak_detection():
     report.observations[2] = 150
     assert report.leaks
     assert report.mutual_information > 0
+
+
+# --------------------------------------------------------------------------
+# Edge cases: degenerate channels and observation identity
+# --------------------------------------------------------------------------
+
+def test_mi_single_observation_is_zero():
+    assert mutual_information_bits([object()]) == 0.0
+    assert mutual_information_bits([["unhashable"]]) == 0.0
+
+
+class _ConstantRepr:
+    """Two *distinct* observations whose reprs collide."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "<observation>"
+
+    def __eq__(self, other):
+        return isinstance(other, _ConstantRepr) and self.value == other.value
+
+    def __hash__(self):
+        return hash(self.value)
+
+
+def test_leaks_not_masked_by_repr_collisions():
+    # The old repr-based dedupe called these equal and reported the
+    # channel closed; they are different observations and must leak.
+    report = ChannelReport(channel="cache-state",
+                           observations={0: _ConstantRepr(1),
+                                         1: _ConstantRepr(2)})
+    assert report.leaks
+    assert report.mutual_information == pytest.approx(1.0)
+
+
+def test_equal_unhashable_observations_do_not_leak():
+    report = ChannelReport(channel="memory-address",
+                           observations={0: [1, 2, 3], 1: [1, 2, 3]})
+    assert not report.leaks
+    assert report.mutual_information == 0.0
+
+
+def test_observation_key_canonicalizes_containers():
+    assert observation_key([1, 2]) == observation_key([1, 2])
+    assert observation_key([1, 2]) != observation_key([2, 1])
+    assert observation_key({"a": [1]}) == observation_key({"a": [1]})
+    assert observation_key({1, 2}) == observation_key({2, 1})
+    assert observation_key((1, (2, 3))) == observation_key((1, (2, 3)))
+
+
+def test_observation_key_set_and_dict_members_not_deduped_by_repr():
+    # Distinct members with colliding reprs must keep sets/dicts
+    # distinguishable (the container branches dedupe by canonical key,
+    # repr is only the sort order).
+    assert observation_key({_ConstantRepr(1)}) != observation_key(
+        {_ConstantRepr(2)})
+    assert observation_key({_ConstantRepr(1): "x"}) != observation_key(
+        {_ConstantRepr(2): "x"})
+    assert observation_key({_ConstantRepr(1)}) == observation_key(
+        {_ConstantRepr(1)})
+
+
+def test_observation_key_distinguishes_types():
+    # 1 == True == 1.0 in Python, but a channel that switches type is
+    # observably different behaviour.
+    keys = {observation_key(1), observation_key(True),
+            observation_key(1.0)}
+    assert len(keys) == 3
+    assert observation_key([1]) != observation_key((1,))
+
+
+# --------------------------------------------------------------------------
+# Property: MI is bounded by the secret's entropy, log2(n observations)
+# --------------------------------------------------------------------------
+
+_observation = st.recursive(
+    st.one_of(st.integers(-8, 8), st.booleans(),
+              st.floats(allow_nan=False, allow_infinity=False, width=16),
+              st.text(max_size=3)),
+    lambda children: st.lists(children, max_size=3),
+    max_leaves=6,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_observation, max_size=12))
+def test_mi_bounded_by_log2_n_secrets(observations):
+    value = mutual_information_bits(observations)
+    assert 0.0 <= value
+    n = len(observations)
+    assert value <= math.log2(n) + 1e-9 if n else value == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_observation, min_size=2, max_size=8))
+def test_mi_maximal_iff_all_observations_distinct(observations):
+    value = mutual_information_bits(observations)
+    keys = {observation_key(o) for o in observations}
+    if len(keys) == len(observations):
+        assert value == pytest.approx(math.log2(len(observations)))
+    else:
+        assert value < math.log2(len(observations)) - 1e-9

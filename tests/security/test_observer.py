@@ -1,7 +1,13 @@
 """Observation collection plumbing."""
 
+import pytest
+
 from repro.lang.compiler import compile_source
-from repro.security.observer import TraceObserver, collect_observation
+from repro.security.observer import (
+    TraceObserver,
+    collect_observation,
+    poke_secrets,
+)
 
 SOURCE = """
 secret int key = 1;
@@ -79,3 +85,76 @@ def test_secret_poke_changes_functional_result(fast_config):
     # Straight-line data flow: no observable difference...
     assert trace_a.cycles == trace_b.cycles
     assert trace_a.pc_digest == trace_b.pc_digest
+
+
+# --------------------------------------------------------------------------
+# Hermeticity: every trial gets a fresh machine.  Residue from one run
+# (trained prefetcher tables, predictor state, resident cache lines)
+# must never reach the next — the multi-trial attack engine's bedrock.
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine", ("reference", "fast"))
+@pytest.mark.parametrize("mode,sempe", (("plain", False), ("sempe", True)))
+def test_observation_trials_are_hermetic(engine, mode, sempe, fast_config):
+    """The same (program, secret) twice back-to-back yields identical
+    observations — every digest, counter, and occupancy vector."""
+    from repro.workloads.registry import get_workload
+
+    spec = get_workload("memcmp")
+    compiled = spec.compile(mode, **spec.leak_resolve())
+    secret = tuple(spec.secret_values()[0])
+    first = collect_observation(compiled.program, sempe=sempe,
+                                secret_values={spec.secret: secret},
+                                config=fast_config, engine=engine)
+    second = collect_observation(compiled.program, sempe=sempe,
+                                 secret_values={spec.secret: secret},
+                                 config=fast_config, engine=engine)
+    assert first == second
+
+
+@pytest.mark.parametrize("engine", ("reference", "fast"))
+def test_interleaved_secrets_leave_no_residue(engine, fast_config):
+    """A different secret in between must not perturb a repeated run:
+    trained StridePrefetcher/TAGE state from trial N-1 cannot show up
+    in trial N's observation."""
+    from repro.workloads.registry import get_workload
+
+    spec = get_workload("memcmp")
+    compiled = spec.compile("plain", **spec.leak_resolve())
+    values = [tuple(v) for v in spec.secret_values()]
+    baseline = collect_observation(compiled.program, sempe=False,
+                                   secret_values={spec.secret: values[0]},
+                                   config=fast_config, engine=engine)
+    collect_observation(compiled.program, sempe=False,
+                        secret_values={spec.secret: values[-1]},
+                        config=fast_config, engine=engine)
+    repeated = collect_observation(compiled.program, sempe=False,
+                                   secret_values={spec.secret: values[0]},
+                                   config=fast_config, engine=engine)
+    assert repeated == baseline
+
+
+def test_cache_occupancy_recorded_and_engine_independent(fast_config):
+    compiled = compile_source(SOURCE, mode="plain")
+    traces = [collect_observation(compiled.program, sempe=False,
+                                  config=fast_config, engine=engine)
+              for engine in ("reference", "fast")]
+    assert traces[0].cache_occupancy == traces[1].cache_occupancy
+    il1, dl1, l2 = traces[0].cache_occupancy
+    assert sum(il1) > 0 and sum(dl1) > 0 and sum(l2) > 0
+    assert len(dl1) == fast_config.hierarchy.dl1.n_sets
+
+
+def test_poke_secrets_word_encoding():
+    """Scalars are masked to one 8-byte word; arrays fill consecutive
+    words — the single encoding both attacker and victim use."""
+    from repro.mem.memory import FlatMemory
+
+    memory = FlatMemory()
+    symbols = {"k": 0x100, "arr": 0x200}
+    poke_secrets(memory, symbols, {"k": -1, "arr": (1, -2, 3)})
+    assert memory.load(0x100, 8) == (1 << 64) - 1
+    assert memory.load(0x200, 8) == 1
+    assert memory.load(0x208, 8) == (1 << 64) - 2
+    assert memory.load(0x210, 8) == 3
+    assert memory.load(0x218, 8) == 0        # nothing past the array

@@ -1,0 +1,184 @@
+"""The statistical distinguisher toolkit (pure math, no simulation)."""
+
+import math
+import random
+
+import pytest
+
+pytestmark = pytest.mark.attack
+
+from repro.security.stats import (
+    TTestResult,
+    majority_vote,
+    majority_vote_bits,
+    mean,
+    paired_mutual_information_bits,
+    permutation_test,
+    regularized_incomplete_beta,
+    student_t_sf,
+    variance,
+    welch_t_test,
+)
+
+
+# --------------------------------------------------------------------------
+# Student's t machinery
+# --------------------------------------------------------------------------
+
+def test_incomplete_beta_edges():
+    assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+    assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+
+def test_incomplete_beta_uniform_case():
+    # I_x(1, 1) is the uniform CDF.
+    for x in (0.1, 0.5, 0.9):
+        assert regularized_incomplete_beta(1.0, 1.0, x) == pytest.approx(x)
+
+
+def test_student_t_sf_known_quantiles():
+    # Two-sided 5% critical values from standard t tables.
+    assert student_t_sf(2.228, 10) == pytest.approx(0.05, abs=1e-3)
+    assert student_t_sf(1.96, 1e6) == pytest.approx(0.05, abs=1e-3)
+    assert student_t_sf(0.0, 10) == pytest.approx(1.0)
+    assert student_t_sf(math.inf, 10) == 0.0
+
+
+def test_student_t_sf_symmetric():
+    assert student_t_sf(-3.0, 7) == pytest.approx(student_t_sf(3.0, 7))
+
+
+# --------------------------------------------------------------------------
+# Welch's t-test
+# --------------------------------------------------------------------------
+
+def test_welch_separated_samples_reject():
+    rng = random.Random(7)
+    a = [100.0 + rng.gauss(0, 2) for _ in range(20)]
+    b = [200.0 + rng.gauss(0, 2) for _ in range(20)]
+    result = welch_t_test(a, b)
+    assert abs(result.statistic) > 50
+    assert result.p_value < 1e-10
+    assert result.significant()
+
+
+def test_welch_identical_distributions_do_not_reject():
+    rng = random.Random(11)
+    a = [50.0 + rng.gauss(0, 3) for _ in range(30)]
+    b = [50.0 + rng.gauss(0, 3) for _ in range(30)]
+    result = welch_t_test(a, b)
+    assert result.p_value > 0.01
+
+
+def test_welch_degenerate_sizes():
+    assert welch_t_test([], []).p_value == 1.0
+    assert welch_t_test([1.0], [2.0, 3.0]).p_value == 1.0
+
+
+def test_welch_zero_variance_cases():
+    same = welch_t_test([5.0, 5.0], [5.0, 5.0])
+    assert same.p_value == 1.0 and same.statistic == 0.0
+    different = welch_t_test([5.0, 5.0], [9.0, 9.0])
+    assert different.p_value == 0.0
+    assert math.isinf(different.statistic)
+
+
+def test_welch_result_is_dataclass_with_counts():
+    result = welch_t_test([1.0, 2.0, 3.0], [1.0, 2.0])
+    assert isinstance(result, TTestResult)
+    assert (result.n_a, result.n_b) == (3, 2)
+
+
+def test_mean_and_variance_basics():
+    assert mean([]) == 0.0
+    assert mean([2.0, 4.0]) == 3.0
+    assert variance([3.0]) == 0.0
+    assert variance([1.0, 3.0]) == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------------
+# Paired mutual information + permutation test
+# --------------------------------------------------------------------------
+
+def test_paired_mi_perfect_binary_channel():
+    pairs = [(0, "a"), (0, "a"), (1, "b"), (1, "b")] * 4
+    assert paired_mutual_information_bits(pairs) == pytest.approx(1.0)
+
+
+def test_paired_mi_independent_channel():
+    pairs = [(0, "x"), (1, "x")] * 8
+    assert paired_mutual_information_bits(pairs) == 0.0
+
+
+def test_paired_mi_never_negative_and_bounded():
+    rng = random.Random(3)
+    pairs = [(rng.randrange(2), rng.randrange(3)) for _ in range(40)]
+    value = paired_mutual_information_bits(pairs)
+    assert 0.0 <= value <= 1.0 + 1e-12    # bounded by H(label) = 1 bit
+
+
+def test_paired_mi_degenerate():
+    assert paired_mutual_information_bits([]) == 0.0
+    assert paired_mutual_information_bits([(0, "a")]) == 0.0
+
+
+def test_permutation_test_detects_aligned_labels():
+    pairs = ([(0, "a") for _ in range(8)] + [(1, "b") for _ in range(8)])
+    observed, p = permutation_test(pairs, random.Random(0))
+    assert observed == pytest.approx(1.0)
+    assert p < 0.01
+
+
+def test_permutation_test_null_on_constant_observations():
+    pairs = ([(0, "same") for _ in range(8)]
+             + [(1, "same") for _ in range(8)])
+    observed, p = permutation_test(pairs, random.Random(0))
+    assert observed == 0.0
+    assert p == 1.0
+
+
+def test_permutation_test_deterministic_per_seed():
+    pairs = [(i % 2, i % 3) for i in range(20)]
+    first = permutation_test(pairs, random.Random(42))
+    second = permutation_test(pairs, random.Random(42))
+    assert first == second
+
+
+# --------------------------------------------------------------------------
+# Majority vote
+# --------------------------------------------------------------------------
+
+def test_majority_vote_basics():
+    assert majority_vote([1, 1, 0]) == 1
+    assert majority_vote([0, 0, 1]) == 0
+    with pytest.raises(ValueError):
+        majority_vote([])
+
+
+def test_majority_vote_tie_breaking():
+    assert majority_vote([0, 1]) == 0                 # default: 0
+    rng = random.Random(5)
+    seen = {majority_vote([0, 1], rng) for _ in range(32)}
+    assert seen == {0, 1}                             # rng ties are coin flips
+
+
+def test_majority_vote_bits_rows():
+    rows = [[1, 0, 1], [1, 1, 1], [1, 0, 0]]
+    assert majority_vote_bits(rows) == [1, 0, 1]
+    assert majority_vote_bits([]) == []
+
+
+def test_majority_vote_bits_ragged_rows():
+    # Shorter rows simply do not vote on the trailing positions.
+    rows = [[1, 0], [1, 1, 1], [1]]
+    assert majority_vote_bits(rows) == [1, 0, 1]
+
+
+def test_majority_vote_corrects_noise():
+    rng = random.Random(9)
+    truth = [rng.randrange(2) for _ in range(64)]
+    rows = []
+    for _ in range(15):
+        rows.append([bit ^ (1 if rng.random() < 0.2 else 0)
+                     for bit in truth])
+    assert majority_vote_bits(rows, rng) == truth

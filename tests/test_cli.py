@@ -254,6 +254,86 @@ def test_stdin_input(monkeypatch, capsys):
 
 
 # --------------------------------------------------------------------------
+# attack command
+# --------------------------------------------------------------------------
+
+ATTACK_ARGS = ["attack", "run", "--workload", "memcmp",
+               "--attacker", "prime-probe", "--trials", "16",
+               "--engine", "fast"]
+
+
+@pytest.mark.attack
+def test_attack_list(capsys):
+    assert main(["attack", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("timing", "prime-probe", "flush-reload",
+                 "predictor-probe", "branch-trace"):
+        assert name in out
+    assert "5 attackers registered" in out
+
+
+@pytest.mark.attack
+@pytest.mark.slow
+def test_attack_run_both_machines(capsys):
+    assert main(ATTACK_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "baseline machine:" in out and "SeMPE machine:" in out
+    assert "verdict:       recovered" in out
+    assert "verdict:       chance" in out
+    assert "key recovered on baseline, defeated by SeMPE" in out
+
+
+@pytest.mark.attack
+@pytest.mark.slow
+def test_attack_run_single_mode_and_store(tmp_path, capsys):
+    from repro.harness import clear_cache, set_store
+
+    clear_cache()
+    previous = set_store(None)
+    try:
+        store_dir = str(tmp_path / "attacks")
+        args = ATTACK_ARGS + ["--mode", "plain", "--store", store_dir,
+                              "--cache-stats"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "SeMPE machine:" not in out
+        assert f"store [{store_dir}]" in out and "stores=1" in out
+        # Second invocation is served from the on-disk store.
+        clear_cache()
+        assert main(args) == 0
+        assert "hits=1" in capsys.readouterr().out
+    finally:
+        set_store(previous)
+        clear_cache()
+
+
+@pytest.mark.attack
+def test_attack_run_requires_workload_and_attacker(capsys):
+    assert main(["attack", "run"]) == 2
+    assert "requires --workload and --attacker" in capsys.readouterr().err
+
+
+@pytest.mark.attack
+def test_attack_unknown_attacker(capsys):
+    assert main(["attack", "run", "--workload", "memcmp",
+                 "--attacker", "psychic"]) == 2
+    assert "unknown attacker" in capsys.readouterr().err
+
+
+@pytest.mark.attack
+def test_attack_inapplicable_pair(capsys):
+    assert main(["attack", "run", "--workload", "modexp",
+                 "--attacker", "flush-reload"]) == 2
+    err = capsys.readouterr().err
+    assert "does not declare" in err and "applicable" in err
+
+
+@pytest.mark.attack
+def test_attack_list_rejects_run_flags(capsys):
+    assert main(["attack", "list", "--workload", "memcmp"]) == 2
+
+
+# --------------------------------------------------------------------------
 # sweep command + cache/store statistics
 # --------------------------------------------------------------------------
 
