@@ -4,7 +4,7 @@ export PYTHONPATH
 PYTEST := python -m pytest
 
 .PHONY: test test-fast test-slow parity sweep registry-smoke attack-smoke \
-	bench-perf bench-quick bench-full ci
+	defense-smoke bench-perf bench-quick bench-full ci
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -42,6 +42,15 @@ attack-smoke:
 	python -m repro attack run --workload memcmp --attacker prime-probe \
 		--trials 16 --engine fast
 
+# Defense-registry smoke: the scheme matrix lists, and one fast-engine
+# prime+probe campaign recovers memcmp's secret on the baseline and
+# lands at chance under the way-partitioned caches (exit code checks
+# both verdicts).
+defense-smoke:
+	python -m repro defenses list
+	python -m repro attack run --workload memcmp --attacker prime-probe \
+		--trials 16 --defense cache-partition --engine fast
+
 # Engine throughput benchmark only (appends to BENCH_perf.json).
 bench-perf:
 	REPRO_BENCH_SCALE=quick $(PYTEST) benchmarks/bench_perf_engine.py -q -s
@@ -53,8 +62,10 @@ bench-quick: test bench-perf
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTEST) benchmarks -q -s
 
-# Mirror of .github/workflows/ci.yml: registry + attack smokes, fast
-# lane then slow lane (their union is exactly tier-1), the parity gate
-# (re-run deliberately as a named check even though the fast lane
-# includes it), and the bench smoke (which refreshes BENCH_perf.json).
-ci: registry-smoke attack-smoke test-fast test-slow parity bench-perf
+# Mirror of .github/workflows/ci.yml: registry + attack + defense
+# smokes, fast lane then slow lane (their union is exactly tier-1), the
+# parity gate (re-run deliberately as a named check even though the
+# fast lane includes it), and the bench smoke (which refreshes
+# BENCH_perf.json).
+ci: registry-smoke attack-smoke defense-smoke test-fast test-slow parity \
+	bench-perf

@@ -41,7 +41,7 @@ def run_both():
                                   collapse_ifs=collapse)
         executor = Executor(compiled.program, sempe=True)
         executor.run_to_completion()
-        report = simulate(compiled.program, sempe=True)
+        report = simulate(compiled.program, defense="sempe")
         out[collapse] = {
             "sjmps": compiled.program.count_secure_branches(),
             "regions": executor.result.secure_regions,

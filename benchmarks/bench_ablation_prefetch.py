@@ -21,7 +21,8 @@ def run_matrix():
             config = MachineConfig()
             config.hierarchy.enable_l1_prefetcher = prefetch
             config.hierarchy.enable_l2_prefetcher = prefetch
-            report = simulate(program, sempe=sempe, config=config)
+            report = simulate(program, defense="sempe" if sempe else "plain",
+                              config=config)
             results[(sempe, prefetch)] = report
     return results
 

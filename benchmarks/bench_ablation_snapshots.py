@@ -21,7 +21,8 @@ def run_all_mechanisms():
     for mechanism in ("archrs", "phyrs", "lrs"):
         config = MachineConfig()
         config.snapshot_mechanism = mechanism
-        cycles[mechanism] = simulate(program, sempe=True, config=config).cycles
+        cycles[mechanism] = simulate(program, defense="sempe",
+                                     config=config).cycles
     return cycles
 
 

@@ -21,7 +21,7 @@ def run_sweep():
     for bytes_per_cycle in THROUGHPUTS:
         config = MachineConfig()
         config.spm_bytes_per_cycle = bytes_per_cycle
-        cycles[bytes_per_cycle] = simulate(program, sempe=True,
+        cycles[bytes_per_cycle] = simulate(program, defense="sempe",
                                            config=config).cycles
     return cycles
 

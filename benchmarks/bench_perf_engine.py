@@ -41,7 +41,7 @@ def _sweep_programs(scale):
         for mode in ("sempe", "plain"):
             spec = MicrobenchSpec(workload, w=w, iters=2)
             compiled = compile_microbench(spec, mode)
-            programs.append((spec.name, compiled.program, mode == "sempe"))
+            programs.append((spec.name, compiled.program, mode))
     return programs
 
 
@@ -49,12 +49,31 @@ def _time_engine(programs, engine):
     instructions = 0
     reports = {}
     started = time.perf_counter()
-    for name, program, sempe in programs:
-        report = simulate(program, sempe=sempe, engine=engine)
+    for name, program, defense in programs:
+        report = simulate(program, defense=defense, engine=engine)
         instructions += report.instructions
-        reports[(name, sempe)] = report
+        reports[(name, defense)] = report
     elapsed = time.perf_counter() - started
     return instructions / elapsed, elapsed, reports
+
+
+def _defense_overheads(scale):
+    """Cycle overhead of every registered defense vs the unprotected
+    baseline on one representative microbenchmark (fast engine)."""
+    from repro.defenses import iter_defenses
+    from repro.workloads.microbench import compile_microbench as _compile
+
+    w = scale["w_sweep"][0]
+    spec = MicrobenchSpec(scale["workloads"][0], w=w, iters=2)
+    base = simulate(_compile(spec, "plain").program, defense="plain",
+                    engine="fast").cycles
+    overheads = {}
+    for defense in iter_defenses():
+        program = _compile(spec, defense.compile_mode).program
+        cycles = simulate(program, defense=defense.name,
+                          engine="fast").cycles
+        overheads[defense.name] = round(cycles / base, 3)
+    return overheads
 
 
 def _append_trajectory(entry):
@@ -75,8 +94,8 @@ def test_bench_perf_engine(scale):
     programs = _sweep_programs(scale)
 
     # Warm both code paths (predecode caches, imports) outside the clock.
-    simulate(programs[0][1], sempe=programs[0][2], engine="fast")
-    simulate(programs[0][1], sempe=programs[0][2], engine="reference")
+    simulate(programs[0][1], defense=programs[0][2], engine="fast")
+    simulate(programs[0][1], defense=programs[0][2], engine="reference")
 
     reference_ips, reference_s, reference_reports = _time_engine(
         programs, "reference")
@@ -101,6 +120,9 @@ def test_bench_perf_engine(scale):
         "reference_seconds": round(reference_s, 3),
         "fast_seconds": round(fast_s, 3),
         "speedup": round(speedup, 2),
+        # Per-defense execution-time overhead (x vs plain) on the first
+        # workload, so the trajectory tracks the cost of every scheme.
+        "defense_overheads": _defense_overheads(scale),
     }
     _append_trajectory(entry)
 

@@ -30,8 +30,10 @@ def main() -> None:
           f"{'overhead':>9s}  {'DL1 miss b/s':>14s}")
     for fmt in ("ppm", "gif", "bmp"):
         spec = DjpegSpec(fmt, NPIXELS)
-        base = simulate(compile_djpeg(spec, "plain").program, sempe=False)
-        sempe = simulate(compile_djpeg(spec, "sempe").program, sempe=True)
+        base = simulate(compile_djpeg(spec, "plain").program,
+                        defense="plain")
+        sempe = simulate(compile_djpeg(spec, "sempe").program,
+                         defense="sempe")
         overhead = sempe.cycles / base.cycles - 1.0
         print(f"{fmt:>6s} {base.cycles:9d} {sempe.cycles:9d} "
               f"{overhead * 100:8.0f}%  "

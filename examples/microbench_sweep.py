@@ -20,7 +20,7 @@ ITERS = 8
 
 def run(spec: MicrobenchSpec, mode: str):
     compiled = compile_microbench(spec, mode)
-    return simulate(compiled.program, sempe=(mode == "sempe"))
+    return simulate(compiled.program, defense=mode)
 
 
 def main() -> None:

@@ -44,7 +44,7 @@ def main() -> None:
     runs = {}
     for mode, sempe in (("plain", False), ("sempe", True), ("cte", False)):
         compiled = compile_source(SOURCE, mode=mode)
-        report = simulate(compiled.program, sempe=sempe)
+        report = simulate(compiled.program, defense=mode)
         runs[mode] = report
         machine = "SeMPE machine" if sempe else "baseline machine"
         print(f"{mode:6s} on {machine:16s}: "

@@ -11,9 +11,14 @@ Top-level convenience API::
     from repro import assemble, simulate
 
     program = assemble(SOURCE)
-    secure = simulate(program, sempe=True)
-    base = simulate(program, sempe=False)
+    secure = simulate(program, defense="sempe")
+    base = simulate(program, defense="plain")
     print(secure.overhead_vs(base))
+
+Protection schemes (the ``defense=`` axis) are first-class and
+registered in :mod:`repro.defenses`: ``plain``, ``sempe``, ``cte``
+plus the ``fence``, ``cache-partition``, ``cache-randomize`` and
+``flush-local`` mitigations — see ``repro defenses list``.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -21,13 +26,17 @@ paper-vs-measured record.
 
 from repro.isa import assemble, Program, ProgramBuilder
 from repro.core import simulate, SempeMachine, SimulationReport, JumpBackTable
+from repro.defenses import DefenseSpec, defense_names, get_defense
 from repro.uarch import MachineConfig, haswell_like
 from repro.arch import Executor, run_program
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "assemble",
+    "DefenseSpec",
+    "defense_names",
+    "get_defense",
     "Program",
     "ProgramBuilder",
     "simulate",

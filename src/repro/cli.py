@@ -12,6 +12,8 @@ Commands:
   decode of the same bytes (the backward-compatibility story);
 * ``workloads`` — list the victim-workload registry, or show one
   victim's generated source;
+* ``defenses`` — list the protection-scheme registry, or show one
+  scheme's transform, machine hooks, and config overrides;
 * ``attack``   — run a noisy multi-trial statistical attack against a
   registered victim (``attack run --workload W --attacker A``), or
   list the attacker registry (``attack list``);
@@ -59,9 +61,10 @@ def _print_cache_stats() -> None:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    compiled = compile_source(_read_source(args.file), mode=args.mode,
+    mode = args.mode or "sempe"
+    compiled = compile_source(_read_source(args.file), mode=mode,
                               collapse_ifs=args.collapse_ifs)
-    print(f"; mode={args.mode}  instructions={len(compiled.program)}  "
+    print(f"; mode={mode}  instructions={len(compiled.program)}  "
           f"sJMPs={compiled.program.count_secure_branches()}")
     print(compiled.program.listing())
     return 0
@@ -92,7 +95,23 @@ class _UsageError(Exception):
     """CLI-level misuse: printed to stderr, exit code 2."""
 
 
-def _workload_program(args: argparse.Namespace):
+def _resolve_cli_defense(args: argparse.Namespace):
+    """The defense a command runs under (``--defense``, with ``--mode``
+    kept as the back-compat alias — the legacy mode names are all
+    registered defenses)."""
+    from repro.defenses import get_defense
+
+    chosen = getattr(args, "defense", None)
+    if chosen and getattr(args, "mode", None):
+        raise _UsageError("give --defense or the legacy --mode alias, "
+                          "not both")
+    try:
+        return get_defense(chosen or args.mode or "sempe")
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+
+
+def _workload_program(args: argparse.Namespace, compile_mode: str):
     """Compile either the file or the ``--workload`` registry victim."""
     from repro.workloads.registry import get_workload
 
@@ -104,7 +123,7 @@ def _workload_program(args: argparse.Namespace):
             spec = get_workload(args.workload)
             overrides = _parse_params(getattr(args, "params", "") or "")
             return spec.compile(
-                args.mode,
+                compile_mode,
                 collapse_ifs=getattr(args, "collapse_ifs", False),
                 **overrides)
         except ValueError as error:
@@ -116,15 +135,21 @@ def _workload_program(args: argparse.Namespace):
         raise _UsageError("a source file (or --workload NAME) is required")
     if getattr(args, "params", ""):
         raise _UsageError("--params only applies to --workload runs")
-    return compile_source(_read_source(args.file), mode=args.mode,
+    return compile_source(_read_source(args.file), mode=compile_mode,
                           collapse_ifs=getattr(args, "collapse_ifs", False))
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    compiled = _workload_program(args)
-    sempe = args.mode == "sempe" and not args.legacy
-    report = simulate(compiled.program, sempe=sempe, engine=args.engine)
-    machine = "SeMPE" if sempe else "baseline"
+    defense = _resolve_cli_defense(args)
+    compiled = _workload_program(args, defense.compile_mode)
+    # --legacy runs the binary on the unprotected machine regardless of
+    # how it was compiled (the backward-compatibility story).
+    machine_defense = "plain" if args.legacy else defense.name
+    report = simulate(compiled.program, defense=machine_defense,
+                      engine=args.engine)
+    machine = "SeMPE" if report.sempe else "baseline"
+    print(f"defense:       {machine_defense} "
+          f"(compiled as {defense.compile_mode})")
     print(f"machine:       {machine}")
     print(f"instructions:  {report.instructions}")
     print(f"cycles:        {report.cycles}")
@@ -136,7 +161,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.globals:
         from repro.arch.executor import Executor
 
-        executor = Executor(compiled.program, sempe=sempe)
+        executor = Executor(compiled.program, sempe=report.sempe)
         executor.run_to_completion()
         for name in args.globals.split(","):
             name = name.strip()
@@ -165,6 +190,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             raise _UsageError(f"invalid --values {args.values!r}: "
                               "expected comma-separated integers"
                               ) from error
+    defense = _resolve_cli_defense(args)
     if args.workload:
         if args.file:
             raise _UsageError("give either a source file or --workload, "
@@ -175,7 +201,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                               "drop one of them")
         try:
             overrides = _parse_params(args.params or "")
-            report = victim_report(args.workload, args.mode,
+            report = victim_report(args.workload, defense.name,
                                    engine=args.engine, secret_values=values,
                                    **overrides)
         except ValueError as error:
@@ -189,12 +215,13 @@ def cmd_check(args: argparse.Namespace) -> int:
         if not args.secret:
             raise _UsageError("--secret is required when checking a "
                               "source file")
-        compiled = compile_source(_read_source(args.file), mode=args.mode)
-        sempe = args.mode == "sempe"
+        compiled = compile_source(_read_source(args.file),
+                                  mode=defense.compile_mode)
         report = noninterference_report(compiled.program, args.secret,
                                         values if values is not None
                                         else [0, 1, 2],
-                                        sempe=sempe, engine=args.engine)
+                                        defense=defense.name,
+                                        engine=args.engine)
     print(report.summary())
     print()
     print("verdict:", "SECURE (all channels closed)" if report.secure
@@ -203,7 +230,8 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
-    compiled = compile_source(_read_source(args.file), mode=args.mode)
+    compiled = compile_source(_read_source(args.file),
+                              mode=args.mode or "sempe")
     blob = encode_program(compiled.program)
     print(f"; binary size: {len(blob)} bytes")
     print(disassemble_binary(blob, legacy=False))
@@ -250,6 +278,61 @@ def cmd_workloads(args: argparse.Namespace) -> int:
         ])
     print(format_table(headers, rows, title="Victim workload registry"))
     print(f"{len(rows)} workloads registered")
+    return 0
+
+
+def cmd_defenses(args: argparse.Namespace) -> int:
+    from repro.defenses import get_defense, iter_defenses
+    from repro.harness.report import format_table
+
+    if args.action == "show":
+        if not args.name:
+            raise _UsageError("defenses show requires a defense name")
+        try:
+            spec = get_defense(args.name)
+        except ValueError as error:
+            raise _UsageError(str(error)) from error
+        print(f"defense {spec.name}: {spec.title}")
+        print(f"  description:      {spec.description}")
+        print(f"  compile mode:     {spec.compile_mode}")
+        print(f"  machine:          "
+              f"{'SeMPE (dual-path)' if spec.sempe_machine else 'baseline'}")
+        hooks = [name for name, on in (
+            ("fence-at-secret-branches", spec.fence_branches),
+            ("flush-on-exit", spec.flush_on_exit)) if on]
+        print(f"  machine hooks:    {', '.join(hooks) or 'none'}")
+        print(f"  protects:         {', '.join(spec.protects) or 'nothing'}")
+        if spec.config_overrides:
+            print("  config overrides:")
+            for path in sorted(spec.config_overrides):
+                print(f"    {path} = {spec.config_overrides[path]}")
+        else:
+            print("  config overrides: none")
+        print(f"  fingerprint:      {spec.fingerprint()}")
+        return 0
+
+    if args.name:
+        raise _UsageError(
+            f"defenses {args.action} takes no further arguments "
+            f"(did you mean `defenses show {args.name}`?)")
+    headers = ["name", "compile", "machine", "hooks",
+               "protected channels", "description"]
+    rows = []
+    for spec in iter_defenses():
+        hooks = [tag for tag, on in (("fence", spec.fence_branches),
+                                     ("flush", spec.flush_on_exit)) if on]
+        if spec.config_overrides:
+            hooks.append(f"{len(spec.config_overrides)} cfg")
+        rows.append([
+            spec.name,
+            spec.compile_mode,
+            "sempe" if spec.sempe_machine else "baseline",
+            ",".join(hooks) or "-",
+            ", ".join(spec.protects) or "-",
+            spec.title,
+        ])
+    print(format_table(headers, rows, title="Protection-scheme registry"))
+    print(f"{len(rows)} defenses registered")
     return 0
 
 
@@ -315,12 +398,35 @@ def cmd_attack(args: argparse.Namespace) -> int:
         raise _UsageError(str(error)) from error
     if args.store:
         set_store(ResultStore(args.store))
-    modes = ("plain", "sempe") if args.mode == "both" else (args.mode,)
-    expected = {"plain": "recovered", "sempe": "chance"}
+    from repro.security.attackers import expected_verdict
+
+    if args.defense:
+        from repro.defenses import get_defense
+
+        try:
+            protected = get_defense(args.defense).name
+        except ValueError as error:
+            raise _UsageError(str(error)) from error
+        if args.mode != "both":
+            raise _UsageError("give --defense or the legacy --mode "
+                              "alias, not both")
+        # Attack the baseline and the chosen scheme, like the classic
+        # plain-vs-sempe pair.
+        modes = ("plain",) if protected == "plain" else ("plain", protected)
+    else:
+        modes = (("plain", "sempe") if args.mode == "both"
+                 else (args.mode,))
+    expected = {mode: expected_verdict(attacker, mode) for mode in modes}
     ok = True
+    verdicts: dict[str, str] = {}
+    from repro.defenses import sempe_machine
+
     for mode in modes:
         report = run_attack(spec, mode, engine=args.engine).report
-        machine = "baseline" if mode == "plain" else "SeMPE"
+        verdicts[mode] = report.verdict
+        machine = ("baseline" if mode == "plain"
+                   else "SeMPE" if sempe_machine(mode)
+                   else f"{mode}-protected")
         print(f"{machine} machine:")
         print(f"  channel:       {report.channel} "
               f"(profiled I={report.profiled_mi:.2f} bits, "
@@ -332,12 +438,24 @@ def cmd_attack(args: argparse.Namespace) -> int:
         print(f"  key recovery:  {report.bits_recovered}/"
               f"{report.bits_total} bits "
               f"({report.success_rate:.0%}; {report.reps} probe(s)/bit)")
-        print(f"  verdict:       {report.verdict}")
-        ok = ok and report.verdict == expected[mode]
+        want = expected[mode]
+        print(f"  verdict:       {report.verdict}"
+              + (f" (expected {want})" if want else " (no claim)"))
+        ok = ok and (want is None or report.verdict == want)
     if len(modes) == 2:
-        print("attack outcome:",
-              "key recovered on baseline, defeated by SeMPE" if ok
-              else "UNEXPECTED (see verdicts above)")
+        shield = "SeMPE" if modes[1] == "sempe" else modes[1]
+        # "defeated" only when the protected machine actually held; a
+        # scheme that makes no claim for this channel must not be
+        # credited with stopping an attack that still succeeded.
+        if not ok:
+            outcome = "UNEXPECTED (see verdicts above)"
+        elif verdicts[modes[1]] == "chance":
+            outcome = f"key recovered on baseline, defeated by {shield}"
+        else:
+            outcome = (f"key recovered on baseline; {shield} makes no "
+                       f"claim for the {attacker.channel!r} channel "
+                       f"(verdict: {verdicts[modes[1]]})")
+        print("attack outcome:", outcome)
     if args.cache_stats:
         _print_cache_stats()
     return 0 if ok else 1
@@ -450,7 +568,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "omit when using --workload")
         else:
             sub.add_argument("file", help="mini-C source file ('-' for stdin)")
-        sub.add_argument("--mode", choices=MODES, default="sempe")
+        sub.add_argument("--mode", choices=MODES, default=None,
+                         help="compiler mode (default sempe); for "
+                              "run/check this is the back-compat alias "
+                              "of --defense")
 
     compile_parser = subparsers.add_parser(
         "compile", help="compile and print the assembly listing")
@@ -461,6 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="compile and simulate")
     add_common(run_parser, file_optional=True)
+    run_parser.add_argument("--defense", default=None,
+                            help="protection scheme to compile for and "
+                                 "run under (see `repro defenses list`; "
+                                 "default sempe)")
     run_parser.add_argument("--workload", default=None,
                             help="run a registered victim workload "
                                  "(see `repro workloads list`)")
@@ -483,6 +608,10 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser = subparsers.add_parser(
         "check", help="noninterference report across secret values")
     add_common(check_parser, file_optional=True)
+    check_parser.add_argument("--defense", default=None,
+                              help="protection scheme to audit under "
+                                   "(see `repro defenses list`; "
+                                   "default sempe)")
     check_parser.add_argument("--workload", default=None,
                               help="audit a registered victim workload "
                                    "with its declared secret and values")
@@ -512,6 +641,15 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="parameter overrides for `show`")
     workloads_parser.set_defaults(func=cmd_workloads)
 
+    defenses_parser = subparsers.add_parser(
+        "defenses", help="protection-scheme registry")
+    defenses_parser.add_argument(
+        "action", nargs="?", default="list", choices=("list", "show"),
+        help="list the registry, or show one scheme's hooks/overrides")
+    defenses_parser.add_argument("name", nargs="?", default=None,
+                                 help="defense name (for `show`)")
+    defenses_parser.set_defaults(func=cmd_defenses)
+
     disasm_parser = subparsers.add_parser(
         "disasm", help="show SeMPE vs legacy decode of the same bytes")
     add_common(disasm_parser)
@@ -532,6 +670,11 @@ def build_parser() -> argparse.ArgumentParser:
                                choices=("plain", "sempe", "both"),
                                help="attack the baseline, the SeMPE "
                                     "machine, or both (default)")
+    attack_parser.add_argument("--defense", default=None,
+                               help="attack the baseline and this "
+                                    "protection scheme instead of the "
+                                    "plain/sempe pair (see `repro "
+                                    "defenses list`)")
     attack_parser.add_argument("--trials", type=int, default=32,
                                help="noisy measurements per campaign "
                                     "(default 32)")
@@ -560,7 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate a paper table/figure")
     experiments_parser.add_argument(
         "name", help="table1|table2|fig8|fig9|fig10a|fig10b|victims|"
-                     "leakmatrix|attacks")
+                     "leakmatrix|attacks|defensematrix")
     experiments_parser.add_argument("--w", type=int, default=3,
                                     help="max nesting depth for sweeps")
     experiments_parser.add_argument("--engine", choices=ENGINES,

@@ -3,12 +3,17 @@
 :func:`simulate` is the main entry point of the library::
 
     from repro import simulate
-    report = simulate(program, sempe=True)
+    report = simulate(program, defense="sempe")
     print(report.cycles, report.pipeline.ipc)
 
-``sempe=False`` models the unprotected baseline machine running the same
-binary (SecPrefix ignored, ``eosJMP`` decoded as NOP), which is exactly
-the paper's baseline: identical core, no security.
+``defense`` names a registered protection scheme
+(:mod:`repro.defenses`): ``sempe`` (the default) is the paper's
+machine; ``plain`` models the unprotected baseline running the same
+binary (SecPrefix ignored, ``eosJMP`` decoded as NOP) — identical
+core, no security; the other schemes apply their machine hooks
+(fences, cache partitioning/randomization, exit flush) on the
+baseline core.  ``sempe=True/False`` remains as a deprecated alias
+for the two legacy schemes.
 
 Two engines produce bit-identical :class:`SimulationReport`\\ s:
 
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import warnings
 
 from dataclasses import dataclass, field
 
@@ -33,6 +39,7 @@ from repro.arch.executor import ExecutionResult, Executor
 from repro.arch.fast_executor import FastExecutor
 from repro.core.jbtable import JumpBackTable
 from repro.core.snapshots import make_snapshot_mechanism
+from repro.defenses.registry import DefenseSpec, get_defense
 from repro.isa.program import Program
 from repro.isa.registers import NUM_REGS
 from repro.mem.scratchpad import ScratchpadMemory
@@ -124,13 +131,52 @@ def _resolve_engine(name: str | None) -> str:
     return resolved
 
 
+def resolve_defense(defense: "str | DefenseSpec | None",
+                    sempe: bool | None = None) -> DefenseSpec:
+    """The :class:`DefenseSpec` a machine should run under.
+
+    *defense* wins when given (name or spec); otherwise the legacy
+    ``sempe`` bool maps onto the matching legacy scheme (``None`` means
+    the historical default, the SeMPE machine).
+    """
+    if defense is not None:
+        if isinstance(defense, DefenseSpec):
+            return defense
+        return get_defense(defense)
+    return get_defense("sempe" if sempe or sempe is None else "plain")
+
+
+def flush_penalty_cycles(config: MachineConfig) -> int:
+    """Cycles a full transient-state flush costs (flush-local defense).
+
+    One cycle per cache *frame* (set x way), every level, independent
+    of what is resident — a secret-dependent flush time would itself be
+    a channel, so the model charges the constant worst case.
+    """
+    hierarchy = config.hierarchy
+    return sum(cache.n_sets * cache.assoc
+               for cache in (hierarchy.il1, hierarchy.dl1, hierarchy.l2))
+
+
 class SempeMachine:
-    """A configured machine that can run programs."""
+    """A configured machine that can run programs.
+
+    ``defense`` names the protection scheme whose *machine-side* hooks
+    apply (config overrides, SeMPE hardware, fences, exit flush); the
+    scheme's compiler transform is the caller's business — this class
+    runs already-compiled programs.  The legacy ``sempe`` bool remains
+    as an alias for the ``sempe``/``plain`` schemes.
+    """
 
     def __init__(self, config: MachineConfig | None = None,
-                 sempe: bool = True, engine: str | None = None) -> None:
-        self.config = config or MachineConfig()
-        self.sempe = sempe
+                 sempe: bool | None = None, engine: str | None = None,
+                 defense: str | DefenseSpec | None = None) -> None:
+        if defense is not None and sempe is not None:
+            raise ValueError(
+                "pass defense= or the legacy sempe= flag, not both")
+        self.defense = resolve_defense(defense, sempe)
+        self.config = self.defense.apply_config(config or MachineConfig())
+        self.sempe = self.defense.sempe_machine
         self.engine = engine
 
     def run(self, program: Program,
@@ -153,7 +199,8 @@ class SempeMachine:
             spm_bytes_per_cycle=config.spm_bytes_per_cycle,
         )
         jbtable = JumpBackTable(depth=config.jbtable_depth)
-        pipeline = OutOfOrderPipeline(config, sempe=self.sempe)
+        pipeline = OutOfOrderPipeline(config, sempe=self.sempe,
+                                      fence=self.defense.fence_branches)
         pipeline.rename_overhead = mechanism.rename_overhead_per_instruction()
         scale = _drain_scale(mechanism, spm)
 
@@ -181,6 +228,11 @@ class SempeMachine:
             trace = _scale_drains(executor.run(), scale) if scale != 1.0 \
                 else executor.run()
             stats = pipeline.run(trace)
+        if self.defense.flush_on_exit:
+            # Constant-cost exit flush; the residue itself is cleared so
+            # post-run observers see a secret-independent machine.
+            stats.cycles += flush_penalty_cycles(config)
+            pipeline.flush_transient_state()
         return SimulationReport(
             program_name=program.name,
             sempe=self.sempe,
@@ -231,18 +283,37 @@ def _scale_chunk_drains(chunks, scale: float):
         yield chunk
 
 
+_SEMPE_UNSET = object()
+
+
 def simulate(
     program: Program,
-    sempe: bool = True,
+    sempe: bool = _SEMPE_UNSET,
     config: MachineConfig | None = None,
     max_instructions: int = 50_000_000,
     engine: str | None = None,
+    defense: str | DefenseSpec | None = None,
 ) -> SimulationReport:
-    """Run *program* on a SeMPE (or baseline) machine and report.
+    """Run *program* under a protection scheme and report.
+
+    ``defense`` names a registered scheme (``repro defenses list``)
+    whose machine-side hooks apply; the default is ``"sempe"``, the
+    historical behavior.  ``sempe=True/False`` remains as a deprecated
+    alias for ``defense="sempe"``/``defense="plain"``.
 
     ``engine`` selects the simulation engine (``"fast"``/``"reference"``,
     default :func:`get_default_engine`); both produce bit-identical
     reports.
     """
-    machine = SempeMachine(config=config, sempe=sempe, engine=engine)
+    if sempe is not _SEMPE_UNSET:
+        if defense is not None:
+            raise ValueError(
+                "pass defense= or the deprecated sempe= flag, not both")
+        warnings.warn(
+            "simulate(sempe=...) is deprecated; use "
+            "defense='sempe'/'plain' (or any registered defense)",
+            DeprecationWarning, stacklevel=2)
+        defense = "sempe" if sempe else "plain"
+    machine = SempeMachine(config=config, engine=engine,
+                           defense=defense)
     return machine.run(program, max_instructions=max_instructions)

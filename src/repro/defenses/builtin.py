@@ -1,0 +1,106 @@
+"""The built-in protection schemes.
+
+The first three are the paper's comparison points (the legacy ``mode``
+axis, now registered like everything else); the other four are classic
+mitigations from the side-channel literature, each working at a
+different layer of the stack:
+
+* ``fence``       — compiler + front end: serialize at secret branches;
+* ``cache-partition`` — memory system: way-partitioned caches;
+* ``cache-randomize`` — memory system: keyed set-index permutation;
+* ``flush-local`` — runtime: flush transient state at region exit.
+
+Every ``protects`` claim is checked empirically by the attack matrix
+and the defense tests: an attacker exploiting a declared-protected
+channel must land at chance, and on ``plain`` it must recover the key.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.registry import defense
+from repro.security.leakage import CHANNELS
+
+# Keys for the randomized caches: fixed per scheme so runs are
+# reproducible, distinct per level so the levels' permutations differ.
+_INDEX_KEYS = {"il1": 0x9E3779B9, "dl1": 0x85EBCA6B, "l2": 0xC2B2AE35}
+
+
+@defense(name="plain", title="unprotected baseline",
+         compile_mode="plain", sempe_machine=False, protects=())
+def plain():
+    """No mitigation: natural code on the baseline machine."""
+    return {}
+
+
+@defense(name="sempe", title="SeMPE dual-path execution",
+         compile_mode="sempe", sempe_machine=True,
+         protects=CHANNELS)
+def sempe():
+    """The paper's scheme: both paths of every secret branch execute
+    and commit, so no attacker-visible channel depends on the secret —
+    the claim covers every channel the observer defines, including ones
+    added after this registration."""
+    return {}
+
+
+@defense(name="cte", title="constant-time expressions (FaCT-like)",
+         compile_mode="cte", sempe_machine=False,
+         protects=("timing", "instruction-count", "control-flow",
+                   "branch-predictor"))
+def cte():
+    """Compiler-level constant-time transformation: secret branches
+    become predicated straight-line code on the baseline machine."""
+    return {}
+
+
+@defense(name="fence", title="serializing fences at secret branches",
+         compile_mode="fence", sempe_machine=False, fence_branches=True,
+         protects=("branch-predictor",))
+def fence():
+    """Secret branches carry the SecPrefix and the front end serializes
+    on them: no prediction, no BTB/history update, no fetch past the
+    unresolved condition (the lfence-style software mitigation)."""
+    return {}
+
+
+@defense(name="cache-partition", title="way-partitioned caches",
+         compile_mode="plain", sempe_machine=False,
+         protects=("cache-state",))
+def cache_partition():
+    """Statically way-partition every cache between the victim and the
+    rest of the system (CAT/DAWG-style): the victim's lines live in a
+    reserved way per set the attacker cannot prime or probe, so the
+    occupancy it measures is secret-independent; the victim pays the
+    reduced effective associativity."""
+    return {
+        "hierarchy.il1.protected_ways": 1,
+        "hierarchy.dl1.protected_ways": 1,
+        "hierarchy.l2.protected_ways": 1,
+    }
+
+
+@defense(name="cache-randomize", title="keyed set-index randomization",
+         compile_mode="plain", sempe_machine=False,
+         protects=("cache-state",))
+def cache_randomize():
+    """CEASER-style keyed permutation of the set index in every cache:
+    the attacker cannot map addresses to sets, so eviction-set
+    construction outruns the rekeying period and a single run resolves
+    no per-set occupancy; the victim pays the permuted conflict
+    pattern."""
+    return {
+        "hierarchy.il1.index_key": _INDEX_KEYS["il1"],
+        "hierarchy.dl1.index_key": _INDEX_KEYS["dl1"],
+        "hierarchy.l2.index_key": _INDEX_KEYS["l2"],
+    }
+
+
+@defense(name="flush-local", title="transient-state flush at exit",
+         compile_mode="plain", sempe_machine=False, flush_on_exit=True,
+         protects=("cache-state", "branch-predictor"))
+def flush_local():
+    """Flush the microarchitectural residue when the secure region
+    (here: the victim) exits — caches invalidated, branch predictors
+    reset — so post-run probes see a constant machine; the victim pays
+    a geometry-proportional flush cost and cold state afterwards."""
+    return {}

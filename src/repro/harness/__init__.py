@@ -45,6 +45,9 @@ from repro.harness.experiments import (
     leakmatrix,
     attack_matrix,
     attacks_cells,
+    defensematrix,
+    defensematrix_cells,
+    DEFAULT_ATTACK_DEFENSES,
     DEFAULT_W_SWEEP,
 )
 
@@ -56,6 +59,9 @@ __all__ = [
     "victims_overhead",
     "victims_cells",
     "leakmatrix",
+    "defensematrix",
+    "defensematrix_cells",
+    "DEFAULT_ATTACK_DEFENSES",
     "RunResult",
     "ResultStore",
     "SweepCell",

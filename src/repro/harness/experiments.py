@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.defenses.registry import defense_names, get_defense, iter_defenses
 from repro.harness.runner import (
     run_attack,
     run_djpeg,
@@ -28,7 +29,11 @@ from repro.harness.runner import (
 )
 from repro.harness.sweep import MICRO_ITERS, SweepCell, ensure_cells
 from repro.models.priorwork import GhostRiderModel, RaccoonModel
-from repro.security.attackers import AttackSpec, applicable_attackers
+from repro.security.attackers import (
+    AttackSpec,
+    applicable_attackers,
+    expected_verdict,
+)
 from repro.uarch.config import MachineConfig, fast_functional, haswell_like
 from repro.workloads.djpeg import FORMATS, DjpegSpec
 from repro.workloads.microbench import WORKLOADS, MicrobenchSpec
@@ -38,6 +43,13 @@ from repro.workloads.registry import WorkloadRunSpec, iter_workloads
 # finishes in benchmark-friendly time (see DESIGN.md substitution 4).
 DEFAULT_W_SWEEP = (1, 2, 4, 6, 8, 10)
 DEFAULT_DJPEG_SIZES = (512, 1024, 2048, 4096)   # paper: 256k..2048k pixels
+
+# The defense axis the adversarial experiments sweep: the three legacy
+# comparison points plus every new mitigation (cte is exercised by the
+# overhead experiments; its attack behaviour matches its machine side,
+# the plain core).
+DEFAULT_ATTACK_DEFENSES = ("plain", "sempe", "fence", "cache-partition",
+                           "cache-randomize", "flush-local")
 
 # Backward-compatible alias (the iteration table moved to the sweep
 # layer so cell builders and table functions share one source of truth).
@@ -392,29 +404,55 @@ def _leak_config() -> MachineConfig:
     return fast_functional()
 
 
-def leakmatrix(**_ignored) -> ExperimentResult:
-    """Baseline-leaks vs SeMPE-closed verdicts for every victim."""
+def leakmatrix(defenses: tuple[str, ...] | None = None,
+               **_ignored) -> ExperimentResult:
+    """Noninterference verdicts for every victim × defense.
+
+    The baseline must leak every declared channel; SeMPE must close
+    them all; every other scheme must close (at least) the channels it
+    declares protected — its *claims* — while the rest stay honest
+    about still leaking.
+    """
     from repro.security.leakage import victim_report
 
     config = _leak_config()
-    headers = ["victim", "secret", "expected channels",
-               "baseline", "sempe"]
+    defenses = tuple(defenses) if defenses else tuple(defense_names())
+    headers = ["victim", "defense", "leaking channels", "verdict"]
     rows: list[list[object]] = []
     series: dict[str, dict[str, object]] = {}
     for spec in iter_workloads():
-        plain = victim_report(spec, "plain", config=config)
-        sempe = victim_report(spec, "sempe", config=config)
-        leaking = plain.leaking_channels()
-        missing = [c for c in spec.channels if c not in leaking]
-        baseline_verdict = (f"LEAKS ({len(leaking)} ch)" if not missing
-                            else f"MISSING {missing}")
-        sempe_verdict = ("closed" if sempe.secure
-                         else f"LEAKS {sempe.leaking_channels()}")
-        rows.append([spec.name, spec.secret,
-                     ", ".join(spec.channels),
-                     baseline_verdict, sempe_verdict])
-        series[spec.name] = {"baseline_leaks": leaking,
-                             "sempe_secure": sempe.secure}
+        per_defense: dict[str, dict[str, object]] = {}
+        for name in defenses:
+            scheme = get_defense(name)
+            report = victim_report(spec, name, config=config)
+            leaking = report.leaking_channels()
+            claims = [c for c in scheme.protects if c in spec.channels]
+            broken = [c for c in claims if c in leaking]
+            if name == "plain":
+                missing = [c for c in spec.channels if c not in leaking]
+                verdict = (f"LEAKS ({len(leaking)} ch)" if not missing
+                           else f"UNDECLARED-TIGHT {missing}")
+                ok = not missing
+            elif not leaking:
+                verdict = "closed"
+                ok = True
+            elif not broken:
+                verdict = f"claims hold ({len(claims)} ch)"
+                ok = True
+            else:
+                verdict = f"CLAIM BROKEN {broken}"
+                ok = False
+            per_defense[name] = {"leaking": leaking, "claims": claims,
+                                 "ok": ok}
+            rows.append([spec.name, name,
+                         ", ".join(leaking) or "none", verdict])
+        series[spec.name] = {
+            "baseline_leaks": per_defense.get("plain", {}).get(
+                "leaking", []),
+            "sempe_secure": not per_defense.get("sempe", {}).get(
+                "leaking", ["unchecked"]),
+            "defenses": per_defense,
+        }
     return ExperimentResult("Leak matrix", headers, rows, series=series)
 
 
@@ -426,33 +464,36 @@ ATTACK_ENGINES = ("fast", "reference")
 ATTACK_TRIALS = 32
 
 
-def attacks_cells(**_ignored) -> list[SweepCell]:
-    """Every registered workload x applicable attacker x {plain, sempe}
-    x {fast, reference} — the full adversarial matrix, as sweep cells
-    (so ``repro sweep attacks --jobs N`` fans the trials out across the
-    pool and caches the reports in the store)."""
+def attacks_cells(defenses: tuple[str, ...] = DEFAULT_ATTACK_DEFENSES,
+                  **_ignored) -> list[SweepCell]:
+    """Every registered workload x applicable attacker x defense x
+    {fast, reference} — the full three-axis adversarial product, as
+    sweep cells (so ``repro sweep attacks --jobs N`` fans the trials
+    out across the pool and caches the reports in the store)."""
     cells: list[SweepCell] = []
     for spec in iter_workloads():
         for attacker in applicable_attackers(spec):
             attack = AttackSpec(spec.name, attacker, trials=ATTACK_TRIALS)
-            for mode in ("plain", "sempe"):
+            for mode in defenses:
                 for engine in ATTACK_ENGINES:
                     cells.append(SweepCell("attack", attack, mode,
                                            None, engine))
     return cells
 
 
-def attack_matrix(**_ignored) -> ExperimentResult:
-    """Key recovery per victim/attacker: baseline vs SeMPE, both engines.
+def attack_matrix(defenses: tuple[str, ...] = DEFAULT_ATTACK_DEFENSES,
+                  **_ignored) -> ExperimentResult:
+    """Key recovery per victim/attacker across the defense axis.
 
     The headline security table: on the baseline machine every
     applicable adversary recovers the victim's key; under SeMPE every
-    one of them degrades to chance — with identical verdicts from the
-    reference and the fast engine.
+    one of them degrades to chance; every other scheme drives the
+    attackers on its declared-protected channels to chance — with
+    identical verdicts from the reference and the fast engine.  A
+    ``!`` marks a verdict that contradicts the defense's claim.
     """
-    ensure_cells("attacks", attacks_cells())
-    headers = ["victim", "attacker", "channel",
-               "baseline", "sempe", "engines"]
+    ensure_cells("attacks", attacks_cells(defenses))
+    headers = ["victim", "attacker", "channel", *defenses, "engines"]
     rows: list[list[object]] = []
     series: dict[tuple[str, str], dict[str, object]] = {}
     for spec in iter_workloads():
@@ -461,29 +502,75 @@ def attack_matrix(**_ignored) -> ExperimentResult:
             reports = {
                 (mode, engine): run_attack(attack, mode,
                                            engine=engine).report
-                for mode in ("plain", "sempe")
+                for mode in defenses
                 for engine in ATTACK_ENGINES
             }
-            base = reports[("plain", ATTACK_ENGINES[0])]
-            sempe = reports[("sempe", ATTACK_ENGINES[0])]
             agree = all(
-                reports[("plain", engine)].verdict == base.verdict
-                and reports[("sempe", engine)].verdict == sempe.verdict
-                for engine in ATTACK_ENGINES)
-            rows.append([
-                spec.name, attacker, base.channel,
-                f"{base.verdict} {base.bits_recovered}/{base.bits_total} "
-                f"p={base.p_value:.0e}",
-                f"{sempe.verdict} {sempe.bits_recovered}/"
-                f"{sempe.bits_total} p={sempe.p_value:.0e}",
-                "agree" if agree else "DIVERGE",
-            ])
-            series[(spec.name, attacker)] = {
-                "baseline": base.verdict,
-                "sempe": sempe.verdict,
+                reports[(mode, engine)].verdict
+                == reports[(mode, ATTACK_ENGINES[0])].verdict
+                for mode in defenses for engine in ATTACK_ENGINES)
+            verdicts = {mode: reports[(mode, ATTACK_ENGINES[0])].verdict
+                        for mode in defenses}
+            row: list[object] = [
+                spec.name, attacker,
+                reports[(defenses[0], ATTACK_ENGINES[0])].channel]
+            for mode in defenses:
+                expected = expected_verdict(attacker, mode)
+                flag = ("" if expected is None
+                        or verdicts[mode] == expected else " !")
+                row.append(verdicts[mode] + flag)
+            row.append("agree" if agree else "DIVERGE")
+            rows.append(row)
+            entry: dict[str, object] = {
                 "engines_agree": agree,
+                "defenses": verdicts,
             }
+            if "plain" in verdicts:
+                entry["baseline"] = verdicts["plain"]
+            if "sempe" in verdicts:
+                entry["sempe"] = verdicts["sempe"]
+            series[(spec.name, attacker)] = entry
     return ExperimentResult("Attack matrix", headers, rows, series=series)
+
+
+# --------------------------------------------------------------------------
+# Defense matrix — per-scheme overhead across the victim registry
+# --------------------------------------------------------------------------
+
+def defensematrix_cells(**_ignored) -> list[SweepCell]:
+    """Every victim (default parameters) × every registered defense."""
+    cells: list[SweepCell] = []
+    for spec in iter_workloads():
+        run_spec = WorkloadRunSpec(spec.name, spec.resolve())
+        for name in defense_names():
+            cells.append(SweepCell("workload", run_spec, name))
+    return cells
+
+
+def defensematrix(**_ignored) -> ExperimentResult:
+    """Execution-time cost of every scheme on every victim.
+
+    The cost side of the defense story (the leak/attack matrices are
+    the benefit side): cycles per victim under each registered scheme,
+    normalized to the unprotected baseline.
+    """
+    ensure_cells("defensematrix", defensematrix_cells())
+    headers = ["victim", *defense_names()]
+    rows: list[list[object]] = []
+    series: dict[str, dict[str, float]] = {}
+    for spec in iter_workloads():
+        run_spec = WorkloadRunSpec(spec.name, spec.resolve())
+        base = run_workload(run_spec, "plain")
+        row: list[object] = [spec.name]
+        overheads: dict[str, float] = {}
+        for name in defense_names():
+            result = run_workload(run_spec, name)
+            overhead = result.cycles / base.cycles
+            overheads[name] = overhead
+            row.append(f"{overhead:.2f}x")
+        rows.append(row)
+        series[spec.name] = overheads
+    return ExperimentResult("Defense matrix", headers, rows, series=series)
 
 
 # --------------------------------------------------------------------------
@@ -540,6 +627,11 @@ _REGISTRY = {
     "attacks": (
         lambda w, w_sweep, sizes, workloads, formats: attacks_cells(),
         lambda w, w_sweep, sizes, workloads, formats: attack_matrix(),
+    ),
+    "defensematrix": (
+        lambda w, w_sweep, sizes, workloads, formats:
+            defensematrix_cells(),
+        lambda w, w_sweep, sizes, workloads, formats: defensematrix(),
     ),
 }
 

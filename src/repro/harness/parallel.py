@@ -35,6 +35,7 @@ import random
 from typing import Callable, Iterable
 
 from repro.core.engine import simulate
+from repro.defenses.registry import get_defense
 from repro.harness.runner import _report_from_dict, install_result
 from repro.harness.store import fingerprint
 from repro.security.attackers import execute_attack
@@ -67,13 +68,14 @@ def _execute_payload(payload: tuple) -> tuple[str, str, str, dict]:
         # AttackSpec), so the result is identical in-process or pooled.
         return fp, spec.name, mode, execute_attack(
             spec, mode, config=config, engine=engine).to_dict()
+    defense = get_defense(mode)
     if kind == "micro":
-        compiled = compile_microbench(spec, mode)
+        compiled = compile_microbench(spec, defense.compile_mode)
     elif kind == "workload":
-        compiled = compile_workload(spec, mode)
+        compiled = compile_workload(spec, defense.compile_mode)
     else:
-        compiled = compile_djpeg(spec, mode)
-    report = simulate(compiled.program, sempe=(mode == "sempe"),
+        compiled = compile_djpeg(spec, defense.compile_mode)
+    report = simulate(compiled.program, defense=defense,
                       config=config, engine=engine)
     return fp, spec.name, mode, report.to_dict()
 

@@ -23,6 +23,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.core.engine import SimulationReport, get_default_engine, simulate
+from repro.defenses.registry import get_defense
 from repro.harness.store import ResultStore, SCHEMA_VERSION, fingerprint
 from repro.security.attackers import AttackReport, AttackSpec, execute_attack
 from repro.uarch.config import MachineConfig
@@ -47,7 +48,7 @@ class RunResult:
     """
 
     name: str
-    mode: str          # plain | sempe | cte
+    mode: str          # registered defense name (plain | sempe | ...)
     report: SimulationReport | AttackReport
 
     @property
@@ -80,14 +81,17 @@ def cell_descriptor(kind: str, spec, mode: str,
     """JSON-safe structural identity of one run (the store key).
 
     Covers every field that can change the simulation's output: the
-    full workload spec, compiler mode, the whole machine configuration
-    (recursively), the engine, and the report schema version so a
-    schema bump re-addresses rather than misreads old records.
+    full workload spec, the defense (by name *and* structural
+    fingerprint, so changing a scheme's hooks or overrides re-addresses
+    its cached results), the whole machine configuration (recursively),
+    the engine, and the report schema version so a schema bump
+    re-addresses rather than misreads old records.
     """
     return {
         "kind": kind,
         "spec": dataclasses.asdict(spec),
         "mode": mode,
+        "defense": get_defense(mode).fingerprint(),
         "config": None if config is None else dataclasses.asdict(config),
         "engine": engine,
         "schema": SCHEMA_VERSION,
@@ -235,16 +239,17 @@ def run_microbench(spec: MicrobenchSpec, mode: str,
                    engine: str | None = None) -> RunResult:
     """Simulate one microbenchmark configuration (cached).
 
-    ``mode`` selects both the compiler mode and the machine: ``sempe``
-    runs on the SeMPE machine, ``plain`` and ``cte`` on the baseline.
+    ``mode`` names the registered defense: it selects both the compiler
+    transform and the machine hooks through the defense registry.
     """
     engine = engine or get_default_engine()
+    defense = get_defense(mode)
     descriptor = cell_descriptor("micro", spec, mode, config, engine)
     return _cached_run(
         descriptor,
-        lambda: simulate(compile_microbench(spec, mode).program,
-                         sempe=(mode == "sempe"), config=config,
-                         engine=engine),
+        lambda: simulate(
+            compile_microbench(spec, defense.compile_mode).program,
+            defense=defense, config=config, engine=engine),
         spec.name, mode)
 
 
@@ -253,12 +258,13 @@ def run_djpeg(spec: DjpegSpec, mode: str,
               engine: str | None = None) -> RunResult:
     """Simulate one djpeg configuration (cached)."""
     engine = engine or get_default_engine()
+    defense = get_defense(mode)
     descriptor = cell_descriptor("djpeg", spec, mode, config, engine)
     return _cached_run(
         descriptor,
-        lambda: simulate(compile_djpeg(spec, mode).program,
-                         sempe=(mode == "sempe"), config=config,
-                         engine=engine),
+        lambda: simulate(
+            compile_djpeg(spec, defense.compile_mode).program,
+            defense=defense, config=config, engine=engine),
         spec.name, mode)
 
 
@@ -267,12 +273,13 @@ def run_workload(spec: WorkloadRunSpec, mode: str,
                  engine: str | None = None) -> RunResult:
     """Simulate one registry-workload configuration (cached)."""
     engine = engine or get_default_engine()
+    defense = get_defense(mode)
     descriptor = cell_descriptor("workload", spec, mode, config, engine)
     return _cached_run(
         descriptor,
-        lambda: simulate(compile_workload(spec, mode).program,
-                         sempe=(mode == "sempe"), config=config,
-                         engine=engine),
+        lambda: simulate(
+            compile_workload(spec, defense.compile_mode).program,
+            defense=defense, config=config, engine=engine),
         spec.name, mode)
 
 
@@ -281,8 +288,9 @@ def run_attack(spec: AttackSpec, mode: str,
                engine: str | None = None) -> RunResult:
     """Evaluate one attack cell (cached).
 
-    ``mode`` selects the machine the victim runs on (``plain`` =
-    unprotected baseline, ``sempe`` = protected); the resulting
+    ``mode`` names the defense the victim runs under (``plain`` =
+    unprotected baseline, ``sempe``, or any registered scheme); the
+    resulting
     :class:`~repro.security.attackers.AttackReport` flows through the
     same two-level cache as simulation reports, so a repeated attack
     sweep is served from the store instead of re-attacked.

@@ -37,7 +37,13 @@ from dataclasses import dataclass, field
 
 # Bump whenever SimulationReport (or anything feeding it) changes shape
 # or semantics: old records become invalidations, not wrong answers.
-SCHEMA_VERSION = 1
+#
+# v2: cell descriptors carry the defense name and the defense's
+# structural fingerprint (the protection-scheme registry).  Pre-refactor
+# records address different fingerprints entirely, so they age out as
+# clean misses; a v1 record that somehow lands on a v2 fingerprint is
+# invalidated by the schema check below.
+SCHEMA_VERSION = 2
 
 STORE_FORMAT = "repro-result-store-v1"
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.engine import ENGINES, get_default_engine
+from repro.defenses.registry import get_defense
 from repro.harness import parallel
 from repro.harness.runner import (
     RunResult,
@@ -53,11 +54,13 @@ MICRO_ITERS = {
     "queens": 3,
 }
 
-# Compiler-mode coupling: CTE runs the FaCT-style oblivious rewrite,
-# plain/sempe run the natural source.
-_MODE_VARIANT = {"plain": "natural", "sempe": "natural", "cte": "oblivious"}
-
-MODES = tuple(_MODE_VARIANT)
+def _variant_for(mode: str) -> str:
+    """Microbench source variant for a defense: CTE compiles the
+    FaCT-style oblivious rewrite, everything else the natural source.
+    Unknown defense names raise here, failing a sweep before any
+    simulation starts."""
+    return ("oblivious" if get_defense(mode).compile_mode == "cte"
+            else "natural")
 
 
 @dataclass
@@ -72,7 +75,7 @@ class SweepCell:
 
     kind: str
     spec: MicrobenchSpec | DjpegSpec | WorkloadRunSpec | AttackSpec
-    mode: str                                  # plain | sempe | cte
+    mode: str                                  # registered defense name
     config: MachineConfig | None = None
     engine: str | None = None                  # None = session default
 
@@ -155,16 +158,14 @@ class SweepSpec:
 
         Builds ``workloads × w_sweep × modes × configs × engines``
         microbenchmark cells plus ``djpeg_formats × djpeg_sizes × modes
-        × configs × engines`` djpeg cells.  The source variant follows
-        the mode (``cte`` compiles the oblivious rewrite); unknown
-        modes/engines are rejected up front so a typo fails the sweep
-        before any simulation starts.
+        × configs × engines`` djpeg cells.  ``modes`` are registered
+        defense names; the source variant follows the defense's
+        compiler transform (``cte`` compiles the oblivious rewrite).
+        Unknown defenses/engines are rejected up front so a typo fails
+        the sweep before any simulation starts.
         """
         iters = iters or MICRO_ITERS
-        for mode in modes:
-            if mode not in _MODE_VARIANT:
-                raise ValueError(
-                    f"unknown mode {mode!r}; choose from {MODES}")
+        variants = {mode: _variant_for(mode) for mode in modes}
         for engine in engines:
             if engine is not None and engine not in ENGINES:
                 raise ValueError(
@@ -178,16 +179,16 @@ class SweepSpec:
                             spec = MicrobenchSpec(
                                 workload, w=w,
                                 iters=iters.get(workload, 1),
-                                variant=_MODE_VARIANT[mode])
+                                variant=variants[mode])
                             cells.append(SweepCell(
                                 "micro", spec, mode, config, engine))
                 for fmt in djpeg_formats:
                     for size in djpeg_sizes:
                         for mode in modes:
-                            if mode == "cte":
+                            if variants[mode] == "oblivious":
                                 raise ValueError(
                                     "djpeg has no oblivious rewrite; "
-                                    "use modes plain/sempe")
+                                    "use non-CTE defenses")
                             cells.append(SweepCell(
                                 "djpeg", DjpegSpec(fmt, size), mode,
                                 config, engine))

@@ -11,9 +11,10 @@ from repro.lang.errors import CompileError
 from repro.lang.parser import parse
 from repro.lang.taint import TaintInfo, analyze_taint
 from repro.lang.transform_cte import transform_cte
+from repro.lang.transform_fence import transform_fence
 from repro.lang.transform_sempe import transform_sempe
 
-MODES = ("plain", "sempe", "cte")
+MODES = ("plain", "sempe", "cte", "fence")
 
 
 @dataclass
@@ -37,7 +38,9 @@ def compile_source(source: str, mode: str = "sempe",
     """Compile mini-C *source* in the given *mode*.
 
     Modes: ``plain`` (insecure baseline), ``sempe`` (secure branches +
-    ShadowMemory), ``cte`` (FaCT-like constant-time expressions).
+    ShadowMemory), ``cte`` (FaCT-like constant-time expressions),
+    ``fence`` (secret branches marked with the SecPrefix for a
+    serializing machine, otherwise identical to ``plain``).
 
     ``collapse_ifs=True`` enables the paper's §IV-E nesting-reduction
     optimization (``if (A) { if (B) ... }`` becomes ``if (A && B)``),
@@ -55,6 +58,8 @@ def compile_source(source: str, mode: str = "sempe",
         transformed = transform_sempe(module, taint)
     elif mode == "cte":
         transformed = transform_cte(module, taint)
+    elif mode == "fence":
+        transformed = transform_fence(module, taint)
     else:
         transformed = module
     program = generate(transformed, name=name or f"minic-{mode}")

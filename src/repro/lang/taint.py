@@ -68,7 +68,8 @@ class TaintInfo:
 
 
 def analyze_taint(module: ast.Module, mode: str = "sempe") -> TaintInfo:
-    """Run the fixpoint analysis and (unless ``plain``) the mode checks."""
+    """Run the fixpoint analysis and (``sempe``/``cte`` only) the mode
+    checks."""
     info = check(module)
     taint = TaintInfo(module_info=info)
     for name in info.secret_globals:
@@ -88,7 +89,9 @@ def analyze_taint(module: ast.Module, mode: str = "sempe") -> TaintInfo:
             visitor.visit_block(func.body, secret_depth=0)
             changed = changed or visitor.changed
 
-    if mode != "plain":
+    if mode not in ("plain", "fence"):
+        # fence marks branches without restructuring, so it compiles
+        # exactly what plain compiles: no mode constraints to enforce.
         _enforce(module, info, taint, mode)
         if mode == "sempe":
             _reject_recursive_secure_branches(module, taint)

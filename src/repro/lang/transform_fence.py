@@ -1,0 +1,32 @@
+"""The fence compilation pass (the classic software mitigation).
+
+Where SeMPE restructures secret-dependent branches into dual-path
+secure regions, the fence pass only *marks* them: every secret ``if``
+(as labelled by the taint analysis) keeps its single-path lowering but
+carries the SecPrefix, so the branch arrives at the timing model with
+its ``secure`` bit set.  A fence-aware machine (see
+:class:`repro.uarch.pipeline.OutOfOrderPipeline` with ``fence=True``)
+serializes at those branches — no prediction, no speculation past the
+unresolved condition — which is exactly the ``lfence``-style mitigation
+deployed against transient-execution attacks.
+
+The program is functionally identical to the ``plain`` build: on a
+machine without the fence hook (or a legacy machine) the marked branch
+behaves like an ordinary conditional and the join's ``eosJMP`` decodes
+as a NOP, so fence binaries are backward compatible in the same sense
+SeMPE binaries are.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.taint import TaintInfo
+
+
+def transform_fence(module: ast.Module, taint: TaintInfo) -> ast.Module:
+    """Mark every secret-dependent ``if`` secure, restructuring nothing."""
+    for func in module.funcs:
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.If) and taint.is_secret_if(stmt):
+                stmt.secure = True
+    return module

@@ -12,13 +12,34 @@ from dataclasses import dataclass, field
 
 @dataclass
 class CacheConfig:
-    """Geometry and latency of one cache level."""
+    """Geometry and latency of one cache level.
+
+    Two per-level defense knobs (see :mod:`repro.defenses.builtin`):
+
+    ``protected_ways``
+        Way-partitioning (CAT/DAWG-style).  When non-zero, the victim's
+        fills are confined to this many reserved ways per set — reduced
+        effective associativity is the performance cost — and the
+        attacker-facing views (:meth:`Cache.attacker_occupancy`,
+        :meth:`Cache.attacker_resident_lines`) expose only the shared
+        partition, which the victim never touches.
+
+    ``index_key``
+        Keyed set-index permutation (CEASER-style).  When non-zero, the
+        set index is a keyed mix of the line address instead of its low
+        bits — conflict patterns change, which is the performance cost —
+        and the attacker-facing views collapse: without the key the
+        attacker cannot build eviction sets within one rekeying period,
+        so a single run resolves no per-set occupancy.
+    """
 
     name: str
     size_bytes: int
     assoc: int
     line_bytes: int = 64
     hit_latency: int = 2
+    protected_ways: int = 0
+    index_key: int = 0
 
     @property
     def n_sets(self) -> int:
@@ -131,6 +152,12 @@ class Cache:
         self._line_shift = config.line_bytes.bit_length() - 1
         if (1 << self._line_shift) != config.line_bytes:
             raise ValueError("line size must be a power of two")
+        if not 0 <= config.protected_ways <= config.assoc:
+            raise ValueError(
+                f"{config.name}: protected_ways={config.protected_ways} "
+                f"must be between 0 and assoc={config.assoc}")
+        # Way partitioning confines the victim to the reserved ways.
+        self._fill_assoc = config.protected_ways or config.assoc
 
     # -- address mapping ----------------------------------------------------
 
@@ -138,6 +165,11 @@ class Cache:
         return address >> self._line_shift
 
     def set_index(self, line_address: int) -> int:
+        key = self.config.index_key
+        if key:
+            mixed = ((line_address ^ key) * 0x9E3779B97F4A7C15) \
+                & 0xFFFFFFFFFFFFFFFF
+            return (mixed >> 17) % self.config.n_sets
         return line_address % self.config.n_sets
 
     # -- operations ------------------------------------------------------------
@@ -181,7 +213,7 @@ class Cache:
             line.prefetched = line.prefetched and prefetched
             cache_set[line_address] = line
             return None
-        if len(cache_set) >= self.config.assoc:
+        if len(cache_set) >= self._fill_assoc:
             victim_tag, victim = next(iter(cache_set.items()))
             del cache_set[victim_tag]
             if victim.dirty:
@@ -225,5 +257,31 @@ class Cache:
         return resident
 
     def set_occupancy(self) -> list[int]:
-        """Number of valid lines per set (attacker-visible footprint)."""
+        """Number of valid lines per set (the machine's ground truth)."""
         return [len(cache_set) for cache_set in self._sets]
+
+    # -- attacker-facing views ----------------------------------------------
+    #
+    # What a prime-and-probe adversary actually resolves, per the
+    # configured defense.  Undefended caches expose the full per-set
+    # footprint; a partitioned cache exposes only the shared ways (which
+    # the victim never fills); a randomized cache exposes nothing
+    # set-resolved within one rekeying period.
+
+    def attacker_occupancy(self) -> list[int]:
+        """Per-set victim footprint as the adversary measures it."""
+        if self.config.protected_ways:
+            # The victim lives entirely in the reserved partition; the
+            # shared ways the attacker primes are never evicted.
+            return [0] * self.config.n_sets
+        if self.config.index_key:
+            # No eviction sets without the key: no per-set resolution.
+            return []
+        return self.set_occupancy()
+
+    def attacker_resident_lines(self) -> set[int]:
+        """Residency as the adversary can enumerate it (for the
+        cache-state channel digest)."""
+        if self.config.protected_ways or self.config.index_key:
+            return set()
+        return self.resident_lines()

@@ -47,6 +47,7 @@ import hashlib
 import random
 from dataclasses import dataclass, field
 
+from repro.defenses.registry import DefenseSpec, get_defense
 from repro.security.leakage import mutual_information_bits, observation_key
 from repro.security.observer import ObservationTrace, collect_observation
 from repro.security.stats import (
@@ -80,8 +81,6 @@ RECOVERY_THRESHOLD = 0.9
 # 2/C(8,4) ~ 0.03 > ALPHA; Welch has the same small-n floor), so a
 # too-small request fails loudly instead of reporting a false "chance".
 MIN_TRIALS = 12
-
-_MODE_SEMPE = {"plain": False, "sempe": True}
 
 
 def attack_config() -> MachineConfig:
@@ -128,7 +127,7 @@ class AttackReport:
     workload: str
     attacker: str
     channel: str
-    mode: str                    # plain | sempe
+    mode: str                    # the defense the victim ran under
     engine: str
     trials: int
     seed: int
@@ -285,14 +284,15 @@ def execute_attack(spec: AttackSpec, mode: str,
                    engine: str | None = None) -> AttackReport:
     """Run one attack cell and report.
 
-    *mode* selects the machine (``plain`` = unprotected baseline,
-    ``sempe`` = the protected machine); *engine* the functional engine.
-    The run is a pure function of ``(spec, mode, config, engine)``.
+    *mode* names the registered defense the victim runs under
+    (``plain`` = unprotected baseline, ``sempe`` = the paper's machine,
+    or any other scheme from ``repro defenses list``); *engine* the
+    functional engine.  The run is a pure function of ``(spec, mode,
+    config, engine)``.
     """
     from repro.core.engine import _resolve_engine
 
-    if mode not in _MODE_SEMPE:
-        raise ValueError(f"attacks run in plain or sempe mode, not {mode!r}")
+    defense = get_defense(mode)
     if spec.trials < MIN_TRIALS:
         raise ValueError(
             f"trials={spec.trials} is below the statistical floor "
@@ -307,19 +307,19 @@ def execute_attack(spec: AttackSpec, mode: str,
             f"applicable attackers: {applicable_attackers(workload)}")
     engine = _resolve_engine(engine)
     config = config or attack_config()
-    sempe = _MODE_SEMPE[mode]
     rng = _trial_rng(spec, mode, engine)
 
-    # 1. Profile: one hermetic observation per candidate secret.
+    # 1. Profile: one hermetic observation per candidate secret, with
+    # the victim compiled and run under the attacked defense.
     params = workload.leak_resolve(spec.params)
-    compiled = workload.compile(mode, **params)
+    compiled = workload.compile(defense.compile_mode, **params)
     keep = attacker.channel == "memory-address"
     candidates = [tuple(v) if isinstance(v, list) else v
                   for v in workload.leak_values(params)]
     observables = []
     for value in candidates:
         trace = collect_observation(
-            compiled.program, sempe=sempe,
+            compiled.program, defense=defense.name,
             secret_values={workload.secret: value},
             config=config, keep_streams=keep, engine=engine)
         observables.append(attacker.observable(trace))
@@ -536,3 +536,23 @@ def applicable_attackers(spec: WorkloadSpec | str) -> list[str]:
         spec = get_workload(spec)
     return [attacker.name for attacker in iter_attackers()
             if attacker.applies_to(spec)]
+
+
+def expected_verdict(attacker: "Attacker | str",
+                     defense: DefenseSpec | str) -> str | None:
+    """What the attack matrix expects from one (attacker, defense) cell.
+
+    ``"recovered"`` on the unprotected baseline, ``"chance"`` when the
+    defense declares the attacker's channel protected, and ``None``
+    when the scheme makes no claim about that channel (the cell is
+    informative, not a pass/fail gate).
+    """
+    if isinstance(attacker, str):
+        attacker = get_attacker(attacker)
+    if isinstance(defense, str):
+        defense = get_defense(defense)
+    if defense.name == "plain":
+        return "recovered"
+    if defense.protects_channel(attacker.channel):
+        return "chance"
+    return None

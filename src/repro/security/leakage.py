@@ -120,25 +120,32 @@ def noninterference_report(
     program: Program,
     secret_name: str,
     secret_values: list[int],
-    sempe: bool,
+    sempe: bool | None = None,
     symbols: dict[str, int] | None = None,
     config: MachineConfig | None = None,
     max_instructions: int = 50_000_000,
     engine: str | None = None,
+    defense: str | None = None,
 ) -> NoninterferenceReport:
     """Run *program* once per secret value and compare all channels.
 
+    ``defense`` selects the machine-side protection scheme the victim
+    runs under (the legacy ``sempe`` bool remains as an alias).
     Array-valued secrets must be passed as tuples (they key the
     per-secret observation table).
     """
+    from repro.core.engine import resolve_defense
+
+    spec = resolve_defense(defense, sempe)
     report = NoninterferenceReport(
-        program_name=program.name, sempe=sempe, secret_name=secret_name
+        program_name=program.name, sempe=spec.sempe_machine,
+        secret_name=secret_name
     )
     traces: dict[int, ObservationTrace] = {}
     for value in secret_values:
         traces[value] = collect_observation(
             program,
-            sempe=sempe,
+            defense=spec.name,
             secret_values={secret_name: value},
             symbols=symbols,
             config=config,
@@ -165,17 +172,22 @@ def victim_report(
     """Noninterference report for one registered workload.
 
     *spec* is a :class:`~repro.workloads.registry.WorkloadSpec` (or its
-    name).  The victim is compiled in *mode* with the spec's leak
-    parameters applied, its declared secret is swept over the spec's
-    representative values (or *secret_values*), and every channel is
-    compared — the generic form of the per-victim leak experiments.
+    name).  *mode* names a registered defense: the victim is compiled
+    with that defense's compiler transform (with the spec's leak
+    parameters applied) and observed under its machine hooks, its
+    declared secret swept over the spec's representative values (or
+    *secret_values*) — the generic form of the per-victim leak
+    experiments, now covering the whole defense axis.
     """
+    from repro.defenses.registry import get_defense
+
     if isinstance(spec, str):
         from repro.workloads.registry import get_workload
 
         spec = get_workload(spec)
+    defense = get_defense(mode)
     params = spec.leak_resolve(param_overrides)
-    compiled = spec.compile(mode, **params)
+    compiled = spec.compile(defense.compile_mode, **params)
     values = (spec.leak_values(params) if secret_values is None
               else secret_values)
     values = [tuple(v) if isinstance(v, list) else v for v in values]
@@ -183,7 +195,7 @@ def victim_report(
         compiled.program,
         spec.secret,
         values,
-        sempe=(mode == "sempe"),
+        defense=defense.name,
         config=config,
         max_instructions=max_instructions,
         engine=engine,

@@ -24,7 +24,11 @@ from dataclasses import dataclass, field
 
 from repro.arch.executor import Executor
 from repro.arch.fast_executor import FastExecutor
-from repro.core.engine import _resolve_engine
+from repro.core.engine import (
+    _resolve_engine,
+    flush_penalty_cycles,
+    resolve_defense,
+)
 from repro.isa.program import Program
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import OutOfOrderPipeline
@@ -114,18 +118,27 @@ def poke_secrets(memory, symbols: dict[str, int],
 
 def collect_observation(
     program: Program,
-    sempe: bool,
+    sempe: bool | None = None,
     secret_values: dict[str, int] | None = None,
     symbols: dict[str, int] | None = None,
     config: MachineConfig | None = None,
     keep_streams: bool = False,
     max_instructions: int = 50_000_000,
     engine: str | None = None,
+    defense: str | None = None,
 ) -> ObservationTrace:
     """Run *program* with the given secrets and collect the observation.
 
     ``secret_values`` maps symbol names (resolved through ``symbols`` or
     ``program.symbols``) to the values poked into memory before the run.
+
+    ``defense`` selects the protection scheme whose machine-side hooks
+    the victim runs under (config overrides, SeMPE hardware, fences,
+    exit flush) *and* whose attacker model shapes the residue channels:
+    partitioned or randomized caches expose their attacker-facing views
+    (see :meth:`repro.mem.cache.Cache.attacker_occupancy`), an exit
+    flush clears the residue before it is digested.  The legacy
+    ``sempe`` bool remains as an alias for ``sempe``/``plain``.
 
     ``engine`` selects the functional engine (``"fast"``/``"reference"``,
     default the session default); both produce identical observations,
@@ -141,7 +154,9 @@ def collect_observation(
     masquerade as a leak), and ``tests/security/test_observer.py``
     pins it on both engines.
     """
-    config = config or MachineConfig()
+    spec = resolve_defense(defense, sempe)
+    sempe = spec.sempe_machine
+    config = spec.apply_config(config or MachineConfig())
     engine = _resolve_engine(engine)
     executor_cls = FastExecutor if engine == "fast" else Executor
     executor = executor_cls(program, sempe=sempe,
@@ -152,7 +167,8 @@ def collect_observation(
     observer = TraceObserver(
         line_bytes=config.hierarchy.dl1.line_bytes, keep_streams=keep_streams
     )
-    pipeline = OutOfOrderPipeline(config, sempe=sempe)
+    pipeline = OutOfOrderPipeline(config, sempe=sempe,
+                                  fence=spec.fence_branches)
 
     if engine == "fast":
         # Tee the columnar chunk stream: feed the observer through the
@@ -176,17 +192,23 @@ def collect_observation(
 
         stats = pipeline.run(observed(executor.run()))
 
-    cache_state = (
-        tuple(sorted(pipeline.hierarchy.il1.resident_lines())),
-        tuple(sorted(pipeline.hierarchy.dl1.resident_lines())),
-        tuple(sorted(pipeline.hierarchy.l2.resident_lines())),
-    )
+    if spec.flush_on_exit:
+        # The region-exit flush clears the residue *and* costs cycles;
+        # both must land in the observation or the flush would look
+        # free and leaky at the same time.
+        stats.cycles += flush_penalty_cycles(config)
+        pipeline.flush_transient_state()
+    caches = (pipeline.hierarchy.il1, pipeline.hierarchy.dl1,
+              pipeline.hierarchy.l2)
+    # Residue channels expose the *attacker-facing* views: identical to
+    # the ground truth on an undefended machine, narrowed by the cache
+    # defenses (partitioning hides the reserved ways, randomization
+    # denies per-set resolution).
+    cache_state = tuple(
+        tuple(sorted(cache.attacker_resident_lines())) for cache in caches)
     cache_digest = hashlib.sha256(repr(cache_state).encode()).hexdigest()
-    cache_occupancy = (
-        tuple(pipeline.hierarchy.il1.set_occupancy()),
-        tuple(pipeline.hierarchy.dl1.set_occupancy()),
-        tuple(pipeline.hierarchy.l2.set_occupancy()),
-    )
+    cache_occupancy = tuple(
+        tuple(cache.attacker_occupancy()) for cache in caches)
     predictor_state = (
         pipeline.predictor.state_digest(),
         pipeline.btb.state_digest(),

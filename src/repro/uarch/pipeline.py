@@ -102,9 +102,14 @@ class OutOfOrderPipeline:
     """The timing model.  Feed it a trace with :meth:`run`."""
 
     def __init__(self, config: MachineConfig | None = None,
-                 sempe: bool = True) -> None:
+                 sempe: bool = True, fence: bool = False) -> None:
         self.config = config or MachineConfig()
         self.sempe = sempe
+        # The fence defense: a SecPrefix'ed branch on the baseline
+        # machine serializes the front end instead of predicting (see
+        # repro.defenses.builtin.fence).  Mutually exclusive with sempe
+        # in practice (the SeMPE machine already never predicts sJMPs).
+        self.fence = fence
         self.hierarchy = MemoryHierarchy(self.config.hierarchy)
         self.predictor = make_predictor(self.config.predictor)
         self.btb = BranchTargetBuffer()
@@ -142,6 +147,7 @@ class OutOfOrderPipeline:
         dispatch_barrier = 0               # SeMPE drains block rename/dispatch
         current_line = -1
         rename_debt = 0.0
+        fence_depth = 0                    # open fenced regions (fence mode)
 
         last_commit = 0
         commit_in_cycle = 0
@@ -163,6 +169,9 @@ class OutOfOrderPipeline:
                 continue
 
             inst: DynInstr = record
+            if fence_depth and inst.opclass is OpClass.EOSJMP:
+                # Join of a fenced region: speculation re-enabled.
+                fence_depth -= 1
 
             # ---- fetch ----
             if fetch_cycle < fetch_barrier:
@@ -241,6 +250,27 @@ class OutOfOrderPipeline:
                     # (secret) outcome (§IV-E).  The jump to the T path
                     # happens at the eosJMP, inside a drain.
                     pass
+                elif self.fence and (inst.secure or fence_depth > 0):
+                    # Fenced region (secret branch through its eosJMP
+                    # join): no prediction structure is consulted or
+                    # updated — no predictor/BTB/ITTAGE/RAS mutation
+                    # that could retain the secret — and control
+                    # transfers whose outcome is not decodable in the
+                    # front end serialize: later instructions wait for
+                    # resolution, fetch restarts with a full refill.
+                    if inst.secure:
+                        fence_depth += 1
+                    if inst.opclass is OpClass.BRANCH or inst.op is Op.JALR:
+                        fetch_barrier = max(
+                            fetch_barrier,
+                            complete + self.config.mispredict_penalty)
+                        dispatch_barrier = max(dispatch_barrier, complete)
+                    elif inst.taken:
+                        # Direct jump: the front end decodes the target
+                        # itself; the taken transfer just ends the group.
+                        fetch_cycle = max(fetch_cycle, this_fetch) + 1
+                        fetch_slots = config.fetch_width
+                        current_line = -1
                 else:
                     redirect = self._branch_redirect(inst, complete)
                     if redirect is not None:
@@ -322,6 +352,7 @@ class OutOfOrderPipeline:
         cls_load = OPCLASS_ID[OpClass.LOAD]
         cls_store = OPCLASS_ID[OpClass.STORE]
         cls_branch = OPCLASS_ID[OpClass.BRANCH]
+        cls_eosjmp = OPCLASS_ID[OpClass.EOSJMP]
         op_jal = OP_ID[Op.JAL]
         op_jalr = OP_ID[Op.JALR]
         lat_by_cls = tuple(config.latency_for(opclass.value)
@@ -336,6 +367,7 @@ class OutOfOrderPipeline:
         load_queue = config.load_queue
         store_queue = config.store_queue
         sempe = self.sempe
+        fence = self.fence
         rename_overhead = self.rename_overhead
 
         # Bandwidth tables, inlined (same find-first-available semantics
@@ -372,6 +404,7 @@ class OutOfOrderPipeline:
         dispatch_barrier = 0
         current_line = -1
         rename_debt = 0.0
+        fence_depth = 0
 
         last_commit = 0
         commit_in_cycle = 0
@@ -411,6 +444,9 @@ class OutOfOrderPipeline:
                     continue
 
                 cls = p_cls[pc]
+                if fence_depth and cls == cls_eosjmp:
+                    # Join of a fenced region (see run()).
+                    fence_depth -= 1
 
                 # ---- fetch ----
                 if fetch_cycle < fetch_barrier:
@@ -502,6 +538,22 @@ class OutOfOrderPipeline:
                     if p_sec[pc] and sempe:
                         # sJMP: front end always falls through (§IV-E).
                         pass
+                    elif fence and (p_sec[pc] or fence_depth > 0):
+                        # Fenced region (see run()): no prediction
+                        # structure touched, non-decodable transfers
+                        # serialize.
+                        if p_sec[pc]:
+                            fence_depth += 1
+                        if cls == cls_branch or p_op[pc] == op_jalr:
+                            barrier = complete + mispredict_penalty
+                            if barrier > fetch_barrier:
+                                fetch_barrier = barrier
+                            if complete > dispatch_barrier:
+                                dispatch_barrier = complete
+                        elif tk:
+                            fetch_cycle = max(fetch_cycle, this_fetch) + 1
+                            fetch_slots = fetch_width
+                            current_line = -1
                     else:
                         pc_bytes = pc * INSTRUCTION_BYTES
                         redirect = None
@@ -610,6 +662,23 @@ class OutOfOrderPipeline:
         return stats
 
     # -- helpers ---------------------------------------------------------------
+
+    def flush_transient_state(self) -> None:
+        """Model a secure-region exit flush (the flush-local defense).
+
+        Invalidate every cache level and reset the branch predictors to
+        power-on state, so post-run residue probes see a machine that
+        does not depend on what the victim did.  Counters (miss rates,
+        prediction stats) are left intact — they describe the run that
+        already happened.
+        """
+        self.hierarchy.il1.invalidate_all()
+        self.hierarchy.dl1.invalidate_all()
+        self.hierarchy.l2.invalidate_all()
+        self.predictor = make_predictor(self.config.predictor)
+        self.btb = BranchTargetBuffer()
+        self.ittage = Ittage()
+        self.ras = ReturnAddressStack()
 
     def _branch_redirect(self, inst: DynInstr, complete: int) -> int | None:
         """Return the cycle fetch may resume after a misprediction, or

@@ -70,7 +70,7 @@ class WorkloadSpec:
     leak_values: Callable[[dict], list]  # params -> secret values to test
     channels: tuple[str, ...]            # expected baseline leak channels
     leak_params: dict = field(default_factory=dict)
-    modes: tuple[str, ...] = ("plain", "sempe", "cte")
+    modes: tuple[str, ...] = ("plain", "sempe", "cte", "fence")
     grid: tuple[dict, ...] = ({},)       # per-cell parameter overrides
     result: str | None = None            # output global the reference checks
     reference: Callable[[dict, object], int] | None = None
@@ -199,7 +199,7 @@ def workload(*, name: str, title: str, secret: str,
              params: dict | None = None,
              leak_params: dict | None = None,
              leak_values: Callable[[dict], list],
-             modes: tuple[str, ...] = ("plain", "sempe", "cte"),
+             modes: tuple[str, ...] = ("plain", "sempe", "cte", "fence"),
              grid: tuple[dict, ...] = ({},),
              result: str | None = None,
              reference: Callable[[dict, object], int] | None = None):

@@ -1,0 +1,119 @@
+"""Defense purity properties and JSON round-trips (hypothesis-based).
+
+The contract under test: applying a defense's ``MachineConfig``
+overrides never mutates shared defaults — every application is a pure
+function of its input — and every spec/report crossing the store
+boundary survives a JSON round-trip unchanged.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import SimulationReport, simulate
+from repro.defenses import DefenseSpec, get_defense, iter_defenses
+from repro.uarch.config import MachineConfig, fast_functional
+
+pytestmark = pytest.mark.slow
+
+# Dotted override paths that exist on every MachineConfig, paired with
+# value strategies that keep the config structurally valid.
+_OVERRIDE_PATHS = {
+    "rob_entries": st.integers(min_value=8, max_value=512),
+    "fetch_width": st.integers(min_value=1, max_value=16),
+    "mispredict_penalty": st.integers(min_value=1, max_value=40),
+    "hierarchy.dl1.protected_ways": st.integers(min_value=0, max_value=2),
+    "hierarchy.dl1.index_key": st.integers(min_value=0, max_value=2**32),
+    "hierarchy.il1.hit_latency": st.integers(min_value=1, max_value=8),
+    "hierarchy.l2.hit_latency": st.integers(min_value=1, max_value=32),
+    "hierarchy.dram_latency": st.integers(min_value=20, max_value=400),
+}
+
+_overrides = st.lists(
+    st.sampled_from(sorted(_OVERRIDE_PATHS)),
+    min_size=1, max_size=4, unique=True,
+).flatmap(lambda keys: st.fixed_dictionaries(
+    {key: _OVERRIDE_PATHS[key] for key in keys}))
+
+
+def _resolve(config, path):
+    target = config
+    *heads, leaf = path.split(".")
+    for head in heads:
+        target = getattr(target, head)
+    return getattr(target, leaf)
+
+
+@settings(max_examples=40, deadline=None)
+@given(overrides=_overrides)
+def test_apply_config_is_pure(overrides):
+    """Overrides land on the copy; the input config never changes."""
+    spec = DefenseSpec(name="prop", title="prop", compile_mode="plain",
+                       config_overrides=overrides)
+    config = fast_functional()
+    before = dataclasses.asdict(config)
+    derived = spec.apply_config(config)
+    assert dataclasses.asdict(config) == before
+    for path, value in overrides.items():
+        assert _resolve(derived, path) == value
+    # Idempotent: a second application from the same input is equal.
+    assert dataclasses.asdict(spec.apply_config(config)) \
+        == dataclasses.asdict(derived)
+    assert dataclasses.asdict(config) == before
+
+
+def test_builtin_defenses_never_mutate_shared_defaults():
+    shared = MachineConfig()
+    baseline = dataclasses.asdict(shared)
+    for spec in iter_defenses():
+        spec.apply_config(shared)
+        assert dataclasses.asdict(shared) == baseline, spec.name
+    # A freshly-built default is still the default.
+    assert dataclasses.asdict(MachineConfig()) == baseline
+
+
+def test_defense_spec_json_round_trip():
+    for spec in iter_defenses():
+        described = spec.describe()
+        rebuilt = json.loads(json.dumps(described))
+        assert rebuilt == described
+        # The fingerprint is a pure function of the description.
+        assert spec.fingerprint() == DefenseSpec(
+            name=spec.name, title=spec.title,
+            compile_mode=spec.compile_mode,
+            sempe_machine=spec.sempe_machine,
+            fence_branches=spec.fence_branches,
+            flush_on_exit=spec.flush_on_exit,
+            config_overrides=dict(spec.config_overrides),
+            protects=tuple(spec.protects),
+        ).fingerprint()
+
+
+@pytest.mark.parametrize("defense", ["fence", "cache-partition",
+                                     "cache-randomize", "flush-local"])
+def test_simulation_report_round_trips_under_new_defenses(defense):
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload("gcd")
+    program = workload.compile(get_defense(defense).compile_mode).program
+    report = simulate(program, defense=defense, config=fast_functional())
+    rebuilt = SimulationReport.from_dict(
+        json.loads(json.dumps(report.to_dict())))
+    assert rebuilt.to_dict() == report.to_dict()
+
+
+def test_attack_report_round_trips_under_new_defenses():
+    from repro.security.attackers import (
+        AttackReport,
+        AttackSpec,
+        execute_attack,
+    )
+
+    report = execute_attack(
+        AttackSpec("table_lookup", "predictor-probe", trials=16),
+        "fence", engine="fast")
+    rebuilt = AttackReport.from_dict(
+        json.loads(json.dumps(report.to_dict())))
+    assert rebuilt == report

@@ -111,17 +111,21 @@ def test_registry_experiments_enumerated():
 
 
 def test_attacks_experiment_cells_shape():
+    from repro.harness.experiments import DEFAULT_ATTACK_DEFENSES
     from repro.security.attackers import applicable_attackers
     from repro.workloads.registry import iter_workloads
 
     cells = experiment_cells("attacks")
-    expected = sum(4 * len(applicable_attackers(spec))
+    per_pair = 2 * len(DEFAULT_ATTACK_DEFENSES)
+    expected = sum(per_pair * len(applicable_attackers(spec))
                    for spec in iter_workloads())
     assert len(cells) == expected
     assert all(cell.kind == "attack" for cell in cells)
     assert {cell.resolved_engine() for cell in cells} == {
         "fast", "reference"}
-    assert {cell.mode for cell in cells} == {"plain", "sempe"}
+    # The acceptance criterion: the sweep grid covers >= 5 defenses.
+    assert len(DEFAULT_ATTACK_DEFENSES) >= 5
+    assert {cell.mode for cell in cells} == set(DEFAULT_ATTACK_DEFENSES)
 
 
 @pytest.mark.slow
@@ -139,11 +143,15 @@ def test_victim_matrix_shape():
 
 @pytest.mark.slow
 def test_leakmatrix_verdicts():
-    """The leak matrix says: every victim leaks its declared channels on
-    the baseline and is closed under SeMPE."""
+    """The three-axis leak matrix: every victim leaks its declared
+    channels on the baseline, is closed under SeMPE, and every other
+    scheme's declared-protected channels hold empirically."""
     result = leakmatrix()
     for name, verdict in result.series.items():
         assert verdict["sempe_secure"] is True, name
         assert verdict["baseline_leaks"], name
+        for defense, outcome in verdict["defenses"].items():
+            assert outcome["ok"], (name, defense, outcome)
     text = format_table(result.headers, result.rows)
-    assert "closed" in text and "LEAKS" in text and "MISSING" not in text
+    assert "closed" in text and "LEAKS" in text
+    assert "CLAIM BROKEN" not in text and "UNDECLARED-TIGHT" not in text

@@ -61,9 +61,11 @@ def test_inapplicable_pair_rejected():
         execute_attack(AttackSpec("modexp", "flush-reload"), "plain")
 
 
-def test_attack_rejects_cte_mode():
-    with pytest.raises(ValueError, match="plain or sempe"):
-        execute_attack(SMOKE, "cte")
+def test_attack_rejects_unknown_defense():
+    # Any registered defense is attackable (the three-axis matrix);
+    # an unregistered name must fail loudly before any simulation.
+    with pytest.raises(ValueError, match="unknown defense"):
+        execute_attack(SMOKE, "rot13")
 
 
 def test_attack_rejects_statistically_meaningless_trials():
@@ -144,18 +146,21 @@ def test_workload_params_reach_the_victim():
 def test_attack_matrix_full_acceptance():
     """Every victim x applicable adversary x engine: key recovered on
     the baseline, chance under SeMPE — batched through the sweep pool
-    and rendered from the warmed cache."""
+    and rendered from the warmed cache.  (The legacy two-point axis;
+    the new mitigations have their own acceptance suite in
+    tests/defenses/test_mitigations.py.)"""
     from repro.harness import attack_matrix, attacks_cells, run_sweep
     from repro.harness.sweep import SweepSpec
 
-    cells = attacks_cells()
+    defenses = ("plain", "sempe")
+    cells = attacks_cells(defenses)
     # Shape: both modes and both engines for every applicable pair.
     pairs = {(cell.spec.workload, cell.spec.attacker) for cell in cells}
     assert {w for w, _a in pairs} == set(workload_names())
     assert len(cells) == 4 * len(pairs)
 
     run_sweep(SweepSpec("attack-matrix-test", cells), jobs=4)
-    result = attack_matrix()
+    result = attack_matrix(defenses)
     assert result.rows, "matrix must not be empty"
     for (workload, attacker), outcome in result.series.items():
         assert outcome["baseline"] == "recovered", (workload, attacker)

@@ -444,3 +444,99 @@ def test_sweep_no_store_clears_installed_store(clean_harness, tmp_path,
     assert main(SWEEP_ARGS + ["--no-store"]) == 0
     assert get_store() is None
     assert "store: (none)" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------
+# Defense registry commands and the --defense flag
+# --------------------------------------------------------------------------
+
+
+def test_defenses_list(capsys):
+    assert main(["defenses", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("plain", "sempe", "cte", "fence", "cache-partition",
+                 "cache-randomize", "flush-local"):
+        assert name in out
+    assert "defenses registered" in out
+
+
+def test_defenses_show(capsys):
+    assert main(["defenses", "show", "cache-partition"]) == 0
+    out = capsys.readouterr().out
+    assert "protected_ways" in out
+    assert "fingerprint:" in out
+    assert "cache-state" in out
+
+
+def test_defenses_show_requires_name(capsys):
+    assert main(["defenses", "show"]) == 2
+    assert "requires a defense name" in capsys.readouterr().err
+
+
+def test_defenses_unknown_name(capsys):
+    assert main(["defenses", "show", "rot13"]) == 2
+    assert "unknown defense" in capsys.readouterr().err
+
+
+def test_defenses_list_rejects_extra_argument(capsys):
+    assert main(["defenses", "list", "fence"]) == 2
+    assert "defenses show fence" in capsys.readouterr().err
+
+
+def test_run_with_defense_flag(capsys):
+    assert main(["run", "--workload", "gcd", "--defense", "fence"]) == 0
+    out = capsys.readouterr().out
+    assert "defense:       fence" in out
+    assert "machine:       baseline" in out
+
+
+def test_run_defense_and_mode_conflict(source_file, capsys):
+    assert main(["run", source_file, "--defense", "fence",
+                 "--mode", "plain"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_run_unknown_defense(source_file, capsys):
+    assert main(["run", source_file, "--defense", "rot13"]) == 2
+    assert "unknown defense" in capsys.readouterr().err
+
+
+def test_run_mode_alias_still_selects_machine(source_file, capsys):
+    assert main(["run", source_file, "--mode", "plain"]) == 0
+    out = capsys.readouterr().out
+    assert "defense:       plain" in out
+    assert "machine:       baseline" in out
+
+
+def test_check_with_defense_flag(capsys):
+    # fence closes the predictor channel on table_lookup but leaves
+    # timing open, so the audit exits 1 (leaks remain) with verdict text.
+    code = main(["check", "--workload", "table_lookup",
+                 "--defense", "fence"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "LEAKS via" in out
+    assert "branch-predictor" not in out.splitlines()[-1]
+
+
+def test_attack_run_with_defense(capsys):
+    assert main(["attack", "run", "--workload", "memcmp",
+                 "--attacker", "prime-probe", "--trials", "16",
+                 "--defense", "cache-partition", "--engine",
+                 "fast"]) == 0
+    out = capsys.readouterr().out
+    assert "cache-partition-protected machine:" in out
+    assert "defeated by cache-partition" in out
+
+
+def test_attack_defense_and_mode_conflict(capsys):
+    assert main(["attack", "run", "--workload", "memcmp",
+                 "--attacker", "prime-probe", "--defense",
+                 "cache-partition", "--mode", "plain"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_experiments_defensematrix_listed(capsys):
+    from repro.harness import EXPERIMENTS
+
+    assert "defensematrix" in EXPERIMENTS
