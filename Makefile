@@ -4,7 +4,7 @@ export PYTHONPATH
 PYTEST := python -m pytest
 
 .PHONY: test test-fast test-slow parity sweep registry-smoke attack-smoke \
-	defense-smoke bench-perf bench-quick bench-full ci
+	defense-smoke chaos-smoke bench-perf bench-quick bench-full ci
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -51,6 +51,20 @@ defense-smoke:
 	python -m repro attack run --workload memcmp --attacker prime-probe \
 		--trials 16 --defense cache-partition --engine fast
 
+# Fault-injection smoke: a seeded chaos sweep faults every cell of a
+# tiny grid (raise/hang/kill, hangs killed at the 5s deadline) and must
+# fail loudly — exit 1, failures quarantined in the store — then a
+# --retry-quarantined rerun clears the poison records and recovers to a
+# clean exit with the tables rendered.
+chaos-smoke:
+	rm -rf .chaos-store
+	python -m repro sweep fig10a --w 1 --workloads ones --jobs 2 \
+		--store .chaos-store --timeout 5 --chaos 1 --chaos-rate 1.0 \
+		--progress; test $$? -eq 1
+	python -m repro sweep fig10a --w 1 --workloads ones --jobs 2 \
+		--store .chaos-store --retry-quarantined --progress
+	rm -rf .chaos-store
+
 # Engine throughput benchmark only (appends to BENCH_perf.json).
 bench-perf:
 	REPRO_BENCH_SCALE=quick $(PYTEST) benchmarks/bench_perf_engine.py -q -s
@@ -62,10 +76,10 @@ bench-quick: test bench-perf
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTEST) benchmarks -q -s
 
-# Mirror of .github/workflows/ci.yml: registry + attack + defense
-# smokes, fast lane then slow lane (their union is exactly tier-1), the
-# parity gate (re-run deliberately as a named check even though the
-# fast lane includes it), and the bench smoke (which refreshes
-# BENCH_perf.json).
-ci: registry-smoke attack-smoke defense-smoke test-fast test-slow parity \
-	bench-perf
+# Mirror of .github/workflows/ci.yml: registry + attack + defense +
+# chaos smokes, fast lane then slow lane (their union is exactly
+# tier-1), the parity gate (re-run deliberately as a named check even
+# though the fast lane includes it), and the bench smoke (which
+# refreshes BENCH_perf.json).
+ci: registry-smoke attack-smoke defense-smoke chaos-smoke test-fast \
+	test-slow parity bench-perf

@@ -42,7 +42,18 @@ class SimulationError(Exception):
 
 
 class InstructionLimitError(SimulationError):
-    """Raised when the dynamic instruction budget is exhausted."""
+    """Raised when the dynamic instruction (fuel) budget is exhausted.
+
+    Fuel exhaustion is deterministic — the same program burns the same
+    instructions on either engine — so the harness treats it as a
+    non-retryable cell failure.  ``executed`` carries the committed
+    instruction count at the abort point (equal on both engines; the
+    parity suite checks it).
+    """
+
+    def __init__(self, message: str, executed: int | None = None) -> None:
+        super().__init__(message)
+        self.executed = executed
 
 
 @dataclass
@@ -124,7 +135,8 @@ class Executor:
                 raise SimulationError(f"PC out of range: {state.pc}")
             if self.result.instructions >= self.max_instructions:
                 raise InstructionLimitError(
-                    f"exceeded {self.max_instructions} dynamic instructions"
+                    f"exceeded {self.max_instructions} dynamic instructions",
+                    executed=self.result.instructions,
                 )
             inst = instructions[state.pc]
             yield from self._step(inst)

@@ -115,7 +115,8 @@ class FastExecutor(Executor):
                     raise SimulationError(f"PC out of range: {pc}")
                 if icount >= max_instructions:
                     raise InstructionLimitError(
-                        f"exceeded {max_instructions} dynamic instructions"
+                        f"exceeded {max_instructions} dynamic instructions",
+                        executed=icount,
                     )
                 k = kind_t[pc]
                 icount += 1

@@ -54,10 +54,14 @@ def _print_cache_stats() -> None:
         print("store: (none)")
     else:
         stats = store_info()
-        print(f"store [{store.root}]: hits={stats['hits']} "
-              f"misses={stats['misses']} stores={stats['stores']} "
-              f"invalidations={stats['invalidations']} "
-              f"entries={len(store)}")
+        line = (f"store [{store.root}]: hits={stats['hits']} "
+                f"misses={stats['misses']} stores={stats['stores']} "
+                f"invalidations={stats['invalidations']} "
+                f"entries={len(store)}")
+        quarantined = store.failure_count()
+        if quarantined:
+            line += f" quarantined={quarantined}"
+        print(line)
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -484,10 +488,45 @@ def _parse_int_csv(text: str) -> tuple[int, ...]:
     return tuple(int(token) for token in text.split(",") if token.strip())
 
 
-def _sweep_progress(done: int, total: int, name: str) -> None:
-    end = "\n" if done == total else ""
-    print(f"\r[{done}/{total}] {name:<44}", end=end,
-          file=sys.stderr, flush=True)
+class _SweepProgress:
+    """Live cell progress on stderr, with a failed-cell counter."""
+
+    def __init__(self) -> None:
+        self.failed = 0
+
+    def __call__(self, done: int, total: int, name: str,
+                 ok: bool) -> None:
+        if not ok:
+            self.failed += 1
+        tally = f"{done}/{total}"
+        if self.failed:
+            tally += f", {self.failed} failed"
+        end = "\n" if done == total else ""
+        print(f"\r[{tally}] {name:<44}", end=end,
+              file=sys.stderr, flush=True)
+
+
+def _print_failure_summary(stats) -> None:
+    """One row per failed cell, plus the quarantine lifecycle hints."""
+    from repro.harness import format_table
+
+    rows = []
+    for failure in stats.failures:
+        resolution = "quarantined" if failure.quarantined else "recorded"
+        rows.append([
+            failure.name,
+            failure.mode,
+            failure.failure,
+            failure.error_type or "-",
+            str(failure.attempts),
+            resolution,
+        ])
+    print(format_table(
+        ["cell", "mode", "failure", "error", "attempts", "resolution"],
+        rows, title=f"Failed cells ({len(rows)})"))
+    if any(failure.quarantined for failure in stats.failures):
+        print("quarantined cells are skipped on resume; re-run with "
+              "--retry-quarantined to clear them")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -537,21 +576,72 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             workloads=workloads))
     spec = SweepSpec("+".join(names), cells)
 
-    set_default_jobs(args.jobs)
-    stats = run_sweep(spec, jobs=args.jobs,
-                      progress=_sweep_progress if args.progress else None)
+    from repro.harness.failures import ExecutionPolicy, SweepInterrupted
 
-    # All cells are now warm: rendering pulls straight from the cache.
-    for name in names:
-        result = render_experiment(name, w=args.w, w_sweep=w_sweep,
-                                   sizes=sizes, workloads=workloads)
-        print(format_table(result.headers, result.rows,
-                           title=result.experiment))
-        print()
+    fault_plan = None
+    if args.chaos is not None:
+        if args.timeout is None:
+            raise _UsageError("--chaos can inject hangs; give --timeout "
+                              "so they are killable")
+        from repro.testing.faults import FaultPlan
+
+        fault_plan = FaultPlan.seeded(
+            [cell.fingerprint() for cell in spec.cells],
+            seed=args.chaos, rate=args.chaos_rate)
+        print(f"chaos: injecting {len(fault_plan)} faults across "
+              f"{len(spec.cells)} cells (seed {args.chaos})",
+              file=sys.stderr)
+    if args.timeout is not None and args.timeout <= 0:
+        raise _UsageError(f"--timeout must be positive, got {args.timeout}")
+    if args.retries < 0:
+        raise _UsageError(f"--retries must be >= 0, got {args.retries}")
+    if args.max_instructions is not None and args.max_instructions <= 0:
+        raise _UsageError("--max-instructions must be positive, got "
+                          f"{args.max_instructions}")
+    policy = ExecutionPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        max_failures=args.max_failures,
+        fallback_reference=args.fallback_reference,
+        max_instructions=args.max_instructions,
+        retry_quarantined=args.retry_quarantined,
+        fault_plan=fault_plan,
+    )
+
+    set_default_jobs(args.jobs)
+    try:
+        stats = run_sweep(
+            spec, jobs=args.jobs, policy=policy,
+            progress=_SweepProgress() if args.progress else None)
+    except SweepInterrupted as stop:
+        stats = stop.stats
+        print(file=sys.stderr)
+        print("interrupted — partial results are installed; re-run to "
+              "resume from the store", file=sys.stderr)
+        if stats is not None:
+            if stats.failures:
+                _print_failure_summary(stats)
+            print(stats.summary())
+        return 130
+
+    if stats.ok:
+        # All cells are warm: rendering pulls straight from the cache.
+        for name in names:
+            result = render_experiment(name, w=args.w, w_sweep=w_sweep,
+                                       sizes=sizes, workloads=workloads)
+            print(format_table(result.headers, result.rows,
+                               title=result.experiment))
+            print()
+    else:
+        _print_failure_summary(stats)
+        print(f"{stats.failed} cells failed; tables not rendered "
+              "(healthy cells are installed in the store)")
     print(stats.summary())
     if args.cache_stats:
         _print_cache_stats()
-    return 0
+    if stats.aborted:
+        return 3
+    return 0 if stats.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -744,6 +834,46 @@ def build_parser() -> argparse.ArgumentParser:
                               help="comma-separated microbenchmarks")
     sweep_parser.add_argument("--engine", choices=ENGINES, default=None,
                               help="simulation engine for the sweep")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECS",
+                              help="per-cell wall-clock deadline; a cell "
+                                   "past it is killed and counted as a "
+                                   "timeout failure (default: none)")
+    sweep_parser.add_argument("--retries", type=int, default=0,
+                              help="extra attempts for a failed cell "
+                                   "before it is quarantined (default 0; "
+                                   "fuel exhaustion never retries)")
+    sweep_parser.add_argument("--max-failures", type=int, default=None,
+                              metavar="N",
+                              help="abort the sweep once more than N "
+                                   "cells have permanently failed "
+                                   "(default: keep going; exit code 3 "
+                                   "on abort)")
+    sweep_parser.add_argument("--retry-quarantined", action="store_true",
+                              help="clear persisted failure records and "
+                                   "re-run the quarantined cells")
+    sweep_parser.add_argument("--fallback-reference", action="store_true",
+                              help="re-run a permanently failing "
+                                   "fast-engine simulation cell on the "
+                                   "reference engine (the bit-exact "
+                                   "oracle) before quarantining it")
+    sweep_parser.add_argument("--max-instructions", type=int, default=None,
+                              metavar="N",
+                              help="per-cell dynamic-instruction fuel "
+                                   "budget; exhaustion is a "
+                                   "deterministic, non-retryable cell "
+                                   "failure (default: engine backstop "
+                                   "of 50M)")
+    sweep_parser.add_argument("--chaos", type=int, default=None,
+                              metavar="SEED",
+                              help="(testing) inject a seeded "
+                                   "deterministic fault plan — raising, "
+                                   "hanging, and worker-killing cells — "
+                                   "to exercise the failure paths; "
+                                   "requires --timeout")
+    sweep_parser.add_argument("--chaos-rate", type=float, default=0.25,
+                              help="(testing) fraction of cells the "
+                                   "--chaos plan faults (default 0.25)")
     sweep_parser.add_argument("--cache-stats", action="store_true",
                               help="print run-cache and store counters")
     sweep_parser.set_defaults(func=cmd_sweep)
@@ -758,6 +888,11 @@ def main(argv: list[str] | None = None) -> int:
     except _UsageError as error:
         print(str(error), file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # A Ctrl-C a command didn't handle itself (sweeps print their
+        # own partial summary): exit quietly, nonzero, no traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

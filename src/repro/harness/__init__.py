@@ -8,6 +8,12 @@ those functions into declarative, parallelizable batches, and
 :mod:`repro.harness.store` persists their results across runs.
 """
 
+from repro.harness.failures import (
+    CellFailure,
+    ExecutionPolicy,
+    RunOutcome,
+    SweepInterrupted,
+)
 from repro.harness.runner import (
     RunResult,
     cache_info,
@@ -52,6 +58,10 @@ from repro.harness.experiments import (
 )
 
 __all__ = [
+    "CellFailure",
+    "ExecutionPolicy",
+    "RunOutcome",
+    "SweepInterrupted",
     "run_workload",
     "run_attack",
     "attack_matrix",

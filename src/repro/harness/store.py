@@ -13,12 +13,20 @@ Layout (``ResultStore(root)``)::
 
     root/
       STORE_FORMAT            # format marker, for forward compatibility
-      objects/ab/abcdef....json   # one record per fingerprint
+      objects/ab/abcdef....json     # one record per fingerprint
+      quarantine/ab/abcdef....json  # one failure record per poisoned cell
 
-Records are written atomically (temp file + ``os.replace``) so
-concurrent writers — e.g. two sweep processes sharing a store —
-cannot corrupt each other; both produce the same bytes for the same
-fingerprint.
+Records are written atomically (temp file + ``fsync`` + ``os.replace``)
+so concurrent writers — e.g. two sweep processes sharing a store —
+cannot corrupt each other, and a process killed mid-``put`` (a worker
+OOM, Ctrl-C, a machine crash) can never leave a truncated record: the
+old bytes survive until the new bytes are durably on disk.
+
+The ``quarantine/`` tree holds :class:`~repro.harness.failures.CellFailure`
+records for cells that failed permanently: resume skips them instead of
+re-running a known-poisonous cell endlessly, until the caller clears
+them (``repro sweep --retry-quarantined``).  A successful run of a
+quarantined cell clears its record automatically.
 
 A record stores its own descriptor next to the report, which lets
 :meth:`ResultStore.get` *verify* the match instead of trusting the
@@ -66,6 +74,8 @@ class StoreStats:
     misses: int = 0
     stores: int = 0
     invalidations: int = 0
+    quarantines: int = 0      # failure records written
+    quarantine_hits: int = 0  # cells skipped because a record existed
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -73,6 +83,8 @@ class StoreStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": self.invalidations,
+            "quarantines": self.quarantines,
+            "quarantine_hits": self.quarantine_hits,
         }
 
 
@@ -107,9 +119,17 @@ class ResultStore:
     def _objects_dir(self) -> str:
         return os.path.join(self.root, "objects")
 
+    @property
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
+
     def path_for(self, fp: str) -> str:
         """On-disk location of the record for fingerprint *fp*."""
         return os.path.join(self._objects_dir, fp[:2], fp + ".json")
+
+    def failure_path_for(self, fp: str) -> str:
+        """On-disk location of the quarantine record for *fp*."""
+        return os.path.join(self._quarantine_dir, fp[:2], fp + ".json")
 
     # -- record access ----------------------------------------------------
 
@@ -162,6 +182,73 @@ class ResultStore:
         self._atomic_write(path, canonical_json(record) + "\n")
         self.stats.stores += 1
 
+    # -- quarantine records -----------------------------------------------
+
+    def contains_failure(self, fp: str) -> bool:
+        """Whether a quarantine record exists (no validation)."""
+        return os.path.exists(self.failure_path_for(fp))
+
+    def get_failure(self, fp: str, descriptor: dict) -> dict | None:
+        """Load the quarantine record for *fp*, or ``None``.
+
+        Validated like :meth:`get`: a corrupt record, a schema bump, or
+        a descriptor mismatch removes the file and reports no record —
+        a stale poison marker degrades to re-running the cell, never to
+        skipping a cell it doesn't actually describe.
+        """
+        path = self.failure_path_for(fp)
+        try:
+            with open(path, "rb") as handle:
+                record = json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._remove(path)
+            return None
+        if (not isinstance(record, dict)
+                or record.get("schema") != SCHEMA_VERSION
+                or record.get("key") != descriptor
+                or not isinstance(record.get("failure"), dict)):
+            self._remove(path)
+            return None
+        self.stats.quarantine_hits += 1
+        return record["failure"]
+
+    def put_failure(self, fp: str, descriptor: dict,
+                    failure: dict) -> None:
+        """Quarantine *fp*: persist its failure record (atomic)."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fp,
+            "key": descriptor,
+            "failure": failure,
+        }
+        path = self.failure_path_for(fp)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._atomic_write(path, canonical_json(record) + "\n")
+        self.stats.quarantines += 1
+
+    def clear_failure(self, fp: str) -> bool:
+        """Remove *fp*'s quarantine record; True if one existed."""
+        try:
+            os.remove(self.failure_path_for(fp))
+            return True
+        except OSError:
+            return False
+
+    def failure_count(self) -> int:
+        """Number of quarantine records on disk."""
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self._quarantine_dir):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count
+
+    def _remove(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
     def _invalidate(self, path: str) -> None:
         # An invalidated record is also a miss: the caller recomputes,
         # so hit/miss totals keep accounting for every lookup.
@@ -182,11 +269,17 @@ class ResultStore:
         return count
 
     def _atomic_write(self, path: str, text: str) -> None:
+        # Write-to-temp + fsync + replace: a reader never sees partial
+        # bytes (replace is atomic), and a crash at any point leaves
+        # either the old record or the new one — fsync before replace
+        # keeps the rename from being durably ordered ahead of the data.
         handle = tempfile.NamedTemporaryFile(
             "w", encoding="utf-8", dir=os.path.dirname(path),
             prefix=".tmp-", delete=False)
         try:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
             handle.close()
             os.replace(handle.name, path)
         except BaseException:

@@ -29,9 +29,16 @@ from dataclasses import dataclass, field
 from repro.core.engine import ENGINES, get_default_engine
 from repro.defenses.registry import get_defense
 from repro.harness import parallel
+from repro.harness.failures import (
+    CellFailure,
+    ExecutionPolicy,
+    RunOutcome,
+    SweepInterrupted,
+)
 from repro.harness.runner import (
     RunResult,
     cell_descriptor,
+    get_store,
     probe,
     run_attack,
     run_djpeg,
@@ -208,18 +215,60 @@ def _dedupe(cells: list[SweepCell]) -> list[SweepCell]:
 
 @dataclass
 class SweepStats:
-    """Where each cell of one sweep came from."""
+    """Where each cell of one sweep came from — and how the rest died."""
 
     sweep: str
     cells: int = 0          # unique grid points
     cached: int = 0         # already in the in-process cache
     from_store: int = 0     # loaded from the on-disk store
     computed: int = 0       # simulated this run
+    quarantined: int = 0    # skipped: a poison record marked them failed
+    fellback: int = 0       # installed via the reference-engine fallback
+    aborted: bool = False   # the failure budget stopped the sweep early
+    interrupted: bool = False   # Ctrl-C stopped the sweep
+    failures: list[CellFailure] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        """Permanent failures this run (quarantine skips included)."""
+        return len(self.failures)
+
+    @property
+    def remaining(self) -> int:
+        """Cells with neither a result nor a failure record."""
+        return (self.cells - self.cached - self.from_store
+                - self.computed - self.failed)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.failures or self.aborted or self.interrupted)
 
     def summary(self) -> str:
-        return (f"sweep {self.sweep}: {self.cells} cells — "
+        line = (f"sweep {self.sweep}: {self.cells} cells — "
                 f"{self.cached} cached, {self.from_store} from store, "
                 f"{self.computed} computed")
+        if not self.ok or self.fellback:
+            extras = [f"{self.failed} failed"]
+            if self.quarantined:
+                extras.append(f"{self.quarantined} quarantined")
+            if self.fellback:
+                extras.append(f"{self.fellback} fell back to reference")
+            if self.remaining:
+                extras.append(f"{self.remaining} not run")
+            if self.aborted:
+                extras.append("ABORTED (failure budget exceeded)")
+            if self.interrupted:
+                extras.append("INTERRUPTED")
+            line += ", " + ", ".join(extras)
+        return line
+
+    def adopt(self, outcome: RunOutcome) -> None:
+        """Fold one ``run_cells`` outcome into the sweep totals."""
+        self.computed += outcome.computed
+        self.failures.extend(outcome.failures)
+        self.fellback += len(outcome.fellback)
+        self.aborted = self.aborted or outcome.aborted
+        self.interrupted = self.interrupted or outcome.interrupted
 
 
 _DEFAULT_JOBS = 1
@@ -236,28 +285,59 @@ def get_default_jobs() -> int:
 
 
 def run_sweep(spec: SweepSpec, jobs: int | None = None,
-              progress: parallel.ProgressFn | None = None) -> SweepStats:
+              progress: parallel.ProgressFn | None = None,
+              policy: ExecutionPolicy | None = None) -> SweepStats:
     """Evaluate every cell of *spec*; afterwards all cells are L1 hits.
 
     Cells already in the in-process cache are skipped; cells present in
-    the configured store are loaded (a store hit); the remainder is
-    simulated — serially for ``jobs=1``, else across a worker pool —
-    and installed into the cache and store in fingerprint order, so the
-    resulting state is bit-identical for any ``jobs``.
+    the configured store are loaded (a store hit); cells the store has
+    *quarantined* (a persisted failure record from an earlier run) are
+    skipped as known-failed unless ``policy.retry_quarantined`` clears
+    them; the remainder is simulated — serially for ``jobs=1``, else
+    across a fault-tolerant worker pool — and installed into the cache
+    and store in fingerprint order, so the resulting state is
+    bit-identical for any ``jobs``.  Failures are collected into
+    ``stats.failures`` (see :class:`~repro.harness.failures.CellFailure`)
+    rather than raised; a healthy sweep has ``stats.ok``.
     """
     jobs = _DEFAULT_JOBS if jobs is None else max(1, int(jobs))
+    policy = policy or ExecutionPolicy()
     stats = SweepStats(sweep=spec.name, cells=len(spec.cells))
+    store = get_store()
     to_compute: list[SweepCell] = []
     for cell in spec.cells:
-        where = probe(cell.descriptor())
+        descriptor = cell.descriptor()
+        where = probe(descriptor)
         if where == "cache":
             stats.cached += 1
-        elif where == "store":
+            continue
+        if where == "store":
             stats.from_store += 1
-        else:
-            to_compute.append(cell)
-    stats.computed = parallel.run_cells(to_compute, jobs=jobs,
-                                        progress=progress)
+            continue
+        if store is not None:
+            fp = cell.fingerprint()
+            if store.contains_failure(fp):
+                if policy.retry_quarantined:
+                    store.clear_failure(fp)
+                else:
+                    record = store.get_failure(fp, descriptor)
+                    if record is not None:
+                        failure = CellFailure.from_dict(record)
+                        failure.quarantined = True
+                        stats.failures.append(failure)
+                        stats.quarantined += 1
+                        continue
+                    # The record was stale/corrupt and has been
+                    # dropped; fall through and recompute the cell.
+        to_compute.append(cell)
+    try:
+        outcome = parallel.run_cells(to_compute, jobs=jobs,
+                                     progress=progress, policy=policy)
+    except SweepInterrupted as stop:
+        stats.adopt(stop.outcome)
+        stop.stats = stats   # the CLI summarizes the partial sweep
+        raise
+    stats.adopt(outcome)
     return stats
 
 

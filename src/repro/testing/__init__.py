@@ -1,0 +1,12 @@
+"""Deterministic test instrumentation for the harness.
+
+:mod:`repro.testing.faults` is the fault-injection harness the chaos
+suite and ``make chaos-smoke`` drive: seeded, fingerprint-keyed fault
+plans that make chosen sweep cells raise, hang, or kill their worker,
+so every failure path of the fault-tolerant execution layer is
+exercised in CI rather than just claimed.
+"""
+
+from repro.testing.faults import FaultPlan, FaultSpec, InjectedFault
+
+__all__ = ["FaultPlan", "FaultSpec", "InjectedFault"]

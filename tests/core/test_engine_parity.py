@@ -245,3 +245,48 @@ def test_unknown_engine_rejected(fast_config):
     program = compile_microbench(spec, "plain").program
     with pytest.raises(ValueError):
         simulate(program, sempe=False, config=fast_config, engine="turbo")
+
+
+@pytest.mark.parametrize("budget", [1, 37, 500])
+def test_fuel_exhaustion_parity_sempe(budget, fast_config):
+    """simulate(max_instructions=...) aborts both engines at the same
+    committed instruction, with the count carried on the error."""
+    spec = MicrobenchSpec("fibonacci", w=2, iters=1)
+    program = compile_microbench(spec, "sempe").program
+    errors = []
+    for engine in ("reference", "fast"):
+        with pytest.raises(InstructionLimitError) as err:
+            simulate(program, sempe=True, config=fast_config,
+                     max_instructions=budget, engine=engine)
+        errors.append(err.value)
+    reference, fast = errors
+    assert reference.executed == fast.executed == budget
+    assert str(reference) == str(fast)
+
+
+def test_fuel_limit_error_carries_executed_count():
+    program = assemble(INFINITE_LOOP)
+    reference = Executor(program, sempe=False, max_instructions=25)
+    with pytest.raises(InstructionLimitError) as ref_err:
+        for _record in reference.run():
+            pass
+    fast = FastExecutor(program, sempe=False, max_instructions=25)
+    with pytest.raises(InstructionLimitError) as fast_err:
+        for _chunk in fast.run_chunks():
+            pass
+    assert ref_err.value.executed == fast_err.value.executed == 25
+    # the partial results agree with the advertised count
+    assert reference.result.instructions == fast.result.instructions == 25
+
+
+def test_generous_budget_changes_nothing(fast_config):
+    """An explicit budget a healthy run never reaches is a no-op, so
+    fuel off-by-default cannot perturb goldens on either engine."""
+    spec = MicrobenchSpec("ones", w=1, iters=1)
+    program = compile_microbench(spec, "sempe").program
+    for engine in ("reference", "fast"):
+        unlimited = simulate(program, sempe=True, config=fast_config,
+                             engine=engine)
+        budgeted = simulate(program, sempe=True, config=fast_config,
+                            max_instructions=10**9, engine=engine)
+        assert budgeted == unlimited

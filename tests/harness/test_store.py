@@ -244,3 +244,113 @@ def test_format_marker_validated(tmp_path):
         handle.write("someone-elses-format-v9\n")
     with pytest.raises(ValueError, match="someone-elses-format-v9"):
         ResultStore(root)
+
+
+# -- quarantine records ----------------------------------------------------
+
+FAILURE = {
+    "fingerprint": "", "name": "fibonacci-W1-I1-natural", "mode": "plain",
+    "kind": "micro", "failure": "exception", "error_type": "RuntimeError",
+    "message": "boom", "traceback": "", "attempts": 2, "duration": 0.0,
+    "engine": "fast", "quarantined": True,
+}
+
+
+def _quarantine(store, descriptor=None):
+    descriptor = descriptor or _descriptor()
+    fp = fingerprint(descriptor)
+    store.put_failure(fp, descriptor, dict(FAILURE, fingerprint=fp))
+    return fp, descriptor
+
+
+def test_failure_record_round_trip(store):
+    fp, descriptor = _quarantine(store)
+    assert store.contains_failure(fp)
+    assert store.failure_count() == 1
+    record = store.get_failure(fp, descriptor)
+    assert record == dict(FAILURE, fingerprint=fp)
+    assert store.stats.quarantines == 1
+    assert store.stats.quarantine_hits == 1
+
+
+def test_failure_records_live_outside_the_object_tree(store):
+    fp, _ = _quarantine(store)
+    assert len(store) == 0                  # no object record
+    assert not store.contains(fp)
+    path = store.failure_path_for(fp)
+    assert os.path.join("quarantine", fp[:2]) in path
+    assert os.path.exists(path)
+
+
+def test_clear_failure(store):
+    fp, _ = _quarantine(store)
+    assert store.clear_failure(fp) is True
+    assert not store.contains_failure(fp)
+    assert store.failure_count() == 0
+    assert store.clear_failure(fp) is False  # already gone
+
+
+def test_failure_descriptor_mismatch_self_heals(store):
+    fp, _ = _quarantine(store)
+    other = _descriptor(mode="sempe")
+    assert store.get_failure(fp, other) is None
+    # the stale marker was dropped so the cell will be re-run
+    assert not store.contains_failure(fp)
+
+
+def test_corrupt_failure_record_self_heals(store):
+    fp, descriptor = _quarantine(store)
+    with open(store.failure_path_for(fp), "w", encoding="utf-8") as handle:
+        handle.write("{truncated")
+    assert store.get_failure(fp, descriptor) is None
+    assert not store.contains_failure(fp)
+
+
+def test_failure_schema_bump_self_heals(store):
+    fp, descriptor = _quarantine(store)
+    path = store.failure_path_for(fp)
+    with open(path, "rb") as handle:
+        record = json.loads(handle.read())
+    record["schema"] = SCHEMA_VERSION + 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(record))
+    assert store.get_failure(fp, descriptor) is None
+    assert not store.contains_failure(fp)
+
+
+def test_missing_failure_record_is_none(store):
+    assert store.get_failure("ab" * 32, _descriptor()) is None
+    assert store.failure_count() == 0
+
+
+# -- atomic writes ---------------------------------------------------------
+
+def test_interrupted_put_leaves_no_partial_record(store, monkeypatch):
+    """A crash between the temp write and the rename must leave the
+    store without a (possibly truncated) record under the real name."""
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+
+    def crash(src, dst):
+        raise OSError("simulated crash before rename")
+
+    monkeypatch.setattr(os, "replace", crash)
+    with pytest.raises(OSError, match="simulated crash"):
+        store.put(fp, descriptor, {"x": 1})
+    monkeypatch.undo()
+    assert not store.contains(fp)
+    assert store.get(fp, descriptor) is None
+
+
+def test_interrupted_put_preserves_previous_record(store, monkeypatch):
+    descriptor = _descriptor()
+    fp = fingerprint(descriptor)
+    store.put(fp, descriptor, {"x": "original"})
+
+    monkeypatch.setattr(os, "replace",
+                        lambda src, dst: (_ for _ in ()).throw(
+                            OSError("simulated crash")))
+    with pytest.raises(OSError):
+        store.put(fp, descriptor, {"x": "replacement"})
+    monkeypatch.undo()
+    assert store.get(fp, descriptor) == {"x": "original"}

@@ -176,8 +176,9 @@ def test_worker_pool_writes_store_like_serial(tmp_path):
 
 def test_run_cells_collapses_duplicates():
     cells = _small_cells()
-    computed = run_cells(cells + cells, jobs=1)
-    assert computed == len(cells)
+    outcome = run_cells(cells + cells, jobs=1)
+    assert outcome.computed == len(cells)
+    assert outcome.ok and not outcome.failures
 
 
 def test_workload_cells_through_worker_pool(tmp_path):

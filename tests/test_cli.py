@@ -540,3 +540,117 @@ def test_experiments_defensematrix_listed(capsys):
     from repro.harness import EXPERIMENTS
 
     assert "defensematrix" in EXPERIMENTS
+
+
+# --------------------------------------------------------------------------
+# fault tolerance: policy flags, failure summaries, exit codes
+# --------------------------------------------------------------------------
+
+FT_ARGS = ["sweep", "fig10a", "--w", "1", "--workloads", "ones",
+           "--jobs", "1"]
+
+
+def test_sweep_chaos_requires_timeout(clean_harness, capsys):
+    assert main(FT_ARGS + ["--no-store", "--chaos", "1"]) == 2
+    assert "--timeout" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_policy_values(clean_harness, capsys):
+    assert main(FT_ARGS + ["--no-store", "--timeout", "0"]) == 2
+    assert "--timeout must be positive" in capsys.readouterr().err
+    assert main(FT_ARGS + ["--no-store", "--retries", "-1"]) == 2
+    assert "--retries must be >= 0" in capsys.readouterr().err
+    assert main(FT_ARGS + ["--no-store", "--max-instructions", "0"]) == 2
+    assert "--max-instructions must be positive" in capsys.readouterr().err
+
+
+def test_sweep_failure_lifecycle_exit_codes(clean_harness, tmp_path,
+                                            capsys):
+    """fuel-fail -> quarantine skip on resume -> --retry-quarantined
+    recovers; exit codes 1 / 1 / 0 along the way."""
+    from repro.harness import clear_cache
+
+    store_dir = str(tmp_path / "store")
+    # every cell exhausts an absurdly small fuel budget: exit 1
+    assert main(FT_ARGS + ["--store", store_dir,
+                           "--max-instructions", "10"]) == 1
+    out = capsys.readouterr().out
+    assert "Failed cells (3)" in out
+    assert "fuel-exhausted" in out and "quarantined" in out
+    assert "tables not rendered" in out
+    assert "3 failed" in out
+
+    # resume skips the quarantined cells instead of re-running them
+    clear_cache()
+    assert main(FT_ARGS + ["--store", store_dir]) == 1
+    out = capsys.readouterr().out
+    assert "3 quarantined" in out
+    assert "--retry-quarantined" in out
+
+    # clearing the quarantine (without the tiny budget) recovers fully
+    clear_cache()
+    assert main(FT_ARGS + ["--store", store_dir,
+                           "--retry-quarantined"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 10a" in out and "3 computed" in out
+
+
+def test_sweep_abort_exit_code(clean_harness, capsys):
+    assert main(FT_ARGS + ["--no-store", "--max-instructions", "10",
+                           "--max-failures", "0"]) == 3
+    out = capsys.readouterr().out
+    assert "ABORTED" in out
+
+
+def test_sweep_progress_reports_failures(clean_harness, capsys):
+    assert main(FT_ARGS + ["--no-store", "--progress",
+                           "--max-instructions", "10"]) == 1
+    err = capsys.readouterr().err
+    assert "[3/3, 3 failed]" in err
+
+
+def test_sweep_interrupt_exit_code(clean_harness, monkeypatch, capsys):
+    from repro.harness import parallel
+    from repro.harness.failures import RunOutcome, SweepInterrupted
+
+    def interrupted(cells, jobs=1, progress=None, policy=None):
+        raise SweepInterrupted(RunOutcome(total=3, computed=1))
+
+    monkeypatch.setattr(parallel, "run_cells", interrupted)
+    assert main(FT_ARGS + ["--no-store"]) == 130
+    captured = capsys.readouterr()
+    assert "interrupted" in captured.err
+    assert "INTERRUPTED" in captured.out
+
+
+@pytest.mark.slow
+def test_sweep_chaos_smoke(clean_harness, tmp_path, capsys):
+    """The chaos harness end to end: seeded faults over a real sweep,
+    nonzero exit, failure table, deterministic across reruns."""
+    store_a = str(tmp_path / "a")
+    args = FT_ARGS + ["--timeout", "2", "--chaos", "1",
+                      "--chaos-rate", "1.0"]
+    assert main(args + ["--store", store_a]) == 1
+    captured = capsys.readouterr()
+    assert "chaos: injecting 3 faults across 3 cells" in captured.err
+    assert "Failed cells (3)" in captured.out
+
+    from repro.harness import clear_cache
+
+    clear_cache()
+    store_b = str(tmp_path / "b")
+    assert main(args + ["--store", store_b]) == 1
+    assert "Failed cells (3)" in capsys.readouterr().out
+
+    def tree(root):
+        import os
+
+        snapshot = {}
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as handle:
+                    snapshot[os.path.relpath(path, root)] = handle.read()
+        return snapshot
+
+    assert tree(store_a) == tree(store_b)
