@@ -4,7 +4,8 @@ export PYTHONPATH
 PYTEST := python -m pytest
 
 .PHONY: test test-fast test-slow parity sweep registry-smoke attack-smoke \
-	defense-smoke chaos-smoke bench-perf bench-quick bench-full ci
+	defense-smoke chaos-smoke bench-perf bench-gate bench-quick \
+	bench-full ci
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -18,7 +19,9 @@ test-fast:
 test-slow:
 	$(PYTEST) -x -q -m slow
 
-# Golden fast-vs-reference engine equivalence suite.
+# Golden engine equivalence suites: fast-vs-reference and the
+# batched-vs-serial lane parity (every lane of a BatchExecutor must be
+# byte-identical to a serial run, reports and observation traces).
 parity:
 	$(PYTEST) -x -q -m parity
 
@@ -69,6 +72,13 @@ chaos-smoke:
 bench-perf:
 	REPRO_BENCH_SCALE=quick $(PYTEST) benchmarks/bench_perf_engine.py -q -s
 
+# CI perf-regression gate: fresh quick-scale measurement vs the
+# committed BENCH_baseline.json, machine-normalised, red on a >15%
+# drop in any gated metric.  Refresh the baseline only via an explicit
+# `python benchmarks/bench_gate.py --write-baseline` + reviewed diff.
+bench-gate:
+	python benchmarks/bench_gate.py
+
 # CI entry: tier-1 tests plus the quick-scale engine benchmark.
 bench-quick: test bench-perf
 
@@ -79,7 +89,7 @@ bench-full:
 # Mirror of .github/workflows/ci.yml: registry + attack + defense +
 # chaos smokes, fast lane then slow lane (their union is exactly
 # tier-1), the parity gate (re-run deliberately as a named check even
-# though the fast lane includes it), and the bench smoke (which
-# refreshes BENCH_perf.json).
+# though the fast lane includes it), the bench smoke (which refreshes
+# BENCH_perf.json), and the perf-regression gate.
 ci: registry-smoke attack-smoke defense-smoke chaos-smoke test-fast \
-	test-slow parity bench-perf
+	test-slow parity bench-perf bench-gate

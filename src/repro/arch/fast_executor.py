@@ -91,6 +91,11 @@ class FastExecutor(Executor):
         strict = self.strict
         max_instructions = self.max_instructions
         drain_id = DRAIN_REASON_ID
+        if not sempe:
+            # Constant-per-run hoist: with SeMPE off no branch can open a
+            # secure region, so the per-branch ``sec_t[pc]`` test can read
+            # from an all-false column instead of re-testing ``sempe``.
+            sec_t = b"\x00" * n_prog
 
         # Column buffers for the chunk under construction.
         col_pc: list[int] = []
@@ -107,213 +112,234 @@ class FastExecutor(Executor):
         loads = stores = branches = taken_branches = 0
         secure_loads = secure_stores = 0
         op_counts = [0] * NUM_OPS
+        # ``secure_icount`` is reconstructed from checkpoints instead of a
+        # per-instruction ``if regions:`` test: ``secure_base`` records
+        # ``icount`` when the outermost region opens, and the delta is
+        # banked when it closes (or in ``finally`` for aborted runs).
+        secure_base = 0
 
         pc = state.pc
         try:
-            while True:
-                if not 0 <= pc < n_prog:
-                    raise SimulationError(f"PC out of range: {pc}")
-                if icount >= max_instructions:
+            while not state.halted:
+                # The fuel budget is enforced per stretch, not per
+                # instruction: every instruction inside a stretch is
+                # within budget by construction, so only the stretch
+                # boundary needs the compare.  The reference engine
+                # checks PC range before fuel each step; replicate that
+                # precedence here when the budget runs out.
+                remaining = max_instructions - icount
+                if remaining <= 0:
+                    if not 0 <= pc < n_prog:
+                        raise SimulationError(f"PC out of range: {pc}")
                     raise InstructionLimitError(
                         f"exceeded {max_instructions} dynamic instructions",
                         executed=icount,
                     )
-                k = kind_t[pc]
-                icount += 1
-                op_counts[opid_t[pc]] += 1
-                if regions:
-                    secure_icount += 1
-                next_pc = pc + 1
+                if remaining > CHUNK_RECORDS:
+                    remaining = CHUNK_RECORDS
+                for _ in range(remaining):
+                    if not 0 <= pc < n_prog:
+                        raise SimulationError(f"PC out of range: {pc}")
+                    k = kind_t[pc]
+                    icount += 1
+                    op_counts[opid_t[pc]] += 1
+                    next_pc = pc + 1
 
-                if k <= K_LAST_ALU:
-                    # Register operands are masked at read so that raw
-                    # out-of-range values poked directly into
-                    # ``state.regs`` (negative, or >= 2**64) behave
-                    # exactly as in the reference engine, whose
-                    # ``to_signed``/``to_unsigned`` helpers normalize
-                    # every operand per op.  Immediates stay raw — the
-                    # reference uses them raw too, and each handler
-                    # below masks them where its semantics require.
-                    r1 = rs1_t[pc]
-                    a = regs[r1] & MASK64 if r1 >= 0 else 0
-                    if b_imm_t[pc]:
-                        b = imm_t[pc]
-                    else:
-                        r2 = rs2_t[pc]
-                        b = regs[r2] & MASK64 if r2 >= 0 else 0
-                    if k == K_ADD:
-                        value = a + b
-                    elif k == K_SUB:
-                        value = a - b
-                    elif k == K_AND:
-                        value = a & b
-                    elif k == K_OR:
-                        value = a | b
-                    elif k == K_XOR:
-                        value = a ^ b
-                    elif k == K_SLL:
-                        value = a << (b & 63)
-                    elif k == K_SRL:
-                        value = a >> (b & 63)
-                    elif k == K_SRA:
-                        sa = a - TWO64 if a >= SIGN_BIT else a
-                        value = sa >> (b & 63)
-                    elif k == K_SLT:
-                        ub = b & MASK64
-                        sa = a - TWO64 if a >= SIGN_BIT else a
-                        sb = ub - TWO64 if ub >= SIGN_BIT else ub
-                        value = 1 if sa < sb else 0
-                    elif k == K_SLTU:
-                        value = 1 if a < (b & MASK64) else 0
-                    elif k == K_LUI:
-                        value = imm_t[pc]
-                    elif k == K_MUL:
-                        sa = a - TWO64 if a >= SIGN_BIT else a
-                        ub = b & MASK64
-                        sb = ub - TWO64 if ub >= SIGN_BIT else ub
-                        value = sa * sb
-                    else:  # K_DIV / K_REM — mirrors Executor._divide
-                        sa = a - TWO64 if a >= SIGN_BIT else a
-                        ub = b & MASK64
-                        sb = ub - TWO64 if ub >= SIGN_BIT else ub
-                        if sb == 0:
-                            if strict:
-                                raise SimulationError(
-                                    "division by zero in strict mode")
-                            value = -1 if k == K_DIV else sa
+                    if k <= K_LAST_ALU:
+                        # Register operands are masked at read so that raw
+                        # out-of-range values poked directly into
+                        # ``state.regs`` (negative, or >= 2**64) behave
+                        # exactly as in the reference engine, whose
+                        # ``to_signed``/``to_unsigned`` helpers normalize
+                        # every operand per op.  Immediates stay raw — the
+                        # reference uses them raw too, and each handler
+                        # below masks them where its semantics require.
+                        r1 = rs1_t[pc]
+                        a = regs[r1] & MASK64 if r1 >= 0 else 0
+                        if b_imm_t[pc]:
+                            b = imm_t[pc]
                         else:
-                            quotient = abs(sa) // abs(sb)
-                            if (sa < 0) != (sb < 0):
-                                quotient = -quotient
-                            value = quotient if k == K_DIV \
-                                else sa - quotient * sb
-                    d = rd_t[pc]
-                    if d > 0:
-                        regs[d] = value & MASK64
-                        if mstack:
-                            mstack[-1].add(d)
-                    ap(pc); aa(-1); at(-1)
+                            r2 = rs2_t[pc]
+                            b = regs[r2] & MASK64 if r2 >= 0 else 0
+                        if k == K_ADD:
+                            value = a + b
+                        elif k == K_SUB:
+                            value = a - b
+                        elif k == K_AND:
+                            value = a & b
+                        elif k == K_OR:
+                            value = a | b
+                        elif k == K_XOR:
+                            value = a ^ b
+                        elif k == K_SLL:
+                            value = a << (b & 63)
+                        elif k == K_SRL:
+                            value = a >> (b & 63)
+                        elif k == K_SRA:
+                            sa = a - TWO64 if a >= SIGN_BIT else a
+                            value = sa >> (b & 63)
+                        elif k == K_SLT:
+                            ub = b & MASK64
+                            sa = a - TWO64 if a >= SIGN_BIT else a
+                            sb = ub - TWO64 if ub >= SIGN_BIT else ub
+                            value = 1 if sa < sb else 0
+                        elif k == K_SLTU:
+                            value = 1 if a < (b & MASK64) else 0
+                        elif k == K_LUI:
+                            value = imm_t[pc]
+                        elif k == K_MUL:
+                            sa = a - TWO64 if a >= SIGN_BIT else a
+                            ub = b & MASK64
+                            sb = ub - TWO64 if ub >= SIGN_BIT else ub
+                            value = sa * sb
+                        else:  # K_DIV / K_REM — mirrors Executor._divide
+                            sa = a - TWO64 if a >= SIGN_BIT else a
+                            ub = b & MASK64
+                            sb = ub - TWO64 if ub >= SIGN_BIT else ub
+                            if sb == 0:
+                                if strict:
+                                    raise SimulationError(
+                                        "division by zero in strict mode")
+                                value = -1 if k == K_DIV else sa
+                            else:
+                                quotient = abs(sa) // abs(sb)
+                                if (sa < 0) != (sb < 0):
+                                    quotient = -quotient
+                                value = quotient if k == K_DIV \
+                                    else sa - quotient * sb
+                        d = rd_t[pc]
+                        if d > 0:
+                            regs[d] = value & MASK64
+                            if mstack:
+                                mstack[-1].add(d)
+                        ap(pc); aa(-1); at(-1)
 
-                elif k == K_LOAD:
-                    addr = (regs[rs1_t[pc]] + imm_t[pc]) & MASK64
-                    loads += 1
-                    if regions:
-                        secure_loads += 1
-                    value = mem_load(addr, w_t[pc])
-                    d = rd_t[pc]
-                    if d > 0:
-                        regs[d] = value & MASK64
-                        if mstack:
-                            mstack[-1].add(d)
-                    ap(pc); aa(addr); at(-1)
+                    elif k == K_LOAD:
+                        addr = (regs[rs1_t[pc]] + imm_t[pc]) & MASK64
+                        loads += 1
+                        if regions:
+                            secure_loads += 1
+                        value = mem_load(addr, w_t[pc])
+                        d = rd_t[pc]
+                        if d > 0:
+                            regs[d] = value & MASK64
+                            if mstack:
+                                mstack[-1].add(d)
+                        ap(pc); aa(addr); at(-1)
 
-                elif k == K_STORE:
-                    addr = (regs[rs1_t[pc]] + imm_t[pc]) & MASK64
-                    stores += 1
-                    if regions:
-                        secure_stores += 1
-                    mem_store(addr, regs[rs2_t[pc]], w_t[pc])
-                    ap(pc); aa(addr); at(-1)
+                    elif k == K_STORE:
+                        addr = (regs[rs1_t[pc]] + imm_t[pc]) & MASK64
+                        stores += 1
+                        if regions:
+                            secure_stores += 1
+                        mem_store(addr, regs[rs2_t[pc]], w_t[pc])
+                        ap(pc); aa(addr); at(-1)
 
-                elif k <= K_LAST_BRANCH:
-                    # BEQ/BNE compare raw register contents (so does the
-                    # reference); the ordered compares normalize first,
-                    # mirroring to_unsigned/to_signed in
-                    # Executor._branch_condition.
-                    a = regs[rs1_t[pc]]
-                    b = regs[rs2_t[pc]]
-                    if k == K_BEQ:
-                        taken = a == b
-                    elif k == K_BNE:
-                        taken = a != b
-                    elif k == K_BLTU:
-                        taken = (a & MASK64) < (b & MASK64)
-                    elif k == K_BGEU:
-                        taken = (a & MASK64) >= (b & MASK64)
-                    else:
-                        a &= MASK64
-                        b &= MASK64
-                        sa = a - TWO64 if a >= SIGN_BIT else a
-                        sb = b - TWO64 if b >= SIGN_BIT else b
-                        taken = sa < sb if k == K_BLT else sa >= sb
-                    branches += 1
-                    ap(pc); aa(-1); at(1 if taken else 0)
-                    if sec_t[pc] and sempe:
-                        for drain in self._enter_secure_region(
-                                instructions[pc], taken):
-                            ap(-1 - drain_id[drain.reason])
-                            aa(drain.spm_cycles)
-                            at(drain.level)
-                    elif taken:
+                    elif k <= K_LAST_BRANCH:
+                        # BEQ/BNE compare raw register contents (so does the
+                        # reference); the ordered compares normalize first,
+                        # mirroring to_unsigned/to_signed in
+                        # Executor._branch_condition.
+                        a = regs[rs1_t[pc]]
+                        b = regs[rs2_t[pc]]
+                        if k == K_BEQ:
+                            taken = a == b
+                        elif k == K_BNE:
+                            taken = a != b
+                        elif k == K_BLTU:
+                            taken = (a & MASK64) < (b & MASK64)
+                        elif k == K_BGEU:
+                            taken = (a & MASK64) >= (b & MASK64)
+                        else:
+                            a &= MASK64
+                            b &= MASK64
+                            sa = a - TWO64 if a >= SIGN_BIT else a
+                            sb = b - TWO64 if b >= SIGN_BIT else b
+                            taken = sa < sb if k == K_BLT else sa >= sb
+                        branches += 1
+                        ap(pc); aa(-1); at(1 if taken else 0)
+                        if sec_t[pc]:
+                            if not regions:
+                                secure_base = icount
+                            for drain in self._enter_secure_region(
+                                    instructions[pc], taken):
+                                ap(-1 - drain_id[drain.reason])
+                                aa(drain.spm_cycles)
+                                at(drain.level)
+                        elif taken:
+                            taken_branches += 1
+                            next_pc = tgt_t[pc]
+
+                    elif k == K_EOSJMP:
+                        ap(pc); aa(-1); at(-1)
+                        if sempe and regions:
+                            next_pc, eos_drains = self._handle_eosjmp(pc)
+                            for drain in eos_drains:
+                                ap(-1 - drain_id[drain.reason])
+                                aa(drain.spm_cycles)
+                                at(drain.level)
+                            if not regions:
+                                # Outermost region closed: bank its
+                                # instruction span (see secure_base).
+                                secure_icount += icount - secure_base
+
+                    elif k == K_JMP:
+                        branches += 1
                         taken_branches += 1
                         next_pc = tgt_t[pc]
+                        ap(pc); aa(-1); at(1)
 
-                elif k == K_EOSJMP:
-                    ap(pc); aa(-1); at(-1)
-                    if sempe and regions:
-                        next_pc, eos_drains = self._handle_eosjmp(pc)
-                        for drain in eos_drains:
-                            ap(-1 - drain_id[drain.reason])
-                            aa(drain.spm_cycles)
-                            at(drain.level)
+                    elif k == K_JAL:
+                        branches += 1
+                        taken_branches += 1
+                        d = rd_t[pc]
+                        if d > 0:
+                            regs[d] = (pc + 1) & MASK64
+                            if mstack:
+                                mstack[-1].add(d)
+                        next_pc = tgt_t[pc]
+                        ap(pc); aa(-1); at(1)
 
-                elif k == K_JMP:
-                    branches += 1
-                    taken_branches += 1
-                    next_pc = tgt_t[pc]
-                    ap(pc); aa(-1); at(1)
+                    elif k == K_JALR:
+                        branches += 1
+                        taken_branches += 1
+                        target = regs[rs1_t[pc]]
+                        d = rd_t[pc]
+                        if d > 0:
+                            regs[d] = (pc + 1) & MASK64
+                            if mstack:
+                                mstack[-1].add(d)
+                        next_pc = target
+                        ap(pc); aa(target); at(1)
 
-                elif k == K_JAL:
-                    branches += 1
-                    taken_branches += 1
-                    d = rd_t[pc]
-                    if d > 0:
-                        regs[d] = (pc + 1) & MASK64
-                        if mstack:
-                            mstack[-1].add(d)
-                    next_pc = tgt_t[pc]
-                    ap(pc); aa(-1); at(1)
+                    elif k == K_CMOV:
+                        d = rd_t[pc]
+                        value = regs[rs1_t[pc]] if regs[rs2_t[pc]] != 0 \
+                            else (regs[d] if d >= 0 else 0)
+                        if d > 0:
+                            regs[d] = value & MASK64
+                            if mstack:
+                                mstack[-1].add(d)
+                        ap(pc); aa(-1); at(-1)
 
-                elif k == K_JALR:
-                    branches += 1
-                    taken_branches += 1
-                    target = regs[rs1_t[pc]]
-                    d = rd_t[pc]
-                    if d > 0:
-                        regs[d] = (pc + 1) & MASK64
-                        if mstack:
-                            mstack[-1].add(d)
-                    next_pc = target
-                    ap(pc); aa(target); at(1)
+                    elif k == K_NOP:
+                        ap(pc); aa(-1); at(-1)
 
-                elif k == K_CMOV:
-                    d = rd_t[pc]
-                    value = regs[rs1_t[pc]] if regs[rs2_t[pc]] != 0 \
-                        else (regs[d] if d >= 0 else 0)
-                    if d > 0:
-                        regs[d] = value & MASK64
-                        if mstack:
-                            mstack[-1].add(d)
-                    ap(pc); aa(-1); at(-1)
+                    else:  # K_HALT
+                        state.halted = True
+                        ap(pc); aa(-1); at(-1)
+                        pc += 1
+                        break
 
-                elif k == K_NOP:
-                    ap(pc); aa(-1); at(-1)
-
-                else:  # K_HALT
-                    state.halted = True
-                    ap(pc); aa(-1); at(-1)
-                    pc += 1
-                    break
-
-                pc = next_pc
-                if len(col_pc) >= CHUNK_RECORDS:
-                    chunk = TraceChunk(seq0, col_pc, col_addr, col_taken,
-                                       pred)
-                    yield chunk
-                    seq0 += chunk.n
-                    col_pc, col_addr, col_taken = [], [], []
-                    ap, aa, at = (col_pc.append, col_addr.append,
-                                  col_taken.append)
+                    pc = next_pc
+                    if len(col_pc) >= CHUNK_RECORDS:
+                        chunk = TraceChunk(seq0, col_pc, col_addr, col_taken,
+                                           pred)
+                        yield chunk
+                        seq0 += chunk.n
+                        col_pc, col_addr, col_taken = [], [], []
+                        ap, aa, at = (col_pc.append, col_addr.append,
+                                      col_taken.append)
 
             self.result.halted = True
             if col_pc:
@@ -322,6 +348,10 @@ class FastExecutor(Executor):
                 col_pc = []
         finally:
             state.pc = pc
+            if regions:
+                # Run ended (abort or halt) inside an open region: bank
+                # the partial span up to the last executed instruction.
+                secure_icount += icount - secure_base
             # Rows buffered but not yet yielded (aborted runs) still
             # executed; count them like the reference engine would.
             self._seq = seq0 + len(col_pc)

@@ -15,13 +15,19 @@ core, no security; the other schemes apply their machine hooks
 baseline core.  ``sempe=True/False`` remains as a deprecated alias
 for the two legacy schemes.
 
-Two engines produce bit-identical :class:`SimulationReport`\\ s:
+Three engines produce bit-identical :class:`SimulationReport`\\ s:
 
 * ``fast`` (the default) — predecoded dispatch plus a columnar batched
   trace (:class:`~repro.arch.fast_executor.FastExecutor` feeding
   :meth:`~repro.uarch.pipeline.OutOfOrderPipeline.run_chunks`);
+* ``batch`` — the trial-batched vectorized engine
+  (:class:`~repro.arch.batch.BatchExecutor`, numpy-backed); a single
+  ``simulate`` call runs it with one lane, but observation campaigns
+  (:func:`repro.security.observer.collect_observations_batch`) share
+  one decode and one batched execution across all their trials;
 * ``reference`` — the original object-per-instruction stream, kept as
-  the readable oracle the parity suite checks the fast engine against.
+  the readable oracle the parity suites check both other engines
+  against.
 
 Select with the ``engine=`` argument, :func:`set_default_engine` (the
 CLI's ``--engine`` flag), or the ``REPRO_ENGINE`` environment variable.
@@ -97,9 +103,10 @@ class SimulationReport:
         )
 
 
-# Engine registry.  "fast" and "reference" are bit-identical (the golden
-# parity suite enforces it); "reference" stays as the readable oracle.
-ENGINES = ("fast", "reference")
+# Engine registry.  All three are bit-identical (the golden parity and
+# batch-parity suites enforce it); "reference" stays as the readable
+# oracle.  "batch" requires numpy and shines on multi-trial campaigns.
+ENGINES = ("fast", "batch", "reference")
 _default_engine = "fast"
 _default_engine_overridden = False
 
@@ -217,6 +224,22 @@ class SempeMachine:
             if scale != 1.0:
                 chunks = _scale_chunk_drains(chunks, scale)
             stats = pipeline.run_chunks(chunks)
+        elif engine == "batch":
+            from repro.arch.batch import BatchExecutor
+
+            executor = BatchExecutor(
+                program,
+                sempe=self.sempe,
+                n_lanes=1,
+                spm=spm,
+                jbtable=jbtable,
+                max_instructions=max_instructions,
+            )
+            executor.run(line_bytes=config.hierarchy.il1.line_bytes)
+            chunks = _lane_chunk_stream(executor, 0)
+            if scale != 1.0:
+                chunks = _scale_chunk_drains(chunks, scale)
+            stats = pipeline.run_chunks(chunks)
         else:
             executor = Executor(
                 program,
@@ -233,14 +256,20 @@ class SempeMachine:
             # post-run observers see a secret-independent machine.
             stats.cycles += flush_penalty_cycles(config)
             pipeline.flush_transient_state()
+        if engine == "batch":
+            functional = executor.lane_result(0)
+            final_regs = executor.lane_regs(0)
+        else:
+            functional = executor.result
+            final_regs = executor.state.snapshot_regs()
         return SimulationReport(
             program_name=program.name,
             sempe=self.sempe,
             cycles=stats.cycles,
-            functional=executor.result,
+            functional=functional,
             pipeline=stats,
             miss_rates=pipeline.hierarchy.miss_rates(),
-            final_regs=executor.state.snapshot_regs(),
+            final_regs=final_regs,
         )
 
 
@@ -262,6 +291,15 @@ def _drain_scale(mechanism, spm: ScratchpadMemory) -> float:
         spm_bytes_per_cycle=mechanism.spm_bytes_per_cycle,
     )
     return mechanism.snapshot_bytes() / max(reference.snapshot_bytes(), 1)
+
+
+def _lane_chunk_stream(executor, lane: int):
+    """One batch lane's chunks, re-raising its fault where the serial
+    engine's generator would have (after the fully-flushed chunks)."""
+    yield from executor.lane_chunks(lane)
+    error = executor.lane_error(lane)
+    if error is not None:
+        raise error
 
 
 def _scale_drains(trace, scale: float):

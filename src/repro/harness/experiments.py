@@ -460,15 +460,15 @@ def leakmatrix(defenses: tuple[str, ...] | None = None,
 # Attack matrix — every victim x every applicable adversary, both machines
 # --------------------------------------------------------------------------
 
-ATTACK_ENGINES = ("fast", "reference")
+ATTACK_ENGINES = ("fast", "batch", "reference")
 ATTACK_TRIALS = 32
 
 
 def attacks_cells(defenses: tuple[str, ...] = DEFAULT_ATTACK_DEFENSES,
                   **_ignored) -> list[SweepCell]:
     """Every registered workload x applicable attacker x defense x
-    {fast, reference} — the full three-axis adversarial product, as
-    sweep cells (so ``repro sweep attacks --jobs N`` fans the trials
+    {fast, batch, reference} — the full three-axis adversarial product,
+    as sweep cells (so ``repro sweep attacks --jobs N`` fans the trials
     out across the pool and caches the reports in the store)."""
     cells: list[SweepCell] = []
     for spec in iter_workloads():

@@ -272,7 +272,8 @@ class _Collector:
                                + policy.backoff * 2 ** (task.attempt - 2))
             return task
         if (policy.fallback_reference and not task.fallback
-                and task.engine == "fast" and task.kind != "attack"):
+                and task.engine in ("fast", "batch")
+                and task.kind != "attack"):
             # Last resort before quarantine: one attempt on the
             # reference engine.  Simulation reports are engine-blind
             # (the parity suite guarantees bit-identity), so the result

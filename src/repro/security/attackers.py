@@ -49,7 +49,11 @@ from dataclasses import dataclass, field
 
 from repro.defenses.registry import DefenseSpec, get_defense
 from repro.security.leakage import mutual_information_bits, observation_key
-from repro.security.observer import ObservationTrace, collect_observation
+from repro.security.observer import (
+    ObservationTrace,
+    collect_observation,
+    collect_observations_batch,
+)
 from repro.security.stats import (
     majority_vote,
     permutation_test,
@@ -307,22 +311,31 @@ def execute_attack(spec: AttackSpec, mode: str,
             f"applicable attackers: {applicable_attackers(workload)}")
     engine = _resolve_engine(engine)
     config = config or attack_config()
-    rng = _trial_rng(spec, mode, engine)
+    # The batch engine produces byte-identical observations to the fast
+    # engine, so it draws from the fast RNG stream too: a batch attack
+    # cell is the same experiment as a fast one, only cheaper.
+    rng = _trial_rng(spec, mode, "fast" if engine == "batch" else engine)
 
     # 1. Profile: one hermetic observation per candidate secret, with
-    # the victim compiled and run under the attacked defense.
+    # the victim compiled and run under the attacked defense.  The batch
+    # engine runs the whole candidate matrix as one vectorized execution
+    # (one decode, all trials stepped together).
     params = workload.leak_resolve(spec.params)
     compiled = workload.compile(defense.compile_mode, **params)
     keep = attacker.channel == "memory-address"
     candidates = [tuple(v) if isinstance(v, list) else v
                   for v in workload.leak_values(params)]
-    observables = []
-    for value in candidates:
-        trace = collect_observation(
-            compiled.program, defense=defense.name,
-            secret_values={workload.secret: value},
+    secret_sets = [{workload.secret: value} for value in candidates]
+    if engine == "batch":
+        traces = collect_observations_batch(
+            compiled.program, secret_sets, defense=defense.name,
+            config=config, keep_streams=keep)
+    else:
+        traces = [collect_observation(
+            compiled.program, defense=defense.name, secret_values=secrets,
             config=config, keep_streams=keep, engine=engine)
-        observables.append(attacker.observable(trace))
+            for secrets in secret_sets]
+    observables = [attacker.observable(trace) for trace in traces]
 
     # 2. Choose the most distinguishable pair of class secrets.
     pair_idx = _choose_pair(attacker, observables)

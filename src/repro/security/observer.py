@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.arch.executor import Executor
 from repro.arch.fast_executor import FastExecutor
 from repro.core.engine import (
+    _lane_chunk_stream,
     _resolve_engine,
     flush_penalty_cycles,
     resolve_defense,
@@ -155,9 +156,17 @@ def collect_observation(
     pins it on both engines.
     """
     spec = resolve_defense(defense, sempe)
+    engine = _resolve_engine(engine)
+    if engine == "batch":
+        # One-trial batch: same engine, same observation; campaigns use
+        # collect_observations_batch directly to share the batch run.
+        return collect_observations_batch(
+            program, [secret_values or {}], symbols=symbols, config=config,
+            keep_streams=keep_streams, max_instructions=max_instructions,
+            defense=spec,
+        )[0]
     sempe = spec.sempe_machine
     config = spec.apply_config(config or MachineConfig())
-    engine = _resolve_engine(engine)
     executor_cls = FastExecutor if engine == "fast" else Executor
     executor = executor_cls(program, sempe=sempe,
                             max_instructions=max_instructions)
@@ -198,12 +207,33 @@ def collect_observation(
         # free and leaky at the same time.
         stats.cycles += flush_penalty_cycles(config)
         pipeline.flush_transient_state()
+    cache_digest, cache_occupancy, predictor_digest = \
+        _residue_digests(pipeline)
+
+    return ObservationTrace(
+        cycles=stats.cycles,
+        instruction_count=observer.instruction_count,
+        pc_digest=observer.pc_digest,
+        mem_digest=observer.mem_digest,
+        cache_digest=cache_digest,
+        predictor_digest=predictor_digest,
+        pc_sequence=observer.pc_sequence,
+        mem_addresses=observer.mem_addresses,
+        cache_occupancy=cache_occupancy,
+    )
+
+
+def _residue_digests(pipeline: OutOfOrderPipeline) -> tuple[str, tuple, str]:
+    """Post-run residue channels of one machine: cache digest, per-set
+    occupancy, predictor digest.
+
+    Residue channels expose the *attacker-facing* views: identical to
+    the ground truth on an undefended machine, narrowed by the cache
+    defenses (partitioning hides the reserved ways, randomization
+    denies per-set resolution).
+    """
     caches = (pipeline.hierarchy.il1, pipeline.hierarchy.dl1,
               pipeline.hierarchy.l2)
-    # Residue channels expose the *attacker-facing* views: identical to
-    # the ground truth on an undefended machine, narrowed by the cache
-    # defenses (partitioning hides the reserved ways, randomization
-    # denies per-set resolution).
     cache_state = tuple(
         tuple(sorted(cache.attacker_resident_lines())) for cache in caches)
     cache_digest = hashlib.sha256(repr(cache_state).encode()).hexdigest()
@@ -218,15 +248,75 @@ def collect_observation(
     predictor_digest = hashlib.sha256(
         repr(predictor_state).encode()
     ).hexdigest()
+    return cache_digest, cache_occupancy, predictor_digest
 
-    return ObservationTrace(
-        cycles=stats.cycles,
-        instruction_count=observer.instruction_count,
-        pc_digest=observer.pc_digest,
-        mem_digest=observer.mem_digest,
-        cache_digest=cache_digest,
-        predictor_digest=predictor_digest,
-        pc_sequence=observer.pc_sequence,
-        mem_addresses=observer.mem_addresses,
-        cache_occupancy=cache_occupancy,
-    )
+
+def collect_observations_batch(
+    program: Program,
+    secret_sets: list[dict[str, object] | None],
+    sempe: bool | None = None,
+    symbols: dict[str, int] | None = None,
+    config: MachineConfig | None = None,
+    keep_streams: bool = False,
+    max_instructions: int = 50_000_000,
+    defense: str | None = None,
+) -> list[ObservationTrace]:
+    """One observation per secret set, executed as a single batch.
+
+    The trial-batched engine (:class:`~repro.arch.batch.BatchExecutor`)
+    decodes the program once and steps every trial together, so a
+    whole profiling campaign pays one functional execution instead of
+    ``len(secret_sets)``; each lane's observation is byte-identical to
+    :func:`collect_observation` on the same secrets (the batch-parity
+    suite pins this under every registered defense).
+
+    The hermeticity contract carries over per lane: every lane gets a
+    fresh timing pipeline, cache hierarchy, and predictors, and the
+    residue digests are taken per lane, so trials cannot contaminate
+    each other any more than back-to-back serial calls could.
+    """
+    from repro.arch.batch import BatchExecutor
+
+    spec = resolve_defense(defense, sempe)
+    sempe_machine = spec.sempe_machine
+    config = spec.apply_config(config or MachineConfig())
+    symbol_table = symbols if symbols is not None else program.symbols
+    n_lanes = len(secret_sets)
+    executor = BatchExecutor(program, sempe=sempe_machine, n_lanes=n_lanes,
+                             max_instructions=max_instructions)
+    for lane, secret_values in enumerate(secret_sets):
+        poke_secrets(executor.memory.lane_view(lane), symbol_table,
+                     secret_values)
+    executor.run(line_bytes=config.hierarchy.il1.line_bytes)
+
+    dl1_line_bytes = config.hierarchy.dl1.line_bytes
+    observations = []
+    for lane in range(n_lanes):
+        pipeline = OutOfOrderPipeline(config, sempe=sempe_machine,
+                                      fence=spec.fence_branches)
+        # _lane_chunk_stream re-raises a lane fault after its flushed
+        # chunks, exactly where the serial generator would.
+        stats = pipeline.run_chunks(_lane_chunk_stream(executor, lane))
+        instruction_count, pc_values, mem_lines = executor.lane_streams(
+            lane, dl1_line_bytes)
+        pc_digest = hashlib.sha256(
+            pc_values.astype("<u8").tobytes()).hexdigest()
+        mem_digest = hashlib.sha256(
+            mem_lines.astype("<u8").tobytes()).hexdigest()
+        if spec.flush_on_exit:
+            stats.cycles += flush_penalty_cycles(config)
+            pipeline.flush_transient_state()
+        cache_digest, cache_occupancy, predictor_digest = \
+            _residue_digests(pipeline)
+        observations.append(ObservationTrace(
+            cycles=stats.cycles,
+            instruction_count=instruction_count,
+            pc_digest=pc_digest,
+            mem_digest=mem_digest,
+            cache_digest=cache_digest,
+            predictor_digest=predictor_digest,
+            pc_sequence=pc_values.tolist() if keep_streams else [],
+            mem_addresses=mem_lines.tolist() if keep_streams else [],
+            cache_occupancy=cache_occupancy,
+        ))
+    return observations

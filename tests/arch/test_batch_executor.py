@@ -1,0 +1,201 @@
+"""Unit tests for the trial-batched functional engine.
+
+Parity with the serial engines lives in
+``tests/core/test_batch_parity.py`` (the golden suite); this file pins
+the mechanics: BatchMemory promotion, lane isolation, group splitting
+on divergent control flow, per-lane faults, and the API guards
+(single-use, lane validation, the numpy gate).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.arch import batch as batch_module
+from repro.arch.batch import BatchExecutor, BatchMemory
+from repro.arch.executor import InstructionLimitError, SimulationError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+
+# --------------------------------------------------------------------------
+# BatchMemory
+# --------------------------------------------------------------------------
+
+def test_memory_starts_uniform_and_promotes_on_divergence():
+    memory = BatchMemory(4, {0: 0xAB})
+    assert memory._lane_word(0, 0) == 0xAB
+    assert isinstance(memory._words[0], int)        # uniform: plain int
+    memory.poke(2, 0, 0xCD, width=1)
+    assert not isinstance(memory._words[0], int)    # promoted to a column
+    assert memory._lane_word(0, 2) == 0xCD
+    for lane in (0, 1, 3):
+        assert memory._lane_word(0, lane) == 0xAB, lane
+
+
+def test_memory_poke_same_value_stays_uniform():
+    memory = BatchMemory(4, {8: 0x11})
+    memory.poke(1, 8, 0x11, width=1)
+    assert isinstance(memory._words[8], int)
+
+
+def test_memory_sub_word_poke_is_read_modify_write():
+    memory = BatchMemory(2)
+    memory.poke(0, 16, 0xAABBCCDD, width=4)
+    memory.poke(0, 20, 0x1122, width=2)
+    assert memory._lane_word(16, 0) == 0x1122_AABBCCDD
+    assert memory._lane_word(16, 1) == 0
+
+
+def test_lane_view_writes_one_lane_only():
+    memory = BatchMemory(3)
+    view = memory.lane_view(1)
+    view.store(24, 0xFEED, 8)
+    assert memory._lane_word(24, 1) == 0xFEED
+    assert memory._lane_word(24, 0) == 0
+    assert memory._lane_word(24, 2) == 0
+
+
+# --------------------------------------------------------------------------
+# Constructor guards
+# --------------------------------------------------------------------------
+
+HALT_ONLY = Program([Instruction(Op.HALT)], name="halt")
+
+
+def test_n_lanes_must_be_positive():
+    with pytest.raises(ValueError, match="n_lanes"):
+        BatchExecutor(HALT_ONLY, sempe=False, n_lanes=0)
+
+
+def test_run_is_single_use():
+    executor = BatchExecutor(HALT_ONLY, sempe=False, n_lanes=2)
+    executor.run()
+    with pytest.raises(RuntimeError, match="single-use"):
+        executor.run()
+
+
+def test_lane_accessors_require_run():
+    executor = BatchExecutor(HALT_ONLY, sempe=False, n_lanes=2)
+    with pytest.raises(RuntimeError, match="run\\(\\)"):
+        executor.lane_result(0)
+
+
+def test_numpy_gate_message(monkeypatch):
+    monkeypatch.setattr(batch_module, "np", None)
+    with pytest.raises(RuntimeError, match="requires numpy"):
+        batch_module._require_numpy()
+
+
+# --------------------------------------------------------------------------
+# Group splitting on divergent control flow
+# --------------------------------------------------------------------------
+
+DIVERGE = """
+    .text
+main:
+    la   a2, secret
+    ld   a1, 0(a2)
+    beq  a1, zero, is_zero
+    addi a0, a0, 7
+    jmp  done
+is_zero:
+    addi a0, a0, 42
+done:
+    halt
+
+    .data
+    secret: .quad 0
+"""
+
+
+def _diverging_executor(values):
+    program = assemble(DIVERGE)
+    executor = BatchExecutor(program, sempe=False, n_lanes=len(values))
+    address = program.symbols["secret"]
+    for lane, value in enumerate(values):
+        executor.memory.poke(lane, address, value)
+    executor.run()
+    return executor
+
+
+def test_divergent_branch_splits_lanes():
+    executor = _diverging_executor([0, 5, 0, 9])
+    expected = {0: 42, 1: 7, 2: 42, 3: 7}
+    for lane, value in expected.items():
+        assert executor.lane_regs(lane)[10] == value, lane
+        assert executor.lane_halted(lane), lane
+        assert executor.lane_error(lane) is None, lane
+
+
+def test_divergent_lanes_report_divergent_traces():
+    executor = _diverging_executor([0, 5])
+    taken = [list(chunk.taken) for chunk in executor.lane_chunks(0)]
+    other = [list(chunk.taken) for chunk in executor.lane_chunks(1)]
+    assert taken != other
+
+
+def test_uniform_lanes_never_split():
+    executor = _diverging_executor([5, 5, 5])
+    results = [executor.lane_result(lane) for lane in range(3)]
+    assert results[0] == results[1] == results[2]
+    regs = [executor.lane_regs(lane) for lane in range(3)]
+    assert regs[0] == regs[1] == regs[2]
+
+
+# --------------------------------------------------------------------------
+# Per-lane faults
+# --------------------------------------------------------------------------
+
+def test_fuel_exhaustion_is_per_executor():
+    program = assemble("""
+    .text
+main:
+    addi a0, a0, 1
+    jmp  main
+""")
+    executor = BatchExecutor(program, sempe=False, n_lanes=2,
+                             max_instructions=10)
+    executor.run()
+    for lane in range(2):
+        error = executor.lane_error(lane)
+        assert isinstance(error, InstructionLimitError), lane
+        assert error.executed == 10
+        assert executor.lane_result(lane).instructions == 10
+
+
+def test_bad_jalr_target_faults_only_the_guilty_lane():
+    program = assemble("""
+    .text
+main:
+    la   a2, target
+    ld   a1, 0(a2)
+    jalr ra, a1
+    halt
+ok:
+    addi a0, a0, 1
+    halt
+
+    .data
+    target: .quad 0
+""")
+    ok_pc = program.labels["ok"]
+    executor = BatchExecutor(program, sempe=False, n_lanes=2)
+    address = program.symbols["target"]
+    executor.memory.poke(0, address, ok_pc)
+    executor.memory.poke(1, address, 10_000)     # way past the program
+    executor.run()
+    assert executor.lane_error(0) is None
+    assert executor.lane_regs(0)[10] == 1
+    assert isinstance(executor.lane_error(1), SimulationError)
+
+
+def test_lane_chunks_align_with_lane_results():
+    executor = _diverging_executor([0, 5, 0])
+    for lane in range(3):
+        rows = sum(
+            sum(1 for pc in chunk.pc if pc >= 0)
+            for chunk in executor.lane_chunks(lane))
+        assert rows == executor.lane_result(lane).instructions, lane

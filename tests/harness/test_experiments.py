@@ -111,18 +111,20 @@ def test_registry_experiments_enumerated():
 
 
 def test_attacks_experiment_cells_shape():
-    from repro.harness.experiments import DEFAULT_ATTACK_DEFENSES
+    from repro.harness.experiments import (
+        ATTACK_ENGINES,
+        DEFAULT_ATTACK_DEFENSES,
+    )
     from repro.security.attackers import applicable_attackers
     from repro.workloads.registry import iter_workloads
 
     cells = experiment_cells("attacks")
-    per_pair = 2 * len(DEFAULT_ATTACK_DEFENSES)
+    per_pair = len(ATTACK_ENGINES) * len(DEFAULT_ATTACK_DEFENSES)
     expected = sum(per_pair * len(applicable_attackers(spec))
                    for spec in iter_workloads())
     assert len(cells) == expected
     assert all(cell.kind == "attack" for cell in cells)
-    assert {cell.resolved_engine() for cell in cells} == {
-        "fast", "reference"}
+    assert {cell.resolved_engine() for cell in cells} == set(ATTACK_ENGINES)
     # The acceptance criterion: the sweep grid covers >= 5 defenses.
     assert len(DEFAULT_ATTACK_DEFENSES) >= 5
     assert {cell.mode for cell in cells} == set(DEFAULT_ATTACK_DEFENSES)

@@ -152,12 +152,14 @@ def test_attack_matrix_full_acceptance():
     from repro.harness import attack_matrix, attacks_cells, run_sweep
     from repro.harness.sweep import SweepSpec
 
+    from repro.harness.experiments import ATTACK_ENGINES
+
     defenses = ("plain", "sempe")
     cells = attacks_cells(defenses)
-    # Shape: both modes and both engines for every applicable pair.
+    # Shape: every mode and every engine for every applicable pair.
     pairs = {(cell.spec.workload, cell.spec.attacker) for cell in cells}
     assert {w for w, _a in pairs} == set(workload_names())
-    assert len(cells) == 4 * len(pairs)
+    assert len(cells) == len(defenses) * len(ATTACK_ENGINES) * len(pairs)
 
     run_sweep(SweepSpec("attack-matrix-test", cells), jobs=4)
     result = attack_matrix(defenses)
