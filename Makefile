@@ -4,8 +4,8 @@ export PYTHONPATH
 PYTEST := python -m pytest
 
 .PHONY: test test-fast test-slow parity sweep registry-smoke attack-smoke \
-	defense-smoke chaos-smoke bench-perf bench-gate bench-quick \
-	bench-full ci
+	defense-smoke chaos-smoke static-smoke lint bench-perf bench-gate \
+	bench-quick bench-full ci
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -68,6 +68,26 @@ chaos-smoke:
 		--store .chaos-store --retry-quarantined --progress
 	rm -rf .chaos-store
 
+# Static-analysis smoke: the transform verifier must pass every
+# registered defense × victim pair (including the mutation test that
+# proves the lint goes red on a broken transform), and one live
+# static-vs-dynamic differential cell must come back sound.
+static-smoke:
+	$(PYTEST) -x -q tests/analysis/test_verifier.py
+	python -m repro verify --workload gcd --defense sempe
+
+# Lint lane: ruff over the whole tree, mypy strict on the
+# proof-bearing packages (config in pyproject.toml).  The tools ship
+# via requirements-ci.txt; when they are absent locally each check is
+# skipped with a notice instead of failing the build.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else echo "lint: ruff not installed, skipping (pip install -r requirements-ci.txt)"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/analysis src/repro/lang; \
+	else echo "lint: mypy not installed, skipping (pip install -r requirements-ci.txt)"; fi
+
 # Engine throughput benchmark only (appends to BENCH_perf.json).
 bench-perf:
 	REPRO_BENCH_SCALE=quick $(PYTEST) benchmarks/bench_perf_engine.py -q -s
@@ -86,10 +106,11 @@ bench-quick: test bench-perf
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTEST) benchmarks -q -s
 
-# Mirror of .github/workflows/ci.yml: registry + attack + defense +
-# chaos smokes, fast lane then slow lane (their union is exactly
-# tier-1), the parity gate (re-run deliberately as a named check even
-# though the fast lane includes it), the bench smoke (which refreshes
-# BENCH_perf.json), and the perf-regression gate.
-ci: registry-smoke attack-smoke defense-smoke chaos-smoke test-fast \
-	test-slow parity bench-perf bench-gate
+# Mirror of .github/workflows/ci.yml: the lint lane, registry +
+# attack + defense + chaos + static smokes, fast lane then slow lane
+# (their union is exactly tier-1), the parity gate (re-run
+# deliberately as a named check even though the fast lane includes
+# it), the bench smoke (which refreshes BENCH_perf.json), and the
+# perf-regression gate.
+ci: lint registry-smoke attack-smoke defense-smoke chaos-smoke \
+	static-smoke test-fast test-slow parity bench-perf bench-gate

@@ -161,14 +161,14 @@ def run_gate(simulate_regression: float = 0.0) -> int:
           f"calibration ops/s; threshold -{THRESHOLD:.0%})")
     if simulate_regression:
         print(f"(simulated regression of {simulate_regression:.0f}% "
-              f"applied to measured values)")
+              "applied to measured values)")
 
     if failed:
         print(f"\nGATE RED: {', '.join(failed)} regressed more than "
               f"{THRESHOLD:.0%}.  If this is an accepted trade-off, "
-              f"refresh the baseline explicitly:\n"
-              f"  python benchmarks/bench_gate.py --write-baseline\n"
-              f"and commit the BENCH_baseline.json diff for review.",
+              "refresh the baseline explicitly:\n"
+              "  python benchmarks/bench_gate.py --write-baseline\n"
+              "and commit the BENCH_baseline.json diff for review.",
               file=sys.stderr)
         return 1
     print("\nGATE GREEN: no gated metric regressed beyond the threshold.")

@@ -1,0 +1,227 @@
+"""Control-flow graphs over sealed ISA programs.
+
+The static leakage analyzer works on the *compiled* program — the same
+instruction list the executors run — so its control-flow model must
+reproduce exactly the successor relation the machine implements:
+
+* conditional branches have two successors (fall-through, target);
+* ``JMP`` is unconditional;
+* ``JAL`` transfers to the callee entry (the interprocedural edge) and
+  records ``index + 1`` as the call's return site;
+* ``JALR`` is used by the code generator only for returns, so its
+  successors are the return sites of every call into the containing
+  function (context-insensitive but sound);
+* ``HALT`` has no successors.
+
+Functions are recovered structurally: the entry point plus every
+``JAL`` target start a function, and the code generator lays functions
+out contiguously, so sorted entry indices partition the instruction
+range.  Immediate postdominators — the join points that bound a
+branch's region of control influence — are computed per function on the
+*intraprocedural* view (``JAL`` falls through to its return site), with
+a virtual exit node collecting returns and halts.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op, is_cond_branch
+from repro.isa.program import Program
+
+VIRTUAL_EXIT = -1
+
+
+class ControlFlowGraph:
+    """Successor/predecessor structure of one sealed program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        instructions = program.instructions
+        self.n = len(instructions)
+        self.entry = program.entry
+
+        # -- function partition --------------------------------------------
+        entries = {self.entry}
+        for inst in instructions:
+            if inst.op is Op.JAL and inst.target is not None:
+                entries.add(inst.target)
+        self.function_entries = tuple(sorted(entries))
+        # func_of[i] = entry index of the function containing i.
+        self.func_of = [self.entry] * self.n
+        bounds = list(self.function_entries) + [self.n]
+        for k in range(len(self.function_entries)):
+            for i in range(bounds[k], bounds[k + 1]):
+                self.func_of[i] = bounds[k]
+        # Return sites: callee entry -> {call index + 1}.
+        self.return_sites: dict[int, list[int]] = {
+            e: [] for e in self.function_entries}
+        # Call sites: index of every JAL, and JALR exits per function.
+        self.call_sites: list[int] = []
+        self.exits_of: dict[int, list[int]] = {
+            e: [] for e in self.function_entries}
+        for index, inst in enumerate(instructions):
+            if inst.op is Op.JAL and inst.target is not None:
+                self.call_sites.append(index)
+                if index + 1 < self.n:
+                    self.return_sites[inst.target].append(index + 1)
+            elif inst.op in (Op.JALR, Op.HALT):
+                self.exits_of[self.func_of[index]].append(index)
+
+        # -- interprocedural successors (what the machine executes) --------
+        self.succs: list[tuple[int, ...]] = [()] * self.n
+        for index, inst in enumerate(instructions):
+            self.succs[index] = self._successors(index, inst)
+        self.preds: list[list[int]] = [[] for _ in range(self.n)]
+        for index, targets in enumerate(self.succs):
+            for target in targets:
+                self.preds[target].append(index)
+
+        # -- intraprocedural successors (for postdominators) ----------------
+        self.intra_succs: list[tuple[int, ...]] = [()] * self.n
+        for index, inst in enumerate(instructions):
+            self.intra_succs[index] = self._intra_successors(index, inst)
+
+        self._ipdom: dict[int, dict[int, int]] = {}
+
+    # -- successor relations ----------------------------------------------
+
+    def _successors(self, index: int, inst: Instruction) -> tuple[int, ...]:
+        op = inst.op
+        if op is Op.HALT:
+            return ()
+        if is_cond_branch(op):
+            succs = []
+            if index + 1 < self.n:
+                succs.append(index + 1)
+            if inst.target is not None:
+                succs.append(inst.target)
+            return tuple(succs)
+        if op is Op.JMP:
+            return (inst.target,) if inst.target is not None else ()
+        if op is Op.JAL:
+            return (inst.target,) if inst.target is not None else ()
+        if op is Op.JALR:
+            # Return: flow to the return site of every call into this
+            # function (context-insensitive).
+            return tuple(self.return_sites.get(self.func_of[index], ()))
+        if index + 1 < self.n:
+            return (index + 1,)
+        return ()
+
+    def _intra_successors(self, index: int,
+                          inst: Instruction) -> tuple[int, ...]:
+        """Successors with calls collapsed to fall-through edges."""
+        op = inst.op
+        if op in (Op.HALT, Op.JALR):
+            return ()
+        if op is Op.JAL:
+            return (index + 1,) if index + 1 < self.n else ()
+        return self._successors(index, inst)
+
+    def function_range(self, entry: int) -> tuple[int, int]:
+        """Half-open instruction index range [start, stop) of a function."""
+        bounds = list(self.function_entries) + [self.n]
+        k = bounds.index(entry)
+        return entry, bounds[k + 1]
+
+    # -- postdominators -----------------------------------------------------
+
+    def ipdom(self, entry: int) -> dict[int, int]:
+        """Immediate postdominators of the function at *entry*.
+
+        Returns index -> immediate postdominator index, where
+        :data:`VIRTUAL_EXIT` stands for the function's (virtual) exit.
+        Nodes that cannot reach an exit (infinite loops) are absent.
+        """
+        cached = self._ipdom.get(entry)
+        if cached is not None:
+            return cached
+        start, stop = self.function_range(entry)
+        nodes = list(range(start, stop)) + [VIRTUAL_EXIT]
+        # Reverse CFG: postdominance is dominance on reversed edges
+        # rooted at the virtual exit.
+        rsuccs: dict[int, list[int]] = {node: [] for node in nodes}
+        for i in range(start, stop):
+            targets = self.intra_succs[i]
+            if not targets:
+                targets = (VIRTUAL_EXIT,)
+            for t in targets:
+                if t == VIRTUAL_EXIT or start <= t < stop:
+                    rsuccs[t].append(i)
+
+        # Reverse-postorder of the reverse graph from the exit.
+        order: list[int] = []
+        seen: set[int] = set()
+        stack: list[tuple[int, int]] = [(VIRTUAL_EXIT, 0)]
+        seen.add(VIRTUAL_EXIT)
+        while stack:
+            node, child = stack[-1]
+            children = rsuccs[node]
+            if child < len(children):
+                stack[-1] = (node, child + 1)
+                nxt = children[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(node)
+        order.reverse()                      # reverse-postorder
+        number = {node: k for k, node in enumerate(order)}
+
+        idom: dict[int, int] = {VIRTUAL_EXIT: VIRTUAL_EXIT}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while number[a] > number[b]:
+                    a = idom[a]
+                while number[b] > number[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                if node == VIRTUAL_EXIT:
+                    continue
+                preds = [p for p in self.intra_succs[node]
+                         if p == VIRTUAL_EXIT or start <= p < stop]
+                if not self.intra_succs[node]:
+                    preds = [VIRTUAL_EXIT]
+                candidates = [p for p in preds if p in idom]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for p in candidates[1:]:
+                    new = intersect(new, p)
+                if idom.get(node) != new:
+                    idom[node] = new
+                    changed = True
+        idom.pop(VIRTUAL_EXIT, None)
+        self._ipdom[entry] = idom
+        return idom
+
+    def influence_region(self, branch: int) -> set[int]:
+        """Instructions control-dependent on the branch at *branch*.
+
+        The set of instructions reachable (intraprocedurally) from the
+        branch's successors without passing through its immediate
+        postdominator — the classic region an implicit flow taints.
+        """
+        entry = self.func_of[branch]
+        join = self.ipdom(entry).get(branch, VIRTUAL_EXIT)
+        start, stop = self.function_range(entry)
+        region: set[int] = set()
+        frontier = [s for s in self.intra_succs[branch] if s != join]
+        while frontier:
+            node = frontier.pop()
+            if node in region or node == join:
+                continue
+            if not (start <= node < stop):
+                continue
+            region.add(node)
+            for s in self.intra_succs[node]:
+                if s != join and s != VIRTUAL_EXIT:
+                    frontier.append(s)
+        return region

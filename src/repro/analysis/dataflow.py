@@ -1,0 +1,506 @@
+"""Abstract-interpretation taint dataflow over compiled programs.
+
+The analyzer executes the program abstractly: every register holds an
+abstract value — a taint bit, an optional known constant, and an
+optional *region* (the data item or stack area an address points into)
+— and memory is a monotone taint map seeded from the program's secret
+symbols (the same word extents :func:`repro.security.observer.
+poke_secrets` writes).  The fixpoint is computed over the machine-level
+CFG (:class:`repro.analysis.cfg.ControlFlowGraph`), so what is proven
+holds for the exact instruction stream the executors run, not for the
+source the compiler started from.
+
+Design points, chosen for *soundness over precision*:
+
+* Register updates are flow-sensitive with strong updates (a register
+  rewrite kills its old taint); memory taint is monotone (a tainted
+  cell stays tainted), matching the source-level analysis in
+  :mod:`repro.lang.taint`, which never untaints either.
+* Taint is a two-bit mask (:data:`TAINT_DATA` / :data:`TAINT_CTL`):
+  values computed *from* secret bytes carry DATA, values merely
+  written *under* secret control carry CTL.  Both make a site
+  secret-dependent; the projection layer needs the distinction
+  because dual-path execution hides which path ran (CTL) but not a
+  secret-valued address (DATA).
+* Constants are folded only where Python and 64-bit machine semantics
+  provably agree (bounded operands); anything else degrades to
+  "unknown" rather than risking a wrong address classification.
+* Address regions survive pointer arithmetic (``SLLI``+``ADD`` element
+  addressing keeps the base's region), so an unknown-index load from a
+  *public* array stays clean while any access overlapping a secret
+  item's extent is tainted.
+* Implicit flows: writes control-dependent on a secret-operand branch
+  (between the branch and its immediate postdominator) are tainted,
+  iterated to an outer fixpoint as taint discovers new secret branches.
+* Calling convention: ``JAL``/``JALR`` follow the code generator's
+  contract (callee balances SP, result in ``a0``).  On the return edge
+  the caller's SP and secure-region depth are spliced back in; all
+  other registers flow from the callee (context-insensitively joined).
+* Secure-region membership (between an sJMP and its eosJMP) is a
+  min-joined depth counter: an instruction counts as region-protected
+  only if *every* path reaching it is inside a region.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.isa.opcodes import Op, is_cond_branch, is_load, is_store, mem_width
+from repro.isa.program import (
+    DATA_BASE,
+    HEAP_BASE,
+    Program,
+    SHADOW_BASE,
+    STACK_BASE,
+)
+from repro.isa.registers import SP, ZERO
+
+STACK_REGION = "<stack>"
+ANY_REGION = "*"
+
+# Taint is a 2-bit mask: DATA marks values computed from secret bytes,
+# CTL marks values written under secret-dependent control (implicit
+# flows).  The distinction matters to the projection layer: dual-path
+# execution hides *which path ran* (CTL) but not a secret-valued
+# address (DATA).
+TAINT_DATA = 1
+TAINT_CTL = 2
+
+# Abstract value: (taint mask, const-or-None, region-or-None).
+AbstractValue = tuple[int, int | None, str | None]
+_UNKNOWN: AbstractValue = (0, None, None)
+
+# Per-instruction machine state: (register file, secure-region depth).
+MachineState = tuple[tuple[AbstractValue, ...], int]
+
+_FOLD_BOUND = 1 << 62
+
+
+class AnalysisError(Exception):
+    """Raised when the fixpoint fails to converge (a bug, not an input
+    property — the domains are finite-height)."""
+
+
+def _join_value(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a == b:
+        return a
+    return (a[0] | b[0],
+            a[1] if a[1] == b[1] else None,
+            a[2] if a[2] == b[2] else None)
+
+
+@dataclass
+class _MemoryState:
+    """Monotone abstract memory: slot values plus taint summaries.
+
+    Taint entries map to :data:`TAINT_DATA`/:data:`TAINT_CTL` masks.
+    """
+
+    values: dict[int, tuple[int | None, str | None]]
+    tainted_bytes: dict[int, int]
+    tainted_regions: dict[str, int]   # unknown-offset tainted stores
+    region_has_taint: dict[str, int]  # regions containing tainted bytes
+
+    def any_taint(self) -> int:
+        mask = 0
+        for m in self.tainted_bytes.values():
+            mask |= m
+        for m in self.tainted_regions.values():
+            mask |= m
+        return mask
+
+
+class TaintDataflow:
+    """The whole-program fixpoint and its per-instruction results."""
+
+    def __init__(self, program: Program,
+                 secret_symbols: dict[str, int]) -> None:
+        self.program = program
+        self.cfg = ControlFlowGraph(program)
+        self.secret_symbols = dict(secret_symbols)
+
+        # Data-item intervals for region classification.
+        items = sorted(program.data, key=lambda item: item.address)
+        self._item_starts = [item.address for item in items]
+        self._items = items
+
+        self.memory = _MemoryState(values={}, tainted_bytes={},
+                                   tainted_regions={},
+                                   region_has_taint={})
+        self._seed_secrets()
+
+        n = self.cfg.n
+        # IN/OUT register states; None = unreachable so far.
+        self._in: list[tuple[tuple[AbstractValue, ...], int] | None] =\
+            [None] * n
+        self._out: list[tuple[tuple[AbstractValue, ...], int] | None] =\
+            [None] * n
+        self.control_tainted: set[int] = set()
+        self.secret_branches: set[int] = set()
+        self._run()
+
+    # -- setup ---------------------------------------------------------------
+
+    def _seed_secrets(self) -> None:
+        """Taint the secret symbols' full extents, word-encoded exactly
+        as ``poke_secrets`` writes them."""
+        extents = {item.name: (item.address, item.size)
+                   for item in self.program.data}
+        for name in self.secret_symbols:
+            address, size = extents.get(
+                name, (self.secret_symbols[name], 8))
+            for byte in range(address, address + size):
+                self.memory.tainted_bytes[byte] = TAINT_DATA
+            region = self.region_of(address)
+            if region is not None:
+                self.memory.region_has_taint[region] = TAINT_DATA
+
+    def region_of(self, address: int | None) -> str | None:
+        """Region name for a concrete address (item name, stack, ...)."""
+        if address is None:
+            return None
+        k = bisect_right(self._item_starts, address) - 1
+        if k >= 0:
+            item = self._items[k]
+            if item.address <= address < item.address + item.size:
+                return item.name
+        if DATA_BASE <= address < HEAP_BASE:
+            return "<data>"
+        if HEAP_BASE <= address < SHADOW_BASE:
+            return "<heap>"
+        if SHADOW_BASE <= address < 0x0060_0000:
+            return "<shadow>"
+        if 0x0060_0000 <= address <= STACK_BASE:
+            return STACK_REGION
+        return None
+
+    def _entry_state(self) -> tuple[tuple[AbstractValue, ...], int]:
+        regs = [_UNKNOWN] * 32
+        regs[ZERO] = (0, 0, None)
+        regs[SP] = (0, STACK_BASE, STACK_REGION)
+        return tuple(regs), 0
+
+    # -- memory ---------------------------------------------------------------
+
+    def _load_taint(self, address: int | None, region: str | None,
+                    width: int) -> int:
+        mem = self.memory
+        mask = mem.tainted_regions.get(ANY_REGION, 0)
+        if address is not None:
+            for k in range(width):
+                mask |= mem.tainted_bytes.get(address + k, 0)
+            here = self.region_of(address)
+            if here is not None:
+                mask |= mem.tainted_regions.get(here, 0)
+            return mask
+        if region is not None:
+            return (mask | mem.tainted_regions.get(region, 0)
+                    | mem.region_has_taint.get(region, 0))
+        return mask | mem.any_taint()
+
+    def _store(self, address: int | None, region: str | None, width: int,
+               value: AbstractValue, taint: int) -> bool:
+        """Apply a store; returns True if memory state changed."""
+        mem = self.memory
+        changed = False
+        if address is not None:
+            slot = mem.values.get(address)
+            new = (value[1], value[2])
+            if slot is not None and slot != new:
+                new = (slot[0] if slot[0] == new[0] else None,
+                       slot[1] if slot[1] == new[1] else None)
+            if slot != new:
+                mem.values[address] = new
+                changed = True
+            if taint:
+                for k in range(width):
+                    old = mem.tainted_bytes.get(address + k, 0)
+                    if old | taint != old:
+                        mem.tainted_bytes[address + k] = old | taint
+                        changed = True
+                here = self.region_of(address)
+                if here is not None:
+                    old = mem.region_has_taint.get(here, 0)
+                    if old | taint != old:
+                        mem.region_has_taint[here] = old | taint
+                        changed = True
+            return changed
+        target = region if region is not None else ANY_REGION
+        if taint:
+            old = mem.tainted_regions.get(target, 0)
+            if old | taint != old:
+                mem.tainted_regions[target] = old | taint
+                changed = True
+        return changed
+
+    # -- constant folding ------------------------------------------------------
+
+    @staticmethod
+    def _fold(op: Op, a: int | None, b: int | None) -> int | None:
+        if a is None or b is None:
+            return None
+        if op in (Op.ADD, Op.ADDI):
+            r = a + b
+            return r if -_FOLD_BOUND < r < _FOLD_BOUND else None
+        if op is Op.SUB:
+            r = a - b
+            return r if -_FOLD_BOUND < r < _FOLD_BOUND else None
+        if op in (Op.SLL, Op.SLLI):
+            if 0 <= a < (1 << 40) and 0 <= b < 24:
+                return a << b
+            return None
+        if op in (Op.SRL, Op.SRLI, Op.SRA, Op.SRAI):
+            if 0 <= a < _FOLD_BOUND and 0 <= b < 64:
+                return a >> b
+            return None
+        if op in (Op.AND, Op.ANDI, Op.OR, Op.ORI, Op.XOR, Op.XORI):
+            if 0 <= a < _FOLD_BOUND and 0 <= b < _FOLD_BOUND:
+                if op in (Op.AND, Op.ANDI):
+                    return a & b
+                if op in (Op.OR, Op.ORI):
+                    return a | b
+                return a ^ b
+            return None
+        if op in (Op.SLT, Op.SLTI):
+            if -_FOLD_BOUND < a < _FOLD_BOUND and\
+                    -_FOLD_BOUND < b < _FOLD_BOUND:
+                return int(a < b)
+            return None
+        if op is Op.SLTU:
+            if 0 <= a < _FOLD_BOUND and 0 <= b < _FOLD_BOUND:
+                return int(a < b)
+            return None
+        return None           # MUL/DIV/REM: wrap semantics, don't fold
+
+    # -- transfer -------------------------------------------------------------
+
+    def _transfer(self, index: int,
+                  state: tuple[tuple[AbstractValue, ...], int]
+                  ) -> tuple[tuple[tuple[AbstractValue, ...], int], bool]:
+        """OUT state for instruction *index* given its IN *state*.
+
+        Returns ``(out_state, memory_changed)``.
+        """
+        inst = self.program.instructions[index]
+        regs, depth = state
+        op = inst.op
+        ctl = TAINT_CTL if index in self.control_tainted else 0
+        mem_changed = False
+
+        def read(reg: int | None) -> AbstractValue:
+            if reg is None:
+                return _UNKNOWN
+            if reg == ZERO:
+                return (0, 0, None)
+            return regs[reg]
+
+        new_regs = list(regs)
+        dst = inst.dst_reg()
+
+        if is_cond_branch(op):
+            if inst.secure:
+                depth = depth + 1
+        elif op is Op.EOSJMP:
+            depth = max(depth - 1, 0)
+        elif op is Op.CMOV:
+            old = read(inst.rd)
+            taken = read(inst.rs1)
+            cond = read(inst.rs2)
+            merged = _join_value(old, taken)
+            value = (merged[0] | cond[0] | old[0] | taken[0] | ctl,
+                     merged[1], merged[2])
+            if dst is not None:
+                new_regs[dst] = value
+        elif is_load(op):
+            base = read(inst.rs1)
+            address = (None if base[1] is None
+                       else base[1] + (inst.imm or 0))
+            region = self.region_of(address) if address is not None\
+                else base[2]
+            # A tainted *address* taints the value: reading a public
+            # array at a secret index yields a secret-dependent value.
+            tainted = (self._load_taint(address, region, mem_width(op))
+                       | base[0] | ctl)
+            const, vregion = None, None
+            if address is not None:
+                slot = self.memory.values.get(address)
+                if slot is not None and op is Op.LD:
+                    const, vregion = slot
+            if dst is not None:
+                new_regs[dst] = (tainted, const, vregion)
+        elif is_store(op):
+            base = read(inst.rs1)
+            value = read(inst.rs2)
+            address = (None if base[1] is None
+                       else base[1] + (inst.imm or 0))
+            region = self.region_of(address) if address is not None\
+                else base[2]
+            # A tainted address taints the stored bytes too: *which*
+            # cell changed encodes the secret even if the value is
+            # public, so later reads of the region may reveal it.
+            mem_changed = self._store(address, region, mem_width(op),
+                                      value, value[0] | base[0] | ctl)
+        elif op is Op.JAL:
+            if dst is not None:
+                new_regs[dst] = (0, (index + 1) * 4, None)
+        elif op in (Op.JALR, Op.JMP, Op.NOP, Op.HALT):
+            if dst is not None:
+                new_regs[dst] = _UNKNOWN
+        else:
+            # ALU family (including LUI).
+            if op is Op.LUI:
+                value: AbstractValue = (ctl, inst.imm,
+                                        self.region_of(inst.imm))
+            else:
+                a = read(inst.rs1)
+                if inst.rs2 is not None:
+                    b = read(inst.rs2)
+                elif inst.imm is not None:
+                    b = (0, inst.imm, None)
+                else:
+                    b = _UNKNOWN
+                const = self._fold(op, a[1], b[1])
+                if const is not None:
+                    region = self.region_of(const)
+                elif op in (Op.ADD, Op.ADDI, Op.SUB):
+                    if a[2] is not None and b[2] is None:
+                        region = a[2]
+                    elif (b[2] is not None and a[2] is None
+                          and op is not Op.SUB):
+                        region = b[2]
+                    else:
+                        region = None
+                else:
+                    region = None
+                value = (a[0] | b[0] | ctl, const, region)
+            if dst is not None:
+                new_regs[dst] = value
+
+        return (tuple(new_regs), depth), mem_changed
+
+    # -- fixpoint -------------------------------------------------------------
+
+    def _join_states(self, a: MachineState | None,
+                     b: MachineState | None) -> MachineState | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a == b:
+            return a
+        regs = tuple(x if x == y else _join_value(x, y)
+                     for x, y in zip(a[0], b[0]))
+        return (regs, min(a[1], b[1]))
+
+    def _compute_in(self, index: int) -> MachineState | None:
+        cfg = self.cfg
+        state = None
+        if index == cfg.entry:
+            state = self._entry_state()
+        for pred in cfg.preds[index]:
+            out = self._out[pred]
+            if out is None:
+                continue
+            inst = self.program.instructions[pred]
+            if inst.op is Op.JALR:
+                # Return edge: callee registers, caller SP and depth.
+                caller = self._out[index - 1]\
+                    if index - 1 >= 0 else None
+                if caller is None:
+                    continue
+                regs = list(out[0])
+                regs[SP] = caller[0][SP]
+                out = (tuple(regs), caller[1])
+            state = self._join_states(state, out)
+        return state
+
+    def _run_passes(self) -> None:
+        n = self.cfg.n
+        for _ in range(4 * n + 64):
+            changed = False
+            for index in range(n):
+                new_in = self._compute_in(index)
+                if new_in is None:
+                    continue
+                if new_in != self._in[index]:
+                    self._in[index] = new_in
+                    changed = True
+                out, mem_changed = self._transfer(index, new_in)
+                if mem_changed:
+                    changed = True
+                if out != self._out[index]:
+                    self._out[index] = out
+                    changed = True
+            if not changed:
+                return
+        raise AnalysisError(
+            "taint fixpoint failed to converge on "
+            f"{self.program.name!r}")  # pragma: no cover - defensive
+
+    def _branch_operands_tainted(self, index: int) -> bool:
+        state = self._in[index]
+        if state is None:
+            return False
+        inst = self.program.instructions[index]
+        for reg in (inst.rs1, inst.rs2):
+            if reg is not None and reg != ZERO and state[0][reg][0]:
+                return True
+        return False
+
+    def _run(self) -> None:
+        for _ in range(64):
+            self._run_passes()
+            branches = {
+                index for index, inst
+                in enumerate(self.program.instructions)
+                if (is_cond_branch(inst.op) or inst.op is Op.JALR)
+                and self._branch_operands_tainted(index)
+            }
+            ctl = set()
+            for index in branches:
+                if is_cond_branch(self.program.instructions[index].op):
+                    ctl |= self.cfg.influence_region(index)
+            if branches == self.secret_branches\
+                    and ctl <= self.control_tainted:
+                return
+            self.secret_branches = branches
+            self.control_tainted |= ctl
+        raise AnalysisError(
+            "implicit-flow iteration failed to converge on "
+            f"{self.program.name!r}")  # pragma: no cover - defensive
+
+    # -- results -------------------------------------------------------------
+
+    def reachable(self, index: int) -> bool:
+        return self._in[index] is not None
+
+    def state_at(self, index: int) -> MachineState | None:
+        return self._in[index]
+
+    def region_depth(self, index: int) -> int:
+        state = self._in[index]
+        return 0 if state is None else state[1]
+
+    def operand_taints(self, index: int) -> tuple[int, int]:
+        """(rs1 taint mask, rs2 taint mask) at the IN state."""
+        state = self._in[index]
+        if state is None:
+            return 0, 0
+        inst = self.program.instructions[index]
+        masks = []
+        for reg in (inst.rs1, inst.rs2):
+            masks.append(state[0][reg][0]
+                         if reg is not None and reg != ZERO else 0)
+        return masks[0], masks[1]
+
+    def address_tainted(self, index: int) -> int:
+        """Taint mask of the load/store address register at *index*."""
+        state = self._in[index]
+        if state is None:
+            return 0
+        inst = self.program.instructions[index]
+        if inst.rs1 is None or inst.rs1 == ZERO:
+            return 0
+        return state[0][inst.rs1][0]

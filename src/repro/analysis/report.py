@@ -1,0 +1,320 @@
+"""Leak-site classification and the :class:`StaticLeakReport`.
+
+The taint fixpoint (:class:`repro.analysis.dataflow.TaintDataflow`)
+says *which* instructions touch secret data; this module says *what
+that means for an attacker*.  Every potential leak site falls into one
+of three kinds:
+
+``branch``
+    A conditional branch whose operands are tainted (or a ``JALR``
+    whose target register is) — the direction taken depends on the
+    secret.  Divergent control flow is the root of every channel the
+    observer defines: the paths differ in length (timing,
+    instruction-count), in the pc trace (control-flow), in the data
+    they touch (memory-address, cache-state), and in the predictor
+    updates they make (branch-predictor), so an unprotected branch
+    site is charged with **all** channels.
+
+``address``
+    A load or store whose *address* is tainted — the access-stream
+    position depends on the secret value itself, not just on the path.
+    Charged with memory-address, cache-state and timing (hit/miss
+    variation); this is the channel class dual-path execution does
+    *not* close, which is why the verifier never discounts it for any
+    scheme.
+
+``latency``
+    A ``MUL``/``DIV``/``REM`` with a tainted operand.  This pipeline
+    model gives every op-class a fixed latency, so these sites carry
+    **no** channels here — they are advisories flagging where a
+    hardware early-out multiplier/divider would open a timing channel.
+
+Channel *projection* then applies what a registered defense is known
+to change about the machine:
+
+* ``sempe_machine`` — a secure branch (and anything inside a secure
+  region) executes both paths to the join, so protected branch sites
+  are dropped, and so are *path-conditional* (control-only) accesses
+  inside regions: both paths run, so the stream no longer depends on
+  the secret.  A **secret-valued** (data-tainted) address is never
+  dropped — dual-path hides which path ran, not the address itself.
+* ``fence_branches`` — the front end neither predicts nor records a
+  serialized branch, and serialization covers everything inside the
+  fenced region (the pipeline checks ``secure or fence_depth > 0``),
+  closing exactly the branch-predictor channel at those sites; the
+  paths still differ in everything else.
+* ``flush_on_exit`` — caches and predictors are reset before the
+  attacker observes, so cache-state and branch-predictor are removed
+  from every site; the in-band channels survive.
+* config-only schemes (cache way-partitioning, index randomization)
+  change *observability statistically*, which a per-site static rule
+  cannot certify — their sites keep full channels and the claim is
+  left to the empirical attack matrix (the verifier exempts them from
+  the claims lint for the same reason).
+
+What survives projection is the static *prediction*: the set of
+channels an attacker could use against this compiled program under
+this defense.  The differential gate checks it stays a superset of
+what the dynamic noninterference experiment actually observes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.dataflow import TAINT_DATA, TaintDataflow
+from repro.isa.opcodes import Op, is_cond_branch, is_load, is_store
+from repro.isa.program import Program
+from repro.security.leakage import CHANNELS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.defenses.registry import DefenseSpec
+
+BRANCH_CHANNELS: tuple[str, ...] = CHANNELS
+ADDRESS_CHANNELS: tuple[str, ...] = (
+    "timing", "memory-address", "cache-state")
+LATENCY_POTENTIAL: tuple[str, ...] = ("timing",)
+
+_LATENCY_OPS = (Op.MUL, Op.DIV, Op.REM)
+
+SITE_KINDS = ("branch", "address", "latency")
+
+
+def _ordered(channels: Iterable[str]) -> tuple[str, ...]:
+    """Channels in canonical :data:`CHANNELS` order (deterministic JSON)."""
+    wanted = set(channels)
+    return tuple(c for c in CHANNELS if c in wanted)
+
+
+@dataclass(frozen=True)
+class LeakSite:
+    """One classified potential leak site in a compiled program."""
+
+    index: int                   # instruction index
+    pc: int                      # byte address (index * 4)
+    line: int                    # source line (0 = no debug info)
+    kind: str                    # "branch" | "address" | "latency"
+    op: str                      # opcode mnemonic
+    secure: bool                 # carries the SecPrefix (sJMP)
+    region_protected: bool       # strictly inside a secure region
+    control_only: bool           # tainted only via implicit flow (CTL)
+    channels: tuple[str, ...]    # channels charged after projection
+    potential: tuple[str, ...]   # hardware-risk advisories (latency)
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "pc": self.pc,
+            "line": self.line,
+            "kind": self.kind,
+            "op": self.op,
+            "secure": self.secure,
+            "region_protected": self.region_protected,
+            "control_only": self.control_only,
+            "channels": list(self.channels),
+            "potential": list(self.potential),
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LeakSite":
+        return cls(
+            index=int(data["index"]),
+            pc=int(data["pc"]),
+            line=int(data["line"]),
+            kind=str(data["kind"]),
+            op=str(data["op"]),
+            secure=bool(data["secure"]),
+            region_protected=bool(data["region_protected"]),
+            control_only=bool(data.get("control_only", False)),
+            channels=tuple(data["channels"]),
+            potential=tuple(data.get("potential", ())),
+            detail=str(data.get("detail", "")),
+        )
+
+
+@dataclass(frozen=True)
+class StaticLeakReport:
+    """Everything the static analyzer concluded about one compile."""
+
+    program: str                     # program name
+    defense: str                     # defense the projection applied
+    secret_symbols: tuple[str, ...]
+    sites: tuple[LeakSite, ...]
+    instruction_count: int
+    reachable_count: int
+
+    # -- verdicts ---------------------------------------------------------
+
+    def predicted_channels(self) -> tuple[str, ...]:
+        """Union of channels over all sites (canonical order)."""
+        union: set[str] = set()
+        for site in self.sites:
+            union.update(site.channels)
+        return _ordered(union)
+
+    def sites_of_kind(self, kind: str) -> tuple[LeakSite, ...]:
+        return tuple(site for site in self.sites if site.kind == kind)
+
+    def advisories(self) -> tuple[LeakSite, ...]:
+        """Sites with no charged channels but a hardware-risk note."""
+        return tuple(site for site in self.sites
+                     if not site.channels and site.potential)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "program": self.program,
+            "defense": self.defense,
+            "secret_symbols": list(self.secret_symbols),
+            "sites": [site.to_dict() for site in self.sites],
+            "instruction_count": self.instruction_count,
+            "reachable_count": self.reachable_count,
+            "predicted_channels": list(self.predicted_channels()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StaticLeakReport":
+        return cls(
+            program=str(data["program"]),
+            defense=str(data["defense"]),
+            secret_symbols=tuple(data["secret_symbols"]),
+            sites=tuple(LeakSite.from_dict(s) for s in data["sites"]),
+            instruction_count=int(data["instruction_count"]),
+            reachable_count=int(data["reachable_count"]),
+        )
+
+    def summary(self) -> str:
+        by_kind = {kind: len(self.sites_of_kind(kind))
+                   for kind in SITE_KINDS}
+        counts = ", ".join(f"{n} {kind}" for kind, n in by_kind.items()
+                           if n) or "no sites"
+        predicted = ", ".join(self.predicted_channels()) or "none"
+        return (f"{self.program} [{self.defense}]: {counts}; "
+                f"predicted channels: {predicted}")
+
+
+# --------------------------------------------------------------------------
+# Classification
+# --------------------------------------------------------------------------
+
+
+def classify_sites(flow: TaintDataflow) -> list[LeakSite]:
+    """Raw (defense-independent) leak sites of one analyzed program."""
+    program = flow.program
+    sites: list[LeakSite] = []
+    for index, inst in enumerate(program.instructions):
+        if not flow.reachable(index):
+            continue
+        op = inst.op
+        depth = flow.region_depth(index)
+        secure = bool(inst.secure)
+        protected = depth > 0
+        line = program.source_lines[index]
+        pc = program.address_of(index)
+        rs1_m, rs2_m = flow.operand_taints(index)
+        operand_mask = rs1_m | rs2_m
+
+        def ctl_only(mask: int) -> bool:
+            return not mask & TAINT_DATA
+
+        if is_cond_branch(op) and operand_mask:
+            sites.append(LeakSite(
+                index=index, pc=pc, line=line, kind="branch",
+                op=op.name, secure=secure, region_protected=protected,
+                control_only=ctl_only(operand_mask),
+                channels=BRANCH_CHANNELS, potential=(),
+                detail=f"secret-dependent {op.name} direction"))
+        elif op is Op.JALR and rs1_m:
+            sites.append(LeakSite(
+                index=index, pc=pc, line=line, kind="branch",
+                op=op.name, secure=secure, region_protected=protected,
+                control_only=ctl_only(rs1_m),
+                channels=BRANCH_CHANNELS, potential=(),
+                detail="secret-dependent indirect-jump target"))
+        elif is_load(op) or is_store(op):
+            address_mask = flow.address_tainted(index)
+            if address_mask:
+                what = "load" if is_load(op) else "store"
+                how = ("path-conditional" if ctl_only(address_mask)
+                       else "secret-valued")
+                sites.append(LeakSite(
+                    index=index, pc=pc, line=line, kind="address",
+                    op=op.name, secure=secure,
+                    region_protected=protected,
+                    control_only=ctl_only(address_mask),
+                    channels=ADDRESS_CHANNELS, potential=(),
+                    detail=f"{how} {what} address"))
+        elif op in _LATENCY_OPS and operand_mask:
+            sites.append(LeakSite(
+                index=index, pc=pc, line=line, kind="latency",
+                op=op.name, secure=secure, region_protected=protected,
+                control_only=ctl_only(operand_mask),
+                channels=(), potential=LATENCY_POTENTIAL,
+                detail=(f"{op.name} on secret operand "
+                        "(fixed-latency in this pipeline; early-out "
+                        "hardware would leak timing)")))
+    return sites
+
+
+def project_sites(sites: list[LeakSite],
+                  defense: "DefenseSpec | None") -> list[LeakSite]:
+    """Apply a defense's known machine effects to the raw site list."""
+    if defense is None:
+        return list(sites)
+    projected: list[LeakSite] = []
+    for site in sites:
+        channels = set(site.channels)
+        if defense.sempe_machine:
+            if site.kind == "branch" \
+                    and (site.secure or site.region_protected):
+                # Both paths execute and commit: the site vanishes.
+                continue
+            if site.kind == "address" and site.control_only \
+                    and site.region_protected:
+                # The access is conditional on *which path ran*, and
+                # dual-path runs both: the stream is secret-independent.
+                # A secret-valued (DATA-tainted) address is NOT dropped.
+                continue
+        if defense.fence_branches and site.kind == "branch" \
+                and (site.secure or site.region_protected):
+            # The front end neither predicts nor records a serialized
+            # branch, and serialization covers the whole fenced region
+            # (pipeline: ``inst.secure or fence_depth > 0``).
+            channels.discard("branch-predictor")
+        if defense.flush_on_exit:
+            channels.discard("cache-state")
+            channels.discard("branch-predictor")
+        projected.append(LeakSite(
+            index=site.index, pc=site.pc, line=site.line,
+            kind=site.kind, op=site.op, secure=site.secure,
+            region_protected=site.region_protected,
+            control_only=site.control_only,
+            channels=_ordered(channels), potential=site.potential,
+            detail=site.detail))
+    return projected
+
+
+def build_report(program: Program,
+                 secret_symbols: dict[str, int],
+                 defense: "DefenseSpec | None" = None,
+                 flow: TaintDataflow | None = None) -> StaticLeakReport:
+    """Analyze *program* and classify its sites under *defense*."""
+    if flow is None:
+        flow = TaintDataflow(program, secret_symbols)
+    raw = classify_sites(flow)
+    sites = project_sites(raw, defense)
+    reachable = sum(1 for i in range(len(program.instructions))
+                    if flow.reachable(i))
+    return StaticLeakReport(
+        program=program.name,
+        defense=defense.name if defense is not None else "none",
+        secret_symbols=tuple(sorted(secret_symbols)),
+        sites=tuple(sites),
+        instruction_count=len(program.instructions),
+        reachable_count=reachable,
+    )

@@ -1,0 +1,175 @@
+"""Defense-transform verifier: lint compiled output against claims.
+
+Every registered defense makes two kinds of promise: a *structural*
+one about the code its compiler transform emits (SeMPE wraps every
+secret branch in a secure region; CTE removes secret branches
+entirely; fence marks them all with the SecPrefix), and a *claims* one
+about the channels the scheme closes (``DefenseSpec.protects``).  The
+attack matrix checks the claims empirically; this module checks both
+statically, so a broken transform turns CI red without running a
+single simulation.
+
+The structural invariants, per scheme property:
+
+* ``sempe_machine`` — every secret-dependent conditional branch is
+  either itself secure (an sJMP) or strictly inside a secure region;
+  and no secret-dependent *address* sites exist at all, because
+  dual-path execution hides the path, not a secret-valued address.
+* ``compile_mode == "cte"`` — predication removed every secret branch
+  and address site; any survivor means the transform failed to
+  linearize a secret dependence.
+* ``fence_branches`` — every secret-dependent conditional branch
+  either carries the SecPrefix (``secure=1``) or sits inside a fenced
+  region (serialization covers the region's interior); an unmarked
+  one outside every region would be predicted and recorded, leaking
+  through the very channel the scheme claims to close.
+
+The claims lint then requires the *projected* prediction (see
+:mod:`repro.analysis.report`) to be disjoint from ``protects``.
+Config-only statistical schemes (way-partitioning, index
+randomization) are exempt: their protection is a property of attacker
+observability, not of any per-site code structure, so the static
+layer enumerates their sites without certifying the claim — the
+attack matrix owns it.  The exemption is structural (plain compile,
+no machine hooks, config overrides present), never by name, so a new
+statistical scheme is exempted automatically and a new structural one
+is linted automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.report import StaticLeakReport
+from repro.defenses.registry import DefenseSpec
+
+
+@dataclass(frozen=True)
+class TransformViolation:
+    """One broken invariant in a defense's compiled output."""
+
+    defense: str
+    program: str
+    invariant: str        # short machine-readable rule name
+    index: int            # offending instruction index (-1 = program)
+    line: int             # source line (0 = none)
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "defense": self.defense,
+            "program": self.program,
+            "invariant": self.invariant,
+            "index": self.index,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TransformViolation":
+        return cls(
+            defense=str(data["defense"]),
+            program=str(data["program"]),
+            invariant=str(data["invariant"]),
+            index=int(data["index"]),
+            line=int(data["line"]),
+            message=str(data["message"]),
+        )
+
+
+class TransformVerificationError(AssertionError):
+    """Raised by :func:`check_defense_transform` on any violation."""
+
+    def __init__(self, violations: list[TransformViolation]) -> None:
+        self.violations = list(violations)
+        lines = [f"{len(violations)} defense-transform violation(s):"]
+        lines += [f"  [{v.defense}/{v.program}] {v.invariant}: "
+                  f"{v.message}" for v in violations]
+        super().__init__("\n".join(lines))
+
+
+def claims_statically_checkable(defense: DefenseSpec) -> bool:
+    """Whether the claims lint applies to *defense*.
+
+    Statistical config-only schemes are detected structurally: they
+    compile plain, use no machine hook, and work purely through
+    ``MachineConfig`` overrides.
+    """
+    if defense.sempe_machine or defense.fence_branches \
+            or defense.flush_on_exit:
+        return True
+    if defense.compile_mode != "plain":
+        return True
+    return not defense.config_overrides
+
+
+def verify_defense_transform(defense: DefenseSpec,
+                             report: StaticLeakReport
+                             ) -> list[TransformViolation]:
+    """All invariant violations of *report* under *defense* (empty = ok).
+
+    *report* must be the defense-projected report of a program compiled
+    with ``defense.compile_mode``.
+    """
+    violations: list[TransformViolation] = []
+
+    def add(invariant: str, index: int, line: int, message: str) -> None:
+        violations.append(TransformViolation(
+            defense=defense.name, program=report.program,
+            invariant=invariant, index=index, line=line,
+            message=message))
+
+    if defense.sempe_machine:
+        # Projection already dropped every protected branch site and
+        # every path-conditional in-region access, so any such site
+        # still in the report escaped the transform's protection.
+        for site in report.sites_of_kind("branch"):
+            add("sempe-branch-unprotected", site.index, site.line,
+                f"secret-dependent {site.op} at pc={site.pc:#x} "
+                f"(line {site.line}) is neither secure nor inside "
+                "a secure region")
+        for site in report.sites_of_kind("address"):
+            add("sempe-secret-address", site.index, site.line,
+                f"{site.detail} at pc={site.pc:#x} (line {site.line}); "
+                "dual-path execution hides which path ran, not a "
+                "secret-valued address")
+
+    if defense.compile_mode == "cte":
+        for site in report.sites_of_kind("branch"):
+            add("cte-residual-branch", site.index, site.line,
+                f"secret-dependent {site.op} at pc={site.pc:#x} "
+                f"(line {site.line}) survived predication")
+        for site in report.sites_of_kind("address"):
+            add("cte-secret-address", site.index, site.line,
+                f"{site.detail} at pc={site.pc:#x} (line {site.line}) "
+                "survived predication")
+
+    if defense.fence_branches:
+        for site in report.sites_of_kind("branch"):
+            if site.op == "JALR":
+                continue   # fences mark conditional branches only
+            if not site.secure and not site.region_protected:
+                add("fence-unmarked-branch", site.index, site.line,
+                    f"secret-dependent {site.op} at pc={site.pc:#x} "
+                    f"(line {site.line}) lacks the SecPrefix and is "
+                    "outside every fenced region; it will be "
+                    "predicted and recorded")
+
+    if claims_statically_checkable(defense):
+        broken = [c for c in report.predicted_channels()
+                  if defense.protects_channel(c)]
+        if broken:
+            add("claims-channel-open", -1, 0,
+                f"predicted channels {broken} are declared protected "
+                f"by {defense.name!r}")
+
+    return violations
+
+
+def check_defense_transform(defense: DefenseSpec,
+                            report: StaticLeakReport) -> None:
+    """Raise :class:`TransformVerificationError` on any violation."""
+    violations = verify_defense_transform(defense, report)
+    if violations:
+        raise TransformVerificationError(violations)

@@ -57,10 +57,10 @@ from repro.core.jbtable import JbTableError, JumpBackTable
 from repro.isa.opcodes import NUM_OPS, OPS
 from repro.isa.program import (
     DATA_BASE, STACK_BASE,
-    K_ADD, K_SUB, K_MUL, K_DIV, K_REM, K_AND, K_OR, K_XOR,
+    K_ADD, K_SUB, K_MUL, K_DIV, K_AND, K_OR, K_XOR,
     K_SLL, K_SRL, K_SRA, K_SLT, K_SLTU, K_LUI,
     K_LOAD, K_STORE,
-    K_BEQ, K_BNE, K_BLT, K_BGE, K_BLTU, K_BGEU,
+    K_BEQ, K_BNE, K_BLT, K_BLTU, K_BGEU,
     K_JMP, K_JAL, K_JALR, K_CMOV, K_EOSJMP, K_NOP,
     K_LAST_ALU, K_LAST_BRANCH,
     Program,

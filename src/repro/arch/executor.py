@@ -33,7 +33,7 @@ from repro.isa.program import Program
 from repro.isa.registers import NUM_REGS
 from repro.mem.memory import FlatMemory
 from repro.mem.scratchpad import ScratchpadMemory
-from repro.arch.state import ArchState, to_signed, to_unsigned, MASK64
+from repro.arch.state import ArchState, to_signed, to_unsigned
 from repro.arch.trace import DynInstr, DrainEvent, TraceRecord
 
 

@@ -33,11 +33,11 @@ from repro.arch.executor import Executor, InstructionLimitError, SimulationError
 from repro.arch.trace import CHUNK_RECORDS, DRAIN_REASON_ID, TraceChunk
 from repro.isa.opcodes import NUM_OPS, OPS
 from repro.isa.program import (
-    K_ADD, K_SUB, K_MUL, K_DIV, K_REM, K_AND, K_OR, K_XOR,
+    K_ADD, K_SUB, K_MUL, K_DIV, K_AND, K_OR, K_XOR,
     K_SLL, K_SRL, K_SRA, K_SLT, K_SLTU, K_LUI,
     K_LOAD, K_STORE,
-    K_BEQ, K_BNE, K_BLT, K_BGE, K_BLTU, K_BGEU,
-    K_JMP, K_JAL, K_JALR, K_CMOV, K_EOSJMP, K_NOP, K_HALT,
+    K_BEQ, K_BNE, K_BLT, K_BLTU, K_BGEU,
+    K_JMP, K_JAL, K_JALR, K_CMOV, K_EOSJMP, K_NOP,
     K_LAST_ALU, K_LAST_BRANCH,
 )
 

@@ -31,7 +31,7 @@ import sys
 
 from repro.core.engine import ENGINES, simulate
 from repro.isa.encoding import encode_program
-from repro.isa.disassembler import disassemble, disassemble_binary
+from repro.isa.disassembler import disassemble_binary
 from repro.lang.compiler import MODES, compile_source
 
 
@@ -258,8 +258,21 @@ def cmd_workloads(args: argparse.Namespace) -> int:
         except ValueError as error:
             raise _UsageError(str(error)) from error
         print(f"// workload {spec.name}: {spec.title}")
-        print(f"// secret: {spec.secret}   "
-              f"expected channels: {', '.join(spec.channels)}")
+        print(f"// secret: {spec.secret}")
+        print(f"// declared channels: {', '.join(spec.channels)}")
+        # The static analyzer's view of the same victim (unprotected
+        # compile at leak parameters) — printed next to the declaration
+        # so a drifting channel list is visible straight from the CLI.
+        from repro.analysis import analyze_workload
+
+        derived = analyze_workload(
+            spec, "plain", **overrides).predicted_channels()
+        print(f"// derived channels:  {', '.join(derived) or 'none'}"
+              "  (static, plain compile)")
+        undeclared = [c for c in derived if c not in spec.channels]
+        if undeclared:
+            print("// NOTE: statically derived but not declared: "
+                  f"{', '.join(undeclared)}")
         print(source.strip())
         return 0
 
@@ -299,7 +312,7 @@ def cmd_defenses(args: argparse.Namespace) -> int:
         print(f"defense {spec.name}: {spec.title}")
         print(f"  description:      {spec.description}")
         print(f"  compile mode:     {spec.compile_mode}")
-        print(f"  machine:          "
+        print("  machine:          "
               f"{'SeMPE (dual-path)' if spec.sempe_machine else 'baseline'}")
         hooks = [name for name, on in (
             ("fence-at-secret-branches", spec.fence_branches),
@@ -465,6 +478,92 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """The static-vs-dynamic differential gate (``repro verify``).
+
+    Runs every selected workload × defense pair through the static
+    analyzer, the defense-transform verifier, and the dynamic
+    noninterference experiment; exits nonzero if any pair is unsound
+    (a dynamically observed channel the static analysis missed) or
+    violates its defense's structural invariants.
+    """
+    from repro.analysis import VerifySpec
+    from repro.defenses import defense_names, get_defense
+    from repro.harness import (
+        ResultStore, SweepCell, ensure_cells, format_table, run_verify,
+        set_store,
+    )
+    from repro.harness.experiments import _leak_config
+    from repro.workloads.registry import get_workload, workload_names
+
+    if args.engine:
+        from repro.core.engine import set_default_engine
+
+        set_default_engine(args.engine)
+    try:
+        workloads = ([get_workload(args.workload).name] if args.workload
+                     else list(workload_names()))
+        defenses = ([get_defense(args.defense).name] if args.defense
+                    else list(defense_names()))
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+    if args.store:
+        set_store(ResultStore(args.store))
+
+    config = _leak_config()
+    cells = [SweepCell("verify", VerifySpec(workload), defense, config)
+             for workload in workloads for defense in defenses]
+    stats = ensure_cells("verify", cells, jobs=args.jobs)
+    if not stats.ok:
+        _print_failure_summary(stats)
+        print(stats.summary())
+        return 1
+
+    headers = ["victim", "defense", "predicted", "dynamic",
+               "static-only", "dynamic-only", "verdict"]
+    rows: list[list[object]] = []
+    bad = 0
+    for workload in workloads:
+        for defense in defenses:
+            report = run_verify(VerifySpec(workload), defense,
+                                config=config).report
+            verdict = "ok" if report.ok else (
+                "UNSOUND" if not report.sound else "TRANSFORM-VIOLATION")
+            if not report.ok:
+                bad += 1
+            rows.append([
+                workload, defense,
+                ", ".join(report.predicted) or "none",
+                ", ".join(report.dynamic) or "none",
+                ", ".join(report.static_only) or "-",
+                ", ".join(report.dynamic_only) or "-",
+                verdict,
+            ])
+            if args.sites:
+                print(f"-- {workload} [{defense}]: "
+                      f"{report.static.summary()}")
+                for site in report.static.sites:
+                    print(f"     [{site.kind}] {site.op} pc={site.pc:#x} "
+                          f"line={site.line} {site.detail}")
+            for violation in report.violations:
+                print(f"!! {workload} [{defense}] {violation.invariant}: "
+                      f"{violation.message}")
+            for channel in report.dynamic_only:
+                print(f"!! {workload} [{defense}] UNSOUND: channel "
+                      f"{channel!r} observed dynamically but not "
+                      "statically predicted")
+    print(format_table(headers, rows,
+                       title="Static-vs-dynamic differential"))
+    total = len(workloads) * len(defenses)
+    print(f"{total - bad}/{total} pairs ok"
+          + (f"; {bad} FAILING" if bad else
+             " (static-only channels are the expected "
+             "attacker/observer gap)"))
+    if args.cache_stats:
+        _print_cache_stats()
+    return 1 if bad else 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     if args.engine:
         from repro.core.engine import set_default_engine
@@ -555,7 +654,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sizes = _parse_int_csv(args.sizes)
     except ValueError:
         print(f"invalid --sizes {args.sizes!r}: expected "
-              f"comma-separated integers", file=sys.stderr)
+              "comma-separated integers", file=sys.stderr)
         return 2
     workloads = tuple(
         token.strip() for token in args.workloads.split(",")
@@ -789,11 +888,37 @@ def build_parser() -> argparse.ArgumentParser:
                                help="print run-cache and store counters")
     attack_parser.set_defaults(func=cmd_attack)
 
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="static-vs-dynamic differential over workload × defense")
+    verify_parser.add_argument("--workload", default=None,
+                               help="verify one victim (default: all "
+                                    "registered workloads)")
+    verify_parser.add_argument("--defense", default=None,
+                               help="verify one scheme (default: all "
+                                    "registered defenses)")
+    verify_parser.add_argument("--jobs", type=int, default=1,
+                               help="worker processes for the dynamic "
+                                    "side (results are bit-identical "
+                                    "for any value)")
+    verify_parser.add_argument("--store", default=None,
+                               help="cache verify reports in this "
+                                    "result-store directory")
+    verify_parser.add_argument("--sites", action="store_true",
+                               help="print every classified leak site "
+                                    "(pc, source line, kind)")
+    verify_parser.add_argument("--engine", choices=ENGINES, default=None,
+                               help="functional engine for the dynamic "
+                                    "side")
+    verify_parser.add_argument("--cache-stats", action="store_true",
+                               help="print run-cache and store counters")
+    verify_parser.set_defaults(func=cmd_verify)
+
     experiments_parser = subparsers.add_parser(
         "experiments", help="regenerate a paper table/figure")
     experiments_parser.add_argument(
         "name", help="table1|table2|fig8|fig9|fig10a|fig10b|victims|"
-                     "leakmatrix|attacks|defensematrix")
+                     "leakmatrix|attacks|defensematrix|verify")
     experiments_parser.add_argument("--w", type=int, default=3,
                                     help="max nesting depth for sweeps")
     experiments_parser.add_argument("--engine", choices=ENGINES,

@@ -22,6 +22,7 @@ from repro.harness.runner import (
     run_attack,
     run_djpeg,
     run_microbench,
+    run_verify,
     run_workload,
     set_store,
     store_info,
@@ -53,6 +54,8 @@ from repro.harness.experiments import (
     attacks_cells,
     defensematrix,
     defensematrix_cells,
+    verifymatrix,
+    verify_cells,
     DEFAULT_ATTACK_DEFENSES,
     DEFAULT_W_SWEEP,
 )
@@ -64,6 +67,9 @@ __all__ = [
     "SweepInterrupted",
     "run_workload",
     "run_attack",
+    "run_verify",
+    "verifymatrix",
+    "verify_cells",
     "attack_matrix",
     "attacks_cells",
     "victims_overhead",

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.defenses.registry import defense_names, get_defense, iter_defenses
+from repro.analysis.differential import VerifySpec
+from repro.defenses.registry import defense_names, get_defense
 from repro.harness.runner import (
     run_attack,
     run_djpeg,
     run_microbench,
+    run_verify,
     run_workload,
 )
 from repro.harness.sweep import MICRO_ITERS, SweepCell, ensure_cells
@@ -534,6 +536,76 @@ def attack_matrix(defenses: tuple[str, ...] = DEFAULT_ATTACK_DEFENSES,
 
 
 # --------------------------------------------------------------------------
+# Verify matrix — static prediction vs dynamic observation, every pair
+# --------------------------------------------------------------------------
+
+def verify_cells(defenses: tuple[str, ...] | None = None,
+                 **_ignored) -> list[SweepCell]:
+    """Every registered workload × every registered defense, as verify
+    cells (static analysis + transform lint + dynamic noninterference
+    on the leak-matrix machine)."""
+    defenses = tuple(defenses) if defenses else tuple(defense_names())
+    config = _leak_config()
+    cells: list[SweepCell] = []
+    for spec in iter_workloads():
+        verify = VerifySpec(spec.name)
+        for name in defenses:
+            cells.append(SweepCell("verify", verify, name, config))
+    return cells
+
+
+def verifymatrix(defenses: tuple[str, ...] | None = None,
+                 **_ignored) -> ExperimentResult:
+    """The static-vs-dynamic differential gate over the full grid.
+
+    For every workload × defense pair the static prediction must cover
+    everything the dynamic experiment observes (soundness) and the
+    compiled output must satisfy the defense's structural invariants.
+    ``static-only`` channels are the expected attacker/observer gap and
+    are reported, not flagged; any ``dynamic-only`` channel or
+    transform violation makes the pair's verdict non-``ok`` and the
+    experiment's ``series["all_ok"]`` false — that is the CI gate.
+    """
+    defenses = tuple(defenses) if defenses else tuple(defense_names())
+    config = _leak_config()
+    ensure_cells("verify", verify_cells(defenses))
+    headers = ["victim", "defense", "predicted", "dynamic",
+               "static-only", "dynamic-only", "verdict"]
+    rows: list[list[object]] = []
+    series: dict[str, object] = {}
+    pairs: dict[tuple[str, str], dict[str, object]] = {}
+    failing = 0
+    for spec in iter_workloads():
+        verify = VerifySpec(spec.name)
+        for name in defenses:
+            report = run_verify(verify, name, config=config).report
+            verdict = "ok" if report.ok else (
+                "UNSOUND" if not report.sound else "TRANSFORM-VIOLATION")
+            if not report.ok:
+                failing += 1
+            rows.append([
+                spec.name, name,
+                ", ".join(report.predicted) or "none",
+                ", ".join(report.dynamic) or "none",
+                ", ".join(report.static_only) or "-",
+                ", ".join(report.dynamic_only) or "-",
+                verdict,
+            ])
+            pairs[(spec.name, name)] = {
+                "ok": report.ok,
+                "sound": report.sound,
+                "predicted": list(report.predicted),
+                "dynamic": list(report.dynamic),
+                "dynamic_only": list(report.dynamic_only),
+                "violations": len(report.violations),
+            }
+    series["pairs"] = pairs
+    series["failing"] = failing
+    series["all_ok"] = failing == 0
+    return ExperimentResult("Verify matrix", headers, rows, series=series)
+
+
+# --------------------------------------------------------------------------
 # Defense matrix — per-scheme overhead across the victim registry
 # --------------------------------------------------------------------------
 
@@ -632,6 +704,10 @@ _REGISTRY = {
         lambda w, w_sweep, sizes, workloads, formats:
             defensematrix_cells(),
         lambda w, w_sweep, sizes, workloads, formats: defensematrix(),
+    ),
+    "verify": (
+        lambda w, w_sweep, sizes, workloads, formats: verify_cells(),
+        lambda w, w_sweep, sizes, workloads, formats: verifymatrix(),
     ),
 }
 

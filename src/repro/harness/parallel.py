@@ -48,6 +48,7 @@ import traceback as tb
 from collections import deque
 from typing import Callable, Iterable
 
+from repro.analysis.differential import execute_verify
 from repro.arch.executor import InstructionLimitError
 from repro.core.engine import simulate
 from repro.defenses.registry import get_defense
@@ -101,6 +102,11 @@ def _simulate_cell(kind, spec, mode, config, engine,
         # The fuel budget does not apply: an attack is many short
         # victim runs, each already bounded by the engine default.
         return execute_attack(spec, mode, config=config, engine=engine)
+    if kind == "verify":
+        # Verify cells are static analysis plus a fixed set of short
+        # leak-parameter runs; like attacks, they manage their own
+        # instruction budget.
+        return execute_verify(spec, mode, config=config, engine=engine)
     defense = get_defense(mode)
     if kind == "micro":
         compiled = compile_microbench(spec, defense.compile_mode)
@@ -230,7 +236,7 @@ class _Collector:
         return self._failed(task, FAILURE_TIMEOUT, {
             "error_type": "",
             "message": f"cell exceeded the {deadline:g}s deadline "
-                       f"and was killed",
+                       "and was killed",
             "traceback": "",
             "duration": deadline,
         })
@@ -239,7 +245,7 @@ class _Collector:
         return self._failed(task, FAILURE_WORKER_DIED, {
             "error_type": "",
             "message": f"worker process died (exit code {exitcode}) "
-                       f"before returning a result",
+                       "before returning a result",
             "traceback": "",
             "duration": 0.0,
         })
@@ -273,13 +279,13 @@ class _Collector:
             return task
         if (policy.fallback_reference and not task.fallback
                 and task.engine in ("fast", "batch")
-                and task.kind != "attack"):
+                and task.kind not in ("attack", "verify")):
             # Last resort before quarantine: one attempt on the
             # reference engine.  Simulation reports are engine-blind
             # (the parity suite guarantees bit-identity), so the result
             # installs under the cell's original fingerprint; attack
-            # reports seed their RNG per engine, so they never fall
-            # back.
+            # and verify reports embed the engine in their dynamic
+            # side, so they never fall back.
             task.fallback = True
             task.engine = "reference"
             task.attempt += 1

@@ -22,6 +22,11 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.analysis.differential import (
+    VerifyReport,
+    VerifySpec,
+    execute_verify,
+)
 from repro.core.engine import SimulationReport, get_default_engine, simulate
 from repro.defenses.registry import get_defense
 from repro.harness.store import ResultStore, SCHEMA_VERSION, fingerprint
@@ -41,15 +46,16 @@ _STORE: ResultStore | None = None
 class RunResult:
     """One evaluated configuration.
 
-    ``report`` is a :class:`SimulationReport` for simulation cells and
-    an :class:`~repro.security.attackers.AttackReport` for ``attack``
-    cells; both round-trip through ``to_dict``/``from_dict``, which is
-    all the cache hierarchy relies on.
+    ``report`` is a :class:`SimulationReport` for simulation cells, an
+    :class:`~repro.security.attackers.AttackReport` for ``attack``
+    cells, and a :class:`~repro.analysis.differential.VerifyReport` for
+    ``verify`` cells; all round-trip through ``to_dict``/``from_dict``,
+    which is all the cache hierarchy relies on.
     """
 
     name: str
     mode: str          # registered defense name (plain | sempe | ...)
-    report: SimulationReport | AttackReport
+    report: SimulationReport | AttackReport | VerifyReport
 
     @property
     def cycles(self) -> int:
@@ -142,6 +148,8 @@ def _report_from_dict(kind: str, data: dict):
     """Rebuild the kind-appropriate report object from a store record."""
     if kind == "attack":
         return AttackReport.from_dict(data)
+    if kind == "verify":
+        return VerifyReport.from_dict(data)
     return SimulationReport.from_dict(data)
 
 
@@ -197,6 +205,8 @@ def _spec_name(kind: str, spec_fields: dict) -> str:
         return WorkloadRunSpec(**spec_fields).name
     if kind == "attack":
         return AttackSpec(**spec_fields).name
+    if kind == "verify":
+        return VerifySpec(**spec_fields).name
     return DjpegSpec(**spec_fields).name
 
 
@@ -300,4 +310,24 @@ def run_attack(spec: AttackSpec, mode: str,
     return _cached_run(
         descriptor,
         lambda: execute_attack(spec, mode, config=config, engine=engine),
+        spec.name, mode)
+
+
+def run_verify(spec: VerifySpec, mode: str,
+               config: MachineConfig | None = None,
+               engine: str | None = None) -> RunResult:
+    """Evaluate one static-vs-dynamic verify cell (cached).
+
+    Runs the workload × defense pair through the static analyzer, the
+    defense-transform verifier, and the dynamic noninterference
+    experiment; the resulting
+    :class:`~repro.analysis.differential.VerifyReport` flows through
+    the same two-level cache as simulation reports, so a repeated
+    ``repro verify`` is served from the store.
+    """
+    engine = engine or get_default_engine()
+    descriptor = cell_descriptor("verify", spec, mode, config, engine)
+    return _cached_run(
+        descriptor,
+        lambda: execute_verify(spec, mode, config=config, engine=engine),
         spec.name, mode)

@@ -107,7 +107,7 @@ class ResultStore:
                 raise ValueError(
                     f"{self.root} is a {found or 'unrecognized'} store, "
                     f"not {STORE_FORMAT}; point --store elsewhere or "
-                    f"delete the directory")
+                    "delete the directory")
             os.makedirs(self._objects_dir, exist_ok=True)
         else:
             os.makedirs(self._objects_dir, exist_ok=True)

@@ -43,9 +43,11 @@ from repro.harness.runner import (
     run_attack,
     run_djpeg,
     run_microbench,
+    run_verify,
     run_workload,
 )
 from repro.harness.store import fingerprint
+from repro.analysis.differential import VerifySpec
 from repro.security.attackers import AttackSpec
 from repro.uarch.config import MachineConfig
 from repro.workloads.djpeg import DjpegSpec
@@ -74,14 +76,17 @@ def _variant_for(mode: str) -> str:
 class SweepCell:
     """One grid point: a workload spec on a machine, mode, and engine.
 
-    ``kind`` is ``"micro"``, ``"djpeg"``, ``"workload"`` or
-    ``"attack"`` (a statistical attack run instead of a bare
-    simulation — same caching, same pool, an
-    :class:`~repro.security.attackers.AttackReport` as the result).
+    ``kind`` is ``"micro"``, ``"djpeg"``, ``"workload"``, ``"attack"``
+    (a statistical attack run instead of a bare simulation — same
+    caching, same pool, an
+    :class:`~repro.security.attackers.AttackReport` as the result) or
+    ``"verify"`` (a static-vs-dynamic differential cell producing a
+    :class:`~repro.analysis.differential.VerifyReport`).
     """
 
     kind: str
-    spec: MicrobenchSpec | DjpegSpec | WorkloadRunSpec | AttackSpec
+    spec: MicrobenchSpec | DjpegSpec | WorkloadRunSpec | AttackSpec \
+        | VerifySpec
     mode: str                                  # registered defense name
     config: MachineConfig | None = None
     engine: str | None = None                  # None = session default
@@ -128,6 +133,9 @@ class SweepCell:
                                 config=self.config, engine=engine)
         if self.kind == "attack":
             return run_attack(self.spec, self.mode,
+                              config=self.config, engine=engine)
+        if self.kind == "verify":
+            return run_verify(self.spec, self.mode,
                               config=self.config, engine=engine)
         return run_djpeg(self.spec, self.mode,
                          config=self.config, engine=engine)

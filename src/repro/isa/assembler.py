@@ -28,9 +28,9 @@ from __future__ import annotations
 import re
 
 from repro.isa.instructions import Instruction
-from repro.isa.opcodes import Op, is_cond_branch
+from repro.isa.opcodes import Op
 from repro.isa.program import DataItem, Program
-from repro.isa.builder import _align, ProgramBuilder
+from repro.isa.builder import _align
 from repro.isa.program import DATA_BASE
 from repro.isa.registers import parse_reg
 

@@ -24,15 +24,28 @@ class ProgramBuilder:
         self.instructions: list[Instruction] = []
         self.labels: dict[str, int] = {}
         self.data: list[DataItem] = []
+        self.source_lines: list[int] = []
+        self._current_line = 0
         self._data_cursor = DATA_BASE
         self._shadow_cursor = SHADOW_BASE
         self._label_counter = itertools.count()
 
     # -- code emission -------------------------------------------------------
 
+    def set_line(self, line: int) -> None:
+        """Attribute subsequently emitted instructions to source *line*.
+
+        The compiler back end calls this per statement/expression; every
+        instruction emitted until the next call is stamped with *line* in
+        the debug map (``Program.source_lines``).  Line 0 means "no
+        source position" (builder-generated scaffolding).
+        """
+        self._current_line = int(line)
+
     def emit(self, inst: Instruction) -> Instruction:
         """Append *inst* and return it."""
         self.instructions.append(inst)
+        self.source_lines.append(self._current_line)
         return inst
 
     def op(self, op: Op, **kwargs) -> Instruction:
@@ -139,6 +152,7 @@ class ProgramBuilder:
             data=self.data,
             entry=entry,
             name=self.name,
+            source_lines=self.source_lines,
         )
 
 

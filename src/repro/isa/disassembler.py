@@ -11,7 +11,6 @@ from __future__ import annotations
 from repro.isa.encoding import decode_program
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op
-from repro.isa.registers import reg_name
 
 
 def disassemble_instruction(inst: Instruction, index: int | None = None) -> str:

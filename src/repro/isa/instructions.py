@@ -10,7 +10,7 @@ memory; the variable-length backward-compatible byte encoding lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.opcodes import (
     Op,

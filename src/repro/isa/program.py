@@ -7,7 +7,7 @@ range starting at :data:`DATA_BASE`, with the stack placed above it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
 from repro.isa.opcodes import Op, OP_CLASS_IDS, OP_ID, mem_width
@@ -56,12 +56,17 @@ class Program:
         data: list[DataItem] | None = None,
         entry: str | int = 0,
         name: str = "program",
+        source_lines: list[int] | None = None,
     ) -> None:
         self.instructions = instructions
         self.labels = dict(labels or {})
         self.data = list(data or [])
         self.symbols = {item.name: item.address for item in self.data}
         self.name = name
+        # Debug map: instruction index -> source line (0 = no position).
+        lines = list(source_lines or [])
+        lines += [0] * (len(instructions) - len(lines))
+        self.source_lines = tuple(lines[: len(instructions)])
         if isinstance(entry, str):
             if entry not in self.labels:
                 raise ProgramError(f"entry label {entry!r} not defined")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 
@@ -255,7 +256,7 @@ class Module:
         raise KeyError(name)
 
 
-def walk_stmts(stmt: Stmt):
+def walk_stmts(stmt: Stmt) -> Iterator[Stmt]:
     """Yield *stmt* and every statement nested inside it."""
     yield stmt
     if isinstance(stmt, Block):
@@ -269,7 +270,7 @@ def walk_stmts(stmt: Stmt):
         yield from walk_stmts(stmt.body)
 
 
-def walk_exprs(expr: Expr):
+def walk_exprs(expr: Expr) -> Iterator[Expr]:
     """Yield *expr* and every sub-expression."""
     yield expr
     if isinstance(expr, Unary):
@@ -288,7 +289,7 @@ def walk_exprs(expr: Expr):
         yield from walk_exprs(expr.if_false)
 
 
-def stmt_exprs(stmt: Stmt):
+def stmt_exprs(stmt: Stmt) -> Iterator[Expr]:
     """Yield the expressions directly attached to *stmt* (not nested stmts)."""
     if isinstance(stmt, VarDeclStmt) and stmt.init is not None:
         yield stmt.init

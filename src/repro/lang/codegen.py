@@ -111,6 +111,7 @@ class _FuncGen:
 
     def generate(self) -> None:
         builder = self.builder
+        builder.set_line(self.func.line)
         builder.label(self.func.name)
         builder.op(Op.ADDI, rd=SP, rs1=SP, imm=-self.frame_size,
                    comment=f"enter {self.func.name}")
@@ -137,6 +138,11 @@ class _FuncGen:
 
     def gen_stmt(self, stmt: ast.Stmt) -> None:
         builder = self.builder
+        if stmt.line:
+            # Debug map: stamp the emitted instructions with the source
+            # line.  Synthesized nodes (line 0, e.g. defense-transform
+            # scaffolding) inherit the enclosing statement's line.
+            builder.set_line(stmt.line)
         if isinstance(stmt, ast.Block):
             for child in stmt.stmts:
                 self.gen_stmt(child)
@@ -275,6 +281,8 @@ class _FuncGen:
 
     def gen_expr(self, expr: ast.Expr) -> int:
         builder = self.builder
+        if expr.line:
+            builder.set_line(expr.line)
         if isinstance(expr, ast.Num):
             reg = self.pool.alloc()
             value = expr.value

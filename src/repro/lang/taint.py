@@ -49,6 +49,7 @@ class TaintInfo:
 
     tainted: set[tuple[str, str]] = field(default_factory=set)
     secret_ifs: set[int] = field(default_factory=set)        # id(If)
+    secret_if_lines: set[int] = field(default_factory=set)   # source lines
     func_return_tainted: set[str] = field(default_factory=set)
     global_writers: set[str] = field(default_factory=set)    # transitively
     module_info: ModuleInfo | None = None
@@ -189,14 +190,20 @@ class _FuncVisitor:
                     pass
         elif isinstance(stmt, ast.Assign):
             target_name = stmt.target.name  # Var or Index both carry .name
+            index_tainted = False
             if isinstance(stmt.target, ast.Index):
-                self.expr_tainted(stmt.target.index)
-            if self.expr_tainted(stmt.value) or self._context_taints(
-                    target_name, secret_depth):
+                # A secret-indexed write taints the whole array: *which*
+                # element changed now encodes the secret, so any later
+                # read may reveal it (found by the IR-level cross-check,
+                # which taints the store's target region the same way).
+                index_tainted = self.expr_tainted(stmt.target.index)
+            if self.expr_tainted(stmt.value) or index_tainted\
+                    or self._context_taints(target_name, secret_depth):
                 self._taint_name(target_name)
         elif isinstance(stmt, ast.If):
             secret = self.expr_tainted(stmt.cond)
             if secret:
+                self.taint.secret_if_lines.add(stmt.line)
                 if id(stmt) not in self.taint.secret_ifs:
                     self.taint.secret_ifs.add(id(stmt))
                     self.changed = True
@@ -352,7 +359,7 @@ class _Enforcer:
             if in_region and isinstance(stmt.target, ast.Index):
                 if self.mode == "sempe" and stmt.target.name not in path_locals:
                     raise TaintError(
-                        f"write to non-path-local array "
+                        "write to non-path-local array "
                         f"{stmt.target.name!r} inside a secure region "
                         "(declare the array inside the path or hoist the "
                         "store out of the region)",

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import itertools
 
+from collections.abc import Iterator
+
 from repro.lang import ast
 from repro.lang.errors import TaintError
 from repro.lang.taint import TaintInfo
@@ -51,7 +53,8 @@ def transform_cte(module: ast.Module, taint: TaintInfo) -> ast.Module:
 
 
 class _CteTransformer:
-    def __init__(self, taint: TaintInfo, counter) -> None:
+    def __init__(self, taint: TaintInfo,
+                 counter: Iterator[int]) -> None:
         self.taint = taint
         self.counter = counter
 
@@ -90,7 +93,8 @@ class _CteTransformer:
                 stmts.append(result)
         return ast.Block(stmts, line=block.line)
 
-    def stmt(self, stmt: ast.Stmt, factors: list[ast.Expr]):
+    def stmt(self, stmt: ast.Stmt, factors: list[ast.Expr],
+             ) -> ast.Stmt | list[ast.Stmt]:
         if isinstance(stmt, ast.Block):
             return self.block(stmt, factors)
         if isinstance(stmt, ast.VarDeclStmt):
@@ -167,7 +171,7 @@ class _CteTransformer:
         return out
 
     @staticmethod
-    def _flatten(result) -> list[ast.Stmt]:
+    def _flatten(result: ast.Stmt | list[ast.Stmt]) -> list[ast.Stmt]:
         if isinstance(result, list):
             return result
         if isinstance(result, ast.Block):
@@ -175,7 +179,8 @@ class _CteTransformer:
         return [result]
 
     @staticmethod
-    def _as_block(result, line: int) -> ast.Block:
+    def _as_block(result: ast.Stmt | list[ast.Stmt],
+                  line: int) -> ast.Block:
         if isinstance(result, ast.Block):
             return result
         if isinstance(result, list):

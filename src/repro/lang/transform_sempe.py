@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import itertools
 
+from collections.abc import Iterator
+
 from repro.lang import ast
 from repro.lang.errors import TaintError
 from repro.lang.taint import TaintInfo
@@ -46,7 +48,8 @@ def transform_sempe(module: ast.Module, taint: TaintInfo) -> ast.Module:
 
 
 class _Transformer:
-    def __init__(self, taint: TaintInfo, counter) -> None:
+    def __init__(self, taint: TaintInfo,
+                 counter: Iterator[int]) -> None:
         self.taint = taint
         self.counter = counter
 

@@ -301,7 +301,7 @@ def execute_attack(spec: AttackSpec, mode: str,
         raise ValueError(
             f"trials={spec.trials} is below the statistical floor "
             f"({MIN_TRIALS}): the balanced distinguisher could not reach "
-            f"significance even on a fully leaking channel")
+            "significance even on a fully leaking channel")
     attacker = get_attacker(spec.attacker)
     workload = get_workload(spec.workload)
     if not attacker.applies_to(workload):

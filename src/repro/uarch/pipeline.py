@@ -27,10 +27,10 @@ execution cost, drain overhead, cache locality, mispredictions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
-from repro.arch.trace import DynInstr, DrainEvent, TraceChunk, TraceRecord
+from repro.arch.trace import DynInstr, TraceChunk, TraceRecord
 from repro.isa.instructions import INSTRUCTION_BYTES
 from repro.isa.opcodes import Op, OpClass, OPCLASSES, OPCLASS_ID, OP_ID
 from repro.isa.registers import NUM_REGS
@@ -125,7 +125,6 @@ class OutOfOrderPipeline:
         config = self.config
         hierarchy = self.hierarchy
         line_bytes = config.hierarchy.il1.line_bytes
-        insts_per_line = max(line_bytes // INSTRUCTION_BYTES, 1)
 
         frontend_depth = config.frontend_depth
         issue_bw = _BandwidthTable(config.issue_width)

@@ -96,8 +96,6 @@ def modexp_reference(bits: int, base: int, modulus: int, key: int,
     the default 20 steps and a ~20-bit modulus the truncation is
     exact).
     """
-    mask = (1 << mul_steps) - 1
-
     def mulmod(value_r: int, value_b: int) -> int:
         prod = 0
         addend = value_b

@@ -36,7 +36,7 @@ Source variants:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.lang.compiler import CompiledProgram, compile_source
 

@@ -1,0 +1,101 @@
+"""Structural checks of the machine-level control-flow graph."""
+
+from repro.analysis.cfg import VIRTUAL_EXIT, ControlFlowGraph
+from repro.isa.opcodes import Op, is_cond_branch
+from repro.lang.compiler import compile_source
+
+BRANCHY = """
+secret int key = 0;
+int result = 0;
+int helper(int v) { return v + 1; }
+void main() {
+  int x = 0;
+  if (key) { x = helper(x); } else { x = 2; }
+  result = x;
+}
+"""
+
+
+def _cfg(mode="plain"):
+    compiled = compile_source(BRANCHY, mode=mode)
+    return compiled.program, ControlFlowGraph(compiled.program)
+
+
+def test_successors_match_opcode_shapes():
+    program, cfg = _cfg()
+    for index, inst in enumerate(program.instructions):
+        succs = cfg.succs[index]
+        for target in succs:
+            assert 0 <= target < len(program.instructions)
+        if inst.op is Op.HALT:
+            assert succs == ()
+        elif is_cond_branch(inst.op):
+            assert 1 <= len(succs) <= 2
+            assert inst.target in succs
+        elif inst.op in (Op.JMP, Op.JAL):
+            assert succs == (inst.target,)
+
+
+def test_preds_are_the_inverse_of_succs():
+    program, cfg = _cfg()
+    for index in range(len(program.instructions)):
+        for target in cfg.succs[index]:
+            assert index in cfg.preds[target]
+        for pred in cfg.preds[index]:
+            assert index in cfg.succs[pred]
+
+
+def test_function_ranges_partition_the_program():
+    program, cfg = _cfg()
+    covered = []
+    for entry in cfg.function_entries:
+        start, stop = cfg.function_range(entry)
+        assert start == entry
+        covered.extend(range(start, stop))
+    assert sorted(covered) == list(range(len(program.instructions)))
+    # helper is called via JAL, so it must be its own function.
+    assert len(cfg.function_entries) >= 2
+
+
+def test_call_edges_and_return_sites():
+    program, cfg = _cfg()
+    jal = [i for i, inst in enumerate(program.instructions)
+           if inst.op is Op.JAL and inst.target is not None]
+    assert jal
+    for index in jal:
+        callee = program.instructions[index].target
+        assert index + 1 in cfg.return_sites[callee]
+        # Interprocedural: the call flows into the callee; intra: it
+        # falls through to its own return site.
+        assert cfg.succs[index] == (callee,)
+        assert cfg.intra_succs[index] == (index + 1,)
+
+
+def test_influence_region_bounded_by_join():
+    program, cfg = _cfg()
+    branches = [i for i, inst in enumerate(program.instructions)
+                if is_cond_branch(inst.op)]
+    assert branches
+    for branch in branches:
+        entry = cfg.func_of[branch]
+        start, stop = cfg.function_range(entry)
+        join = cfg.ipdom(entry).get(branch, VIRTUAL_EXIT)
+        region = cfg.influence_region(branch)
+        assert join not in region
+        assert branch not in region
+        assert all(start <= node < stop for node in region)
+        # A two-sided secret if has a non-trivial influence region.
+        if len(cfg.succs[branch]) == 2:
+            assert region
+
+
+def test_ipdom_of_straight_line_is_next_instruction():
+    program, cfg = _cfg()
+    entry = cfg.program.entry
+    ipdom = cfg.ipdom(cfg.func_of[entry])
+    start, stop = cfg.function_range(cfg.func_of[entry])
+    for index in range(start, stop):
+        inst = program.instructions[index]
+        if cfg.intra_succs[index] == (index + 1,) \
+                and inst.op is not Op.JAL:
+            assert ipdom.get(index) == index + 1

@@ -1,0 +1,89 @@
+"""The static-vs-dynamic differential and its harness integration."""
+
+import json
+
+from repro.analysis.differential import (
+    VerifyReport,
+    VerifySpec,
+    execute_verify,
+)
+from repro.harness import (
+    ResultStore,
+    SweepCell,
+    clear_cache,
+    ensure_cells,
+    run_verify,
+    set_store,
+)
+from repro.uarch.config import fast_functional
+
+
+def test_verify_spec_names():
+    assert VerifySpec("gcd").name == "verify-gcd"
+    assert VerifySpec("bsearch", {"n": 8}).name == "verify-bsearch-n8"
+
+
+def test_baseline_pair_is_sound_and_leaks():
+    report = execute_verify(VerifySpec("gcd"), "plain",
+                            config=fast_functional())
+    assert report.ok and report.sound
+    assert report.dynamic, "the unprotected baseline must leak"
+    assert set(report.dynamic) <= set(report.predicted)
+    assert report.dynamic_only == ()
+    assert report.violations == ()
+
+
+def test_sempe_pair_closes_both_sides():
+    report = execute_verify(VerifySpec("gcd"), "sempe",
+                            config=fast_functional())
+    assert report.ok
+    assert report.predicted == ()
+    assert report.dynamic == ()
+
+
+def test_verify_report_round_trips_through_json():
+    report = execute_verify(VerifySpec("gcd"), "plain",
+                            config=fast_functional())
+    blob = json.dumps(report.to_dict(), sort_keys=True)
+    rebuilt = VerifyReport.from_dict(json.loads(blob))
+    assert rebuilt == report
+    assert rebuilt.ok == report.ok
+
+
+def test_run_verify_caches_and_persists(tmp_path):
+    previous = set_store(ResultStore(tmp_path / "store"))
+    try:
+        clear_cache()
+        spec = VerifySpec("gcd")
+        config = fast_functional()
+        first = run_verify(spec, "sempe", config=config)
+        assert first.name == "verify-gcd"
+        assert first.report.ok
+        # Second call is an L1 hit: identical object.
+        assert run_verify(spec, "sempe", config=config) is first
+        # Drop L1; the store must rebuild an equal report.
+        clear_cache()
+        rebuilt = run_verify(spec, "sempe", config=config)
+        assert rebuilt is not first
+        assert rebuilt.report == first.report
+    finally:
+        clear_cache()
+        set_store(previous)
+
+
+def test_verify_sweep_cell_runs_through_the_harness(tmp_path):
+    previous = set_store(None)
+    try:
+        clear_cache()
+        config = fast_functional()
+        cell = SweepCell("verify", VerifySpec("gcd"), "sempe", config)
+        assert cell.descriptor()["kind"] == "verify"
+        stats = ensure_cells("verify-test", [cell])
+        assert stats.ok
+        assert stats.computed == 1
+        result = cell.run()
+        assert isinstance(result.report, VerifyReport)
+        assert result.report.ok
+    finally:
+        clear_cache()
+        set_store(previous)

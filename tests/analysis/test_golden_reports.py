@@ -1,0 +1,39 @@
+"""Golden static-leak reports for every registered victim.
+
+The fixtures pin the analyzer's full output — every site with its pc,
+source line, kind, and channels — on the unprotected compile of each
+victim, so an analyzer or compiler change that silently shifts a leak
+site shows up as a readable JSON diff.  Regenerate a fixture only when
+the change is intentional:
+
+    PYTHONPATH=src python -c "
+    import json, pathlib
+    from repro.analysis import analyze_workload
+    name = 'bsearch'
+    report = analyze_workload(name, 'plain')
+    path = pathlib.Path('tests/analysis/golden') / (name + '.json')
+    path.write_text(json.dumps(report.to_dict(), indent=2,
+                               sort_keys=True) + chr(10))"
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import analyze_workload
+from repro.workloads.registry import workload_names
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def test_every_victim_has_a_fixture():
+    assert sorted(p.stem for p in GOLDEN.glob("*.json")) \
+        == sorted(workload_names())
+
+
+@pytest.mark.parametrize("name", sorted(workload_names()))
+def test_static_report_matches_golden(name):
+    expected = json.loads((GOLDEN / f"{name}.json").read_text())
+    actual = analyze_workload(name, "plain").to_dict()
+    assert actual == expected

@@ -1,0 +1,92 @@
+"""Leak-site classification, projection, and report serialization."""
+
+import json
+
+from repro.analysis import analyze_workload
+from repro.analysis.report import (
+    ADDRESS_CHANNELS,
+    StaticLeakReport,
+)
+from repro.security.leakage import CHANNELS
+
+
+def _channels_in_canonical_order(channels):
+    positions = [CHANNELS.index(c) for c in channels]
+    return positions == sorted(positions)
+
+
+def test_plain_bsearch_has_branch_and_address_sites():
+    report = analyze_workload("bsearch", "plain")
+    assert report.sites_of_kind("branch")
+    assert report.sites_of_kind("address")
+    assert report.predicted_channels() == CHANNELS
+
+
+def test_report_round_trips_through_json():
+    report = analyze_workload("bsearch", "plain")
+    blob = json.dumps(report.to_dict(), sort_keys=True)
+    rebuilt = StaticLeakReport.from_dict(json.loads(blob))
+    assert rebuilt == report
+    # Round-tripping is idempotent at the JSON level too.
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == blob
+
+
+def test_channels_are_canonically_ordered():
+    for defense in ("plain", "fence", "flush-local"):
+        report = analyze_workload("bsearch", defense)
+        assert _channels_in_canonical_order(report.predicted_channels())
+        for site in report.sites:
+            assert _channels_in_canonical_order(site.channels)
+
+
+def test_sempe_projection_drops_all_charged_sites():
+    report = analyze_workload("bsearch", "sempe")
+    assert report.sites_of_kind("branch") == ()
+    assert report.sites_of_kind("address") == ()
+    assert report.predicted_channels() == ()
+
+
+def test_flush_projection_removes_transient_state_channels():
+    report = analyze_workload("bsearch", "flush-local")
+    predicted = report.predicted_channels()
+    assert predicted
+    assert "cache-state" not in predicted
+    assert "branch-predictor" not in predicted
+
+
+def test_fence_projection_removes_predictor_only():
+    plain = analyze_workload("bsearch", "plain").predicted_channels()
+    fence = analyze_workload("bsearch", "fence").predicted_channels()
+    assert "branch-predictor" in plain
+    assert "branch-predictor" not in fence
+    assert set(fence) == set(plain) - {"branch-predictor"}
+
+
+def test_config_only_schemes_project_nothing():
+    plain = analyze_workload("table_lookup", "plain")
+    for scheme in ("cache-partition", "cache-randomize"):
+        report = analyze_workload("table_lookup", scheme)
+        assert report.predicted_channels() == plain.predicted_channels()
+
+
+def test_latency_sites_are_advisories_not_channels():
+    report = analyze_workload("gcd", "plain")
+    advisories = report.advisories()
+    assert advisories
+    for site in advisories:
+        assert site.kind == "latency"
+        assert site.channels == ()
+        assert site.potential == ("timing",)
+
+
+def test_address_sites_carry_the_address_channel_class():
+    report = analyze_workload("table_lookup", "plain")
+    for site in report.sites_of_kind("address"):
+        assert set(site.channels) <= set(ADDRESS_CHANNELS)
+
+
+def test_cte_compile_has_no_charged_sites():
+    report = analyze_workload("bsearch", "cte")
+    assert report.predicted_channels() == ()
+    # Linearization leaves only fixed-latency advisories behind.
+    assert all(site.kind == "latency" for site in report.sites)

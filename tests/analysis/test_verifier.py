@@ -1,0 +1,103 @@
+"""Defense-transform invariants, including deliberate-breakage tests."""
+
+import copy
+
+import pytest
+
+from repro.analysis import (
+    TransformVerificationError,
+    analyze_workload,
+    check_defense_transform,
+    claims_statically_checkable,
+    verify_defense_transform,
+)
+from repro.analysis.report import build_report
+from repro.defenses.registry import get_defense, iter_defenses
+from repro.isa.opcodes import is_cond_branch
+from repro.workloads.registry import get_workload, iter_workloads
+
+
+def test_every_registered_pair_verifies_clean():
+    """The static-smoke core: all defenses × all victims, no violations."""
+    for defense in iter_defenses():
+        for workload in iter_workloads():
+            report = analyze_workload(workload, defense.name)
+            assert verify_defense_transform(defense, report) == [], \
+                f"{workload.name} under {defense.name}"
+
+
+def test_claims_exemption_is_structural():
+    exempt = {d.name for d in iter_defenses()
+              if not claims_statically_checkable(d)}
+    # Exactly the config-only statistical schemes are exempt — by
+    # structure (plain compile + overrides + no hooks), not by name.
+    assert exempt == {"cache-partition", "cache-randomize"}
+
+
+def _mutated_sempe_report(workload_name):
+    """Compile under sempe, then strip the SecPrefix off one secure
+    branch — the classic broken-transform bug the verifier must catch."""
+    workload = get_workload(workload_name)
+    defense = get_defense("sempe")
+    compiled = workload.compile(defense.compile_mode,
+                                **workload.leak_resolve({}))
+    program = copy.deepcopy(compiled.program)
+    secure = [inst for inst in program.instructions
+              if is_cond_branch(inst.op) and inst.secure]
+    assert secure, "sempe compile must contain a secure branch"
+    secure[0].secure = False
+    return defense, build_report(program, compiled.secrets,
+                                 defense=defense)
+
+
+def test_broken_sempe_transform_turns_the_verifier_red():
+    defense, report = _mutated_sempe_report("table_lookup")
+    violations = verify_defense_transform(defense, report)
+    assert violations
+    assert any(v.invariant == "sempe-branch-unprotected"
+               for v in violations)
+    with pytest.raises(TransformVerificationError) as error:
+        check_defense_transform(defense, report)
+    assert error.value.violations == violations
+
+
+def test_broken_fence_transform_turns_the_verifier_red():
+    workload = get_workload("gcd")
+    defense = get_defense("fence")
+    compiled = workload.compile(defense.compile_mode,
+                                **workload.leak_resolve({}))
+    program = copy.deepcopy(compiled.program)
+    flow_report = build_report(program, compiled.secrets, defense=defense)
+    secure_sites = [s for s in flow_report.sites
+                    if s.kind == "branch" and s.secure]
+    assert secure_sites, "fence compile must mark the secret branch"
+    program.instructions[secure_sites[0].index].secure = False
+    report = build_report(program, compiled.secrets, defense=defense)
+    violations = verify_defense_transform(defense, report)
+    assert any(v.invariant == "fence-unmarked-branch"
+               for v in violations)
+
+
+def test_violations_round_trip_and_point_at_source():
+    defense, report = _mutated_sempe_report("table_lookup")
+    for violation in verify_defense_transform(defense, report):
+        rebuilt = type(violation).from_dict(violation.to_dict())
+        assert rebuilt == violation
+        assert violation.defense == "sempe"
+        if violation.index >= 0:
+            # The debug map ties the violation back to a source line.
+            assert violation.line > 0
+
+
+def test_claims_lint_fires_on_an_overclaiming_defense():
+    """A structural scheme that declares a channel its compiled output
+    still leaks must be flagged by the claims lint."""
+    import dataclasses
+
+    fence = get_defense("fence")
+    overclaiming = dataclasses.replace(
+        fence, name="fence-overclaim",
+        protects=("branch-predictor", "timing"))
+    report = analyze_workload("gcd", overclaiming)
+    violations = verify_defense_transform(overclaiming, report)
+    assert any(v.invariant == "claims-channel-open" for v in violations)

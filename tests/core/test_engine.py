@@ -1,6 +1,5 @@
 """The SempeMachine engine: end-to-end simulate() behaviour."""
 
-import pytest
 
 from repro.core.engine import SempeMachine, simulate
 from repro.isa.assembler import assemble

@@ -26,7 +26,6 @@ from repro.harness.store import ResultStore
 from repro.harness.sweep import SweepCell, SweepSpec, run_sweep
 from repro.security.attackers import AttackSpec
 from repro.testing.faults import FaultPlan, FaultSpec, KILL_EXIT_CODE
-from repro.workloads.microbench import MicrobenchSpec
 
 
 @pytest.fixture(autouse=True)

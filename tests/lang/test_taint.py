@@ -261,6 +261,77 @@ def test_sempe_allows_path_local_array_in_region_call():
     analyze_taint(parse(source), "sempe")
 
 
+def test_secret_index_write_taints_the_array():
+    """Regression (IR cross-check): a write at a secret *index* encodes
+    the secret in which cell changed, so the whole array is tainted —
+    the analyzer used to discard the index expression's taint."""
+    module = parse("""
+    secret int idx = 0;
+    int table[8];
+    int result = 0;
+    void main() {
+      table[idx] = 7;
+      result = table[0];
+      if (result) { result = 1; }
+    }
+    """)
+    taint = analyze_taint(module, "plain")
+    assert taint.is_tainted("", "table")
+    assert taint.is_tainted("", "result")
+    assert secret_if_count(module, taint) == 1
+
+
+def test_public_index_write_keeps_array_clean():
+    module = parse("""
+    secret int key = 0;
+    int table[8];
+    int result = 0;
+    void main() {
+      table[2] = 7;
+      result = table[0] + key;
+    }
+    """)
+    taint = analyze_taint(module, "plain")
+    assert not taint.is_tainted("", "table")
+
+
+def test_taint_through_call_return_chain():
+    """Regression (IR cross-check): taint must survive a two-deep
+    call-return chain, not just a single call."""
+    module = parse("""
+    secret int key = 0;
+    int inner(int v) { return v + 1; }
+    int outer(int v) { return inner(v) * 2; }
+    void main() {
+      int t = outer(key);
+      if (t) { int y = 1; }
+    }
+    """)
+    taint = analyze_taint(module, "plain")
+    assert "inner" in taint.func_return_tainted
+    assert "outer" in taint.func_return_tainted
+    assert taint.is_tainted("main", "t")
+    assert secret_if_count(module, taint) == 1
+
+
+def test_secret_if_lines_match_source_positions():
+    """The exported line set (what the IR differential checks against)
+    names exactly the secret ifs' source lines."""
+    source = """secret int key = 0;
+int result = 0;
+void main() {
+  int x = 5;
+  if (key) { result = 1; }
+  if (x) { result = 2; }
+}
+"""
+    module = parse(source)
+    taint = analyze_taint(module, "plain")
+    secret_line = source.splitlines().index(
+        "  if (key) { result = 1; }") + 1
+    assert taint.secret_if_lines == {secret_line}
+
+
 def test_nested_secret_ifs_both_labelled():
     module = parse("""
     secret int a = 0;

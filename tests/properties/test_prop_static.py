@@ -1,0 +1,65 @@
+"""Property: the IR-level analyzer agrees with the source-level one.
+
+:mod:`repro.lang.taint` decides which source ``if`` statements are
+secret-dependent *before* code generation; the IR analyzer
+(:mod:`repro.analysis`) rediscovers secret-dependent branches from the
+compiled instruction stream alone.  On randomly generated
+secret-branching programs, every source-level secret ``if`` line must
+reappear as an IR branch site on the same line — the debug map ties the
+two views together.  (The IR side may legitimately find *more* tainted
+branches than the source walker labels as secret ifs — derived loop
+bounds, merged scalars — so the containment is one-directional.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from hypothesis import given, settings
+
+from repro.analysis import build_report
+from repro.lang.compiler import compile_source
+
+from test_prop_program_gen import secret_programs
+
+
+def _branch_site_lines(compiled) -> set[int]:
+    report = build_report(compiled.program, compiled.secrets)
+    return {site.line for site in report.sites_of_kind("branch")}
+
+
+@settings(max_examples=25, deadline=None)
+@given(secret_programs())
+def test_source_secret_ifs_are_ir_branch_sites(source):
+    compiled = compile_source(source, mode="plain")
+    source_lines = compiled.taint.secret_if_lines
+    assert source_lines, "the generator always emits a secret if"
+    assert source_lines <= _branch_site_lines(compiled)
+
+
+@settings(max_examples=15, deadline=None)
+@given(secret_programs())
+def test_sempe_compile_marks_the_same_lines_secure(source):
+    """Under the sempe transform every source-level secret if becomes a
+    *secure* (or region-protected) IR branch site on its own line."""
+    compiled = compile_source(source, mode="sempe")
+    report = build_report(compiled.program, compiled.secrets)
+    protected_lines = {site.line
+                       for site in report.sites_of_kind("branch")
+                       if site.secure or site.region_protected}
+    assert compiled.taint.secret_if_lines <= protected_lines
+
+
+@settings(max_examples=15, deadline=None)
+@given(secret_programs())
+def test_sempe_projection_closes_every_generated_program(source):
+    """After projection under the sempe defense no branch site survives
+    — the static mirror of the generator's noninterference property."""
+    from repro.defenses.registry import get_defense
+
+    compiled = compile_source(source, mode="sempe")
+    report = build_report(compiled.program, compiled.secrets,
+                          defense=get_defense("sempe"))
+    assert report.sites_of_kind("branch") == ()

@@ -6,7 +6,6 @@ addresses and predictor state; the SeMPE machine (and the CTE baseline)
 produce identical observations for every secret value.
 """
 
-import pytest
 
 from repro.lang.compiler import compile_source
 from repro.security import (

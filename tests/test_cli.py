@@ -109,7 +109,16 @@ def test_workloads_show(capsys):
     assert main(["workloads", "show", "memcmp", "--params", "n=4"]) == 0
     out = capsys.readouterr().out
     assert "secret int pw[4];" in out
-    assert "expected channels:" in out
+    assert "declared channels:" in out
+    assert "derived channels:" in out
+
+
+def test_workloads_show_flags_undeclared_derived_channels(capsys):
+    """modexp declares no memory-address channel, but the static view of
+    a secret branch charges it — the mismatch note must be visible."""
+    assert main(["workloads", "show", "modexp"]) == 0
+    out = capsys.readouterr().out
+    assert "statically derived but not declared" in out
 
 
 def test_workloads_show_requires_name(capsys):
@@ -540,6 +549,58 @@ def test_experiments_defensematrix_listed(capsys):
     from repro.harness import EXPERIMENTS
 
     assert "defensematrix" in EXPERIMENTS
+
+
+# --------------------------------------------------------------------------
+# verify command: the static-vs-dynamic differential gate
+# --------------------------------------------------------------------------
+
+def test_verify_single_pair(clean_harness, capsys):
+    assert main(["verify", "--workload", "gcd",
+                 "--defense", "sempe"]) == 0
+    out = capsys.readouterr().out
+    assert "Static-vs-dynamic differential" in out
+    assert "1/1 pairs ok" in out
+
+
+def test_verify_one_workload_all_defenses(clean_harness, capsys):
+    from repro.defenses import defense_names
+
+    assert main(["verify", "--workload", "gcd"]) == 0
+    out = capsys.readouterr().out
+    total = len(defense_names())
+    assert f"{total}/{total} pairs ok" in out
+    # The explained gap is reported, never flagged.
+    assert "UNSOUND" not in out
+
+
+def test_verify_sites_flag_prints_provenance(clean_harness, capsys):
+    assert main(["verify", "--workload", "gcd", "--defense", "plain",
+                 "--sites"]) == 0
+    out = capsys.readouterr().out
+    assert "[branch]" in out
+    assert "pc=0x" in out and "line=" in out
+
+
+def test_verify_store_round_trip(clean_harness, tmp_path, capsys):
+    from repro.harness import clear_cache
+
+    store_dir = str(tmp_path / "store")
+    args = ["verify", "--workload", "gcd", "--defense", "sempe",
+            "--store", store_dir, "--cache-stats"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "stores=1" in first
+    clear_cache()
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "hits=1" in second.split("store [")[1]
+    assert first.split("run cache:")[0] == second.split("run cache:")[0]
+
+
+def test_verify_rejects_unknown_names(clean_harness, capsys):
+    assert main(["verify", "--workload", "nope"]) == 2
+    assert main(["verify", "--defense", "nope"]) == 2
 
 
 # --------------------------------------------------------------------------

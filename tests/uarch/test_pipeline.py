@@ -34,8 +34,6 @@ def test_dependent_chain_slower_than_independent(fast_config):
 
 
 def test_long_latency_divide_serialises(fast_config):
-    divides = "main:\n" + "\n".join(
-        "    div a0, a0, a1" for _ in range(16))
     source = "main:\n    addi a0, zero, 1000\n    addi a1, zero, 3\n" + \
         "\n".join("    div a0, a0, a1" for _ in range(16)) + "\n    halt\n"
     stats, _ = cycles_of(source, config=fast_config)
