@@ -4,8 +4,8 @@ export PYTHONPATH
 PYTEST := python -m pytest
 
 .PHONY: test test-fast test-slow parity sweep registry-smoke attack-smoke \
-	defense-smoke chaos-smoke static-smoke lint bench-perf bench-gate \
-	bench-quick bench-full ci
+	defense-smoke chaos-smoke static-smoke spectre-smoke lint bench-perf \
+	bench-gate bench-quick bench-full ci
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -76,6 +76,18 @@ static-smoke:
 	$(PYTEST) -x -q tests/analysis/test_verifier.py
 	python -m repro verify --workload gcd --defense sempe
 
+# Transient-execution smoke: the mistraining adversary recovers the
+# spectre gadget's key on the unprotected machine and lands at chance
+# under the fence (one `attack run` checks both via its exit code),
+# and one live static-vs-dynamic differential cell with the
+# speculation window open comes back sound.
+spectre-smoke:
+	python -m repro attack run --workload spectre \
+		--attacker mistrain-reload --trials 16 --defense fence \
+		--engine fast
+	python -m repro verify --workload spectre --defense fence \
+		--speculation
+
 # Lint lane: ruff over the whole tree, mypy strict on the
 # proof-bearing packages (config in pyproject.toml).  The tools ship
 # via requirements-ci.txt; when they are absent locally each check is
@@ -107,10 +119,11 @@ bench-full:
 	REPRO_BENCH_SCALE=full $(PYTEST) benchmarks -q -s
 
 # Mirror of .github/workflows/ci.yml: the lint lane, registry +
-# attack + defense + chaos + static smokes, fast lane then slow lane
-# (their union is exactly tier-1), the parity gate (re-run
+# attack + defense + chaos + static + spectre smokes, fast lane then
+# slow lane (their union is exactly tier-1), the parity gate (re-run
 # deliberately as a named check even though the fast lane includes
 # it), the bench smoke (which refreshes BENCH_perf.json), and the
 # perf-regression gate.
 ci: lint registry-smoke attack-smoke defense-smoke chaos-smoke \
-	static-smoke test-fast test-slow parity bench-perf bench-gate
+	static-smoke spectre-smoke test-fast test-slow parity bench-perf \
+	bench-gate

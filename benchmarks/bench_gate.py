@@ -47,8 +47,11 @@ THRESHOLD = 0.15
 
 # Metrics under the gate.  fast_ips guards the serial hot loop,
 # batch_ips the single-lane batched path, campaign_ips the
-# many-trial aggregate that justifies the batched engine.
-GATED_METRICS = ("fast_ips", "batch_ips", "campaign_ips")
+# many-trial aggregate that justifies the batched engine,
+# pipeline_ips the default (speculation-off) pipeline path, and
+# pipeline_spec_ips the wrong-path replay with the window enabled.
+GATED_METRICS = ("fast_ips", "batch_ips", "campaign_ips",
+                 "pipeline_ips", "pipeline_spec_ips")
 
 _CALIBRATION_OPS = 2_000_000
 

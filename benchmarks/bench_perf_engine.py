@@ -67,6 +67,8 @@ SCHEMA_KEYS = (
     "batch_seconds",
     "speedup",
     "batch_speedup",
+    "pipeline_ips",
+    "pipeline_spec_ips",
     "fast_functional_ips",
     "campaign_trials",
     "campaign_serial_ips",
@@ -87,6 +89,7 @@ def validate_entry(entry: dict) -> list[str]:
     if extra:
         problems.append(f"unexpected keys: {extra}")
     for key in ("reference_ips", "fast_ips", "batch_ips",
+                "pipeline_ips", "pipeline_spec_ips",
                 "fast_functional_ips", "campaign_serial_ips",
                 "campaign_ips"):
         value = entry.get(key)
@@ -146,6 +149,25 @@ def _time_fast_functional(programs):
         for _chunk in executor.run_chunks(64):
             pass
         instructions += executor.result.instructions
+    return instructions / (time.perf_counter() - started)
+
+
+def _time_speculation(programs, enabled):
+    """End-to-end pipeline throughput (fast engine) with the
+    transient-execution window off vs on.  The two rows track the cost
+    of the speculation machinery: the ``enabled=False`` row guards the
+    default path (the window must stay ~free when off), the
+    ``enabled=True`` row guards the wrong-path replay itself."""
+    from repro.uarch.config import MachineConfig
+
+    config = MachineConfig()
+    config.speculation.enabled = enabled
+    instructions = 0
+    started = time.perf_counter()
+    for _name, program, defense in programs:
+        report = simulate(program, defense=defense, engine="fast",
+                          config=config)
+        instructions += report.instructions
     return instructions / (time.perf_counter() - started)
 
 
@@ -271,6 +293,8 @@ def measure(scale) -> dict:
             assert reference.final_regs == contender.final_regs, key
             assert reference.miss_rates == contender.miss_rates, key
 
+    pipeline_ips = _time_speculation(programs, enabled=False)
+    pipeline_spec_ips = _time_speculation(programs, enabled=True)
     fast_functional_ips = _time_fast_functional(programs)
     campaign_serial_ips, campaign_ips = _time_campaign()
 
@@ -290,6 +314,11 @@ def measure(scale) -> dict:
         "batch_seconds": round(batch_s, 3),
         "speedup": round(speedup, 2),
         "batch_speedup": round(batch_speedup, 2),
+        # Speculation-window cost rows: same sweep through the full
+        # pipeline with the window off (default path; must stay ~free)
+        # and on (wrong-path replay cost).
+        "pipeline_ips": round(pipeline_ips),
+        "pipeline_spec_ips": round(pipeline_spec_ips),
         # Satellite record: serial fast engine with the pipeline
         # excluded — where the hot-loop hoists actually show up.
         "fast_functional_ips": round(fast_functional_ips),

@@ -32,7 +32,7 @@ from repro.analysis.verifier import (
     TransformViolation,
     verify_defense_transform,
 )
-from repro.security.leakage import CHANNELS, victim_report
+from repro.security.leakage import ALL_CHANNELS, victim_report
 from repro.uarch.config import MachineConfig
 
 
@@ -147,15 +147,23 @@ def execute_verify(
     params = workload.leak_resolve(spec.params)
     compiled = workload.compile(defense.compile_mode, **params)
 
+    # The static side must model the same machine the dynamic side
+    # runs: a speculation window exists when the config enables one, or
+    # when the workload declares the transient channel (victim_report
+    # auto-enables the window for those, so the declaration is
+    # testable at all).
+    speculation = (config is not None and config.speculation.enabled) \
+        or "transient-memory" in workload.channels
     flow = TaintDataflow(compiled.program, compiled.secrets)
     static = build_report(compiled.program, compiled.secrets,
-                          defense=defense, flow=flow)
+                          defense=defense, flow=flow,
+                          speculation=speculation)
     violations = verify_defense_transform(defense, static)
 
     dynamic_report = victim_report(
         workload, mode, config=config, engine=engine,
         max_instructions=max_instructions, **spec.params)
-    dynamic = tuple(c for c in CHANNELS
+    dynamic = tuple(c for c in ALL_CHANNELS
                     if c in set(dynamic_report.leaking_channels()))
 
     predicted = static.predicted_channels()

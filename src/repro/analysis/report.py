@@ -65,9 +65,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.analysis.dataflow import TAINT_DATA, TaintDataflow
+from repro.analysis.speculative import speculative_sites
 from repro.isa.opcodes import Op, is_cond_branch, is_load, is_store
 from repro.isa.program import Program
-from repro.security.leakage import CHANNELS
+from repro.security.leakage import ALL_CHANNELS, CHANNELS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.defenses.registry import DefenseSpec
@@ -75,17 +76,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 BRANCH_CHANNELS: tuple[str, ...] = CHANNELS
 ADDRESS_CHANNELS: tuple[str, ...] = (
     "timing", "memory-address", "cache-state")
+# A double-fetch site leaks through the wrong path's data-line stream:
+# the transient digest (functional), plus cache/timing residue the
+# squash does not undo.  The claims lint evaluates speculative sites
+# against "transient-memory" only — the cache/timing charges describe
+# the *transient* machine, which architectural defenses never see.
+SPECULATIVE_CHANNELS: tuple[str, ...] = (
+    "timing", "cache-state", "transient-memory")
 LATENCY_POTENTIAL: tuple[str, ...] = ("timing",)
 
 _LATENCY_OPS = (Op.MUL, Op.DIV, Op.REM)
 
-SITE_KINDS = ("branch", "address", "latency")
+SITE_KINDS = ("branch", "address", "latency", "speculative")
 
 
 def _ordered(channels: Iterable[str]) -> tuple[str, ...]:
-    """Channels in canonical :data:`CHANNELS` order (deterministic JSON)."""
+    """Channels in canonical :data:`ALL_CHANNELS` order (stable JSON)."""
     wanted = set(channels)
-    return tuple(c for c in CHANNELS if c in wanted)
+    return tuple(c for c in ALL_CHANNELS if c in wanted)
 
 
 @dataclass(frozen=True)
@@ -203,9 +211,24 @@ class StaticLeakReport:
 # --------------------------------------------------------------------------
 
 
-def classify_sites(flow: TaintDataflow) -> list[LeakSite]:
-    """Raw (defense-independent) leak sites of one analyzed program."""
+def classify_sites(flow: TaintDataflow,
+                   speculation: bool = False) -> list[LeakSite]:
+    """Raw (defense-independent) leak sites of one analyzed program.
+
+    With *speculation* the machine under analysis has an in-flight
+    speculation window: secret-dependent branch and address sites
+    additionally leak through the wrong-path record stream (both paths
+    of a secret branch execute transiently; a secret-valued address is
+    touched on wrong paths too), and the double-fetch fixpoint
+    (:mod:`repro.analysis.speculative`) contributes ``speculative``
+    sites for accesses whose address a wrong path can derive from
+    speculatively-read memory.  Off (the default) the classification is
+    byte-identical to the pre-speculation analyzer.
+    """
     program = flow.program
+    transient: tuple[str, ...] = ("transient-memory",) if speculation else ()
+    branch_channels = BRANCH_CHANNELS + transient
+    address_channels = ADDRESS_CHANNELS + transient
     sites: list[LeakSite] = []
     for index, inst in enumerate(program.instructions):
         if not flow.reachable(index):
@@ -227,14 +250,14 @@ def classify_sites(flow: TaintDataflow) -> list[LeakSite]:
                 index=index, pc=pc, line=line, kind="branch",
                 op=op.name, secure=secure, region_protected=protected,
                 control_only=ctl_only(operand_mask),
-                channels=BRANCH_CHANNELS, potential=(),
+                channels=branch_channels, potential=(),
                 detail=f"secret-dependent {op.name} direction"))
         elif op is Op.JALR and rs1_m:
             sites.append(LeakSite(
                 index=index, pc=pc, line=line, kind="branch",
                 op=op.name, secure=secure, region_protected=protected,
                 control_only=ctl_only(rs1_m),
-                channels=BRANCH_CHANNELS, potential=(),
+                channels=branch_channels, potential=(),
                 detail="secret-dependent indirect-jump target"))
         elif is_load(op) or is_store(op):
             address_mask = flow.address_tainted(index)
@@ -247,7 +270,7 @@ def classify_sites(flow: TaintDataflow) -> list[LeakSite]:
                     op=op.name, secure=secure,
                     region_protected=protected,
                     control_only=ctl_only(address_mask),
-                    channels=ADDRESS_CHANNELS, potential=(),
+                    channels=address_channels, potential=(),
                     detail=f"{how} {what} address"))
         elif op in _LATENCY_OPS and operand_mask:
             sites.append(LeakSite(
@@ -258,6 +281,17 @@ def classify_sites(flow: TaintDataflow) -> list[LeakSite]:
                 detail=(f"{op.name} on secret operand "
                         "(fixed-latency in this pipeline; early-out "
                         "hardware would leak timing)")))
+    if speculation:
+        for index, detail in sorted(speculative_sites(flow).items()):
+            inst = program.instructions[index]
+            sites.append(LeakSite(
+                index=index, pc=program.address_of(index),
+                line=program.source_lines[index], kind="speculative",
+                op=inst.op.name, secure=bool(inst.secure),
+                region_protected=flow.region_depth(index) > 0,
+                control_only=False,
+                channels=SPECULATIVE_CHANNELS, potential=(),
+                detail=detail))
     return sites
 
 
@@ -280,12 +314,24 @@ def project_sites(sites: list[LeakSite],
                 # dual-path runs both: the stream is secret-independent.
                 # A secret-valued (DATA-tainted) address is NOT dropped.
                 continue
-        if defense.fence_branches and site.kind == "branch" \
+        if defense.fence_branches \
                 and (site.secure or site.region_protected):
-            # The front end neither predicts nor records a serialized
-            # branch, and serialization covers the whole fenced region
-            # (pipeline: ``inst.secure or fence_depth > 0``).
-            channels.discard("branch-predictor")
+            if site.kind == "branch":
+                # The front end neither predicts nor records a
+                # serialized branch, and serialization covers the whole
+                # fenced region (pipeline: ``inst.secure or
+                # fence_depth > 0``).
+                channels.discard("branch-predictor")
+            if site.kind == "speculative":
+                # Serialize-to-join kills the window: a marked branch
+                # never forks, and a wrong path entering a fenced
+                # region stops at its fence — the double fetch never
+                # executes transiently.
+                continue
+            # A marked branch does not execute transiently at all, so
+            # fenced branch/address sites lose the wrong-path channel
+            # (the committed-path channels are untouched).
+            channels.discard("transient-memory")
         if defense.flush_on_exit:
             channels.discard("cache-state")
             channels.discard("branch-predictor")
@@ -302,11 +348,12 @@ def project_sites(sites: list[LeakSite],
 def build_report(program: Program,
                  secret_symbols: dict[str, int],
                  defense: "DefenseSpec | None" = None,
-                 flow: TaintDataflow | None = None) -> StaticLeakReport:
+                 flow: TaintDataflow | None = None,
+                 speculation: bool = False) -> StaticLeakReport:
     """Analyze *program* and classify its sites under *defense*."""
     if flow is None:
         flow = TaintDataflow(program, secret_symbols)
-    raw = classify_sites(flow)
+    raw = classify_sites(flow, speculation=speculation)
     sites = project_sites(raw, defense)
     reachable = sum(1 for i in range(len(program.instructions))
                     if flow.reachable(i))

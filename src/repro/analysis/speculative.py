@@ -1,0 +1,181 @@
+"""Speculative (wrong-path) taint: the static double-fetch detector.
+
+The architectural taint fixpoint (:class:`~repro.analysis.dataflow.
+TaintDataflow`) reasons about committed execution, where a bounds check
+dominates the access it guards.  Inside a speculation window that
+guarantee is gone: the fork walks the *wrong* path of a conditional
+branch, so a load whose address is not a compile-time constant may read
+past its region — in this machine's deterministic global layout, into
+an adjacent ``secret`` item.  The classic bounds-check-bypass gadget is
+therefore a *double fetch*: a guarded load whose (speculatively
+out-of-bounds) value feeds the address of a second access, encoding the
+stolen bytes in which line the wrong path touches.
+
+This module finds those chains at the IR level with a small forward
+fixpoint over the same CFG the architectural analysis uses:
+
+* a load is a **speculative source** when its address is not provably
+  constant and points into data (not the compiler-managed stack or the
+  SeMPE shadow area) — on a wrong path its index register may hold
+  anything the window can compute, so the loaded value may be secret;
+* speculative taint propagates through ALU ops and CMOV like ordinary
+  taint, and — because the code generator round-trips every local
+  through a stack slot — through *concrete-address* memory (the
+  architectural fixpoint proves stack-slot addresses constant, which is
+  what makes the store→reload hop trackable);
+* a load or store whose **address register** carries speculative taint
+  is a double-fetch site: the wrong path's data-line stream depends on
+  speculatively-read bytes.
+
+Soundness over precision, like the architectural side: unknown regions
+count as sources, unknown-address stores of speculative values taint
+their whole region.  The projection layer decides what a defense does
+to these sites (only killing the window itself — the fence — helps;
+dual-path execution and predication are architectural answers to an
+extra-architectural channel).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import STACK_REGION, TaintDataflow
+from repro.isa.opcodes import Op, is_load, is_store, mem_width
+from repro.isa.registers import ZERO
+
+# Regions a wrong-path index cannot plausibly reach secret data through:
+# the stack is compiler-managed (its addresses never flow through a
+# bounds-checked index), the shadow area is SeMPE scaffolding.
+_SAFE_REGIONS = (STACK_REGION, "<shadow>")
+
+
+class SpeculativeFlow:
+    """Forward fixpoint of speculative taint over one analyzed program.
+
+    ``sites`` maps instruction index -> detail string for every access
+    whose address depends on a speculatively-loaded value.
+    """
+
+    def __init__(self, flow: TaintDataflow) -> None:
+        self.flow = flow
+        self.program = flow.program
+        n = len(self.program.instructions)
+        self._in: list[int] = [0] * n      # per-inst register bitmask
+        self._out: list[int] = [0] * n
+        self._spec_bytes: set[int] = set()
+        self._spec_regions: set[str | None] = set()
+        self.sites: dict[int, str] = {}
+        self._run()
+
+    # -- address helpers -------------------------------------------------
+
+    def _address_of(self, index: int) -> tuple[int | None, str | None]:
+        """(concrete address, region) of the access at *index*, from the
+        architectural fixpoint's IN state."""
+        state = self.flow.state_at(index)
+        inst = self.program.instructions[index]
+        if state is None or inst.rs1 is None:
+            return None, None
+        base = state[0][inst.rs1]
+        if base[1] is not None:
+            address = base[1] + (inst.imm or 0)
+            return address, self.flow.region_of(address)
+        return None, base[2]
+
+    def _mem_spec(self, address: int | None, region: str | None,
+                  width: int) -> bool:
+        if None in self._spec_regions:
+            return True
+        if address is not None:
+            if any(address + k in self._spec_bytes for k in range(width)):
+                return True
+            region = self.flow.region_of(address)
+        return region in self._spec_regions
+
+    # -- transfer --------------------------------------------------------
+
+    def _transfer(self, index: int, mask: int) -> tuple[int, bool]:
+        """OUT mask for *index*; returns (out_mask, memory_changed)."""
+        inst = self.program.instructions[index]
+        op = inst.op
+        dst = inst.dst_reg()
+
+        def spec(reg: int | None) -> bool:
+            return reg is not None and reg != ZERO and bool(mask >> reg & 1)
+
+        changed = False
+        if is_load(op):
+            address, region = self._address_of(index)
+            if spec(inst.rs1):
+                self.sites.setdefault(
+                    index, "load address carries a speculatively-read "
+                           "value (double fetch)")
+            value_spec = spec(inst.rs1) \
+                or self._mem_spec(address, region, mem_width(op))
+            if address is None and region not in _SAFE_REGIONS:
+                # Unknown-index load from data: a wrong path may read
+                # out of bounds, so the value may be secret.
+                value_spec = True
+            if dst is not None:
+                mask = (mask | (1 << dst)) if value_spec \
+                    else (mask & ~(1 << dst))
+        elif is_store(op):
+            if spec(inst.rs1):
+                self.sites.setdefault(
+                    index, "store address carries a speculatively-read "
+                           "value (double fetch)")
+            if spec(inst.rs2):
+                address, region = self._address_of(index)
+                if address is not None:
+                    for k in range(mem_width(op)):
+                        if address + k not in self._spec_bytes:
+                            self._spec_bytes.add(address + k)
+                            changed = True
+                elif region not in self._spec_regions:
+                    self._spec_regions.add(region)
+                    changed = True
+        elif op is Op.CMOV:
+            if dst is not None:
+                if spec(inst.rd) or spec(inst.rs1) or spec(inst.rs2):
+                    mask |= 1 << dst
+        elif op in (Op.JAL, Op.JALR, Op.JMP):
+            if dst is not None:
+                mask &= ~(1 << dst)
+        elif dst is not None:
+            # ALU family (including LUI, whose operands are immediate).
+            if spec(inst.rs1) or spec(inst.rs2):
+                mask |= 1 << dst
+            else:
+                mask &= ~(1 << dst)
+        return mask, changed
+
+    # -- fixpoint --------------------------------------------------------
+
+    def _run(self) -> None:
+        cfg = self.flow.cfg
+        n = cfg.n
+        for _ in range(4 * n + 64):
+            changed = False
+            for index in range(n):
+                if not self.flow.reachable(index):
+                    continue
+                mask = 0
+                for pred in cfg.preds[index]:
+                    mask |= self._out[pred]
+                if mask != self._in[index]:
+                    self._in[index] = mask
+                    changed = True
+                out, mem_changed = self._transfer(index, mask)
+                if mem_changed:
+                    changed = True
+                if out != self._out[index]:
+                    self._out[index] = out
+                    changed = True
+            if not changed:
+                return
+        raise AssertionError(
+            "speculative fixpoint failed to converge on "
+            f"{self.program.name!r}")  # pragma: no cover - defensive
+
+
+def speculative_sites(flow: TaintDataflow) -> dict[int, str]:
+    """Double-fetch site map (instruction index -> detail) of *flow*."""
+    return SpeculativeFlow(flow).sites

@@ -464,6 +464,8 @@ class BatchExecutor:
         jbtable: JumpBackTable | None = None,
         max_instructions: int = 50_000_000,
         strict: bool = False,
+        speculation=None,
+        fence: bool = False,
     ) -> None:
         _require_numpy()
         if n_lanes < 1:
@@ -473,6 +475,19 @@ class BatchExecutor:
         self.n_lanes = n_lanes
         self.max_instructions = max_instructions
         self.strict = strict
+        # Transient execution: wrong-path walks are inherently
+        # lane-divergent (forked register values steer per-lane
+        # addresses *and* per-lane path shapes), which the shared
+        # group columns cannot represent.  With the speculation knob
+        # on, lanes therefore run the serial fast engine behind the
+        # unchanged batch API (see _run_delegated) — bit-identical
+        # per-lane chunks, results, and streams, minus the lockstep
+        # speedup.  Off (the default), nothing here changes.
+        self.speculation = (speculation
+                            if speculation is not None and speculation.enabled
+                            else None)
+        self.fence_mode = fence
+        self._delegates: list | None = None
         proto = spm if spm is not None else ScratchpadMemory(
             n_arch_regs=NUM_REGS)
         self._spm_slots = proto.n_slots
@@ -500,6 +515,9 @@ class BatchExecutor:
             raise RuntimeError("BatchExecutor.run is single-use")
         self._ran = True
         self._pred = self.program.predecode(line_bytes)
+        if self.speculation is not None:
+            self._run_delegated(line_bytes)
+            return
         work = [_Group.root(self.n_lanes, self.program.entry,
                             self._jb_depth)]
         while work:
@@ -507,6 +525,48 @@ class BatchExecutor:
         for group in self._groups:
             for lane in group.lanes.tolist():
                 self._lane_group[lane] = group
+
+    def _run_delegated(self, line_bytes: int) -> None:
+        """Speculation mode: one serial fast engine per lane.
+
+        Each lane gets a fresh :class:`FastExecutor` seeded with this
+        batch's per-lane memory image (initial image + lane pokes), so
+        per-lane chunks, results, and faults are byte-identical to the
+        serial run the parity contract promises.
+        """
+        from repro.arch.executor import SimulationError
+        from repro.arch.fast_executor import FastExecutor
+
+        words = self.memory._words
+        self._delegates = []
+        for lane in range(self.n_lanes):
+            executor = FastExecutor(
+                self.program,
+                sempe=self.sempe,
+                spm=ScratchpadMemory(
+                    n_slots=self._spm_slots,
+                    n_arch_regs=NUM_REGS,
+                    bytes_per_cycle=self._spm_bpc,
+                    reg_bytes=self._spm_reg_bytes,
+                ),
+                jbtable=JumpBackTable(depth=self._jb_depth),
+                max_instructions=self.max_instructions,
+                strict=self.strict,
+                speculation=self.speculation,
+                fence=self.fence_mode,
+            )
+            store = executor.state.memory.store
+            for word_address, word in words.items():
+                value = word if isinstance(word, int) else int(word[lane])
+                store(word_address, value, 8)
+            chunks: list[TraceChunk] = []
+            error: Exception | None = None
+            try:
+                for chunk in executor.run_chunks(line_bytes=line_bytes):
+                    chunks.append(chunk)
+            except SimulationError as exc:
+                error = exc
+            self._delegates.append((executor, chunks, error))
 
     def _execute(self, g: _Group, work: list) -> None:
         """Step one group until halt, fault, or divergence split."""
@@ -1000,10 +1060,14 @@ class BatchExecutor:
 
     def lane_error(self, lane: int) -> Exception | None:
         """The exception this lane's serial run would have raised."""
+        if self._delegates is not None:
+            return self._delegates[lane][2]
         return self._group_of(lane).error
 
     def lane_result(self, lane: int) -> ExecutionResult:
         """This lane's ExecutionResult (counters are group-uniform)."""
+        if self._delegates is not None:
+            return self._delegates[lane][0].result
         g = self._group_of(lane)
         op_counts: dict[str, int] = {}
         for op, count in zip(OPS, g.op_counts):
@@ -1030,15 +1094,21 @@ class BatchExecutor:
 
     def lane_regs(self, lane: int) -> list[int]:
         """Final architectural registers of one lane (python ints)."""
+        if self._delegates is not None:
+            return self._delegates[lane][0].state.snapshot_regs()
         g = self._group_of(lane)
         position = int(np.searchsorted(g.lanes, lane))
         return [value if isinstance(value, int) else int(value[position])
                 for value in g.regs]
 
     def lane_pc(self, lane: int) -> int:
+        if self._delegates is not None:
+            return self._delegates[lane][0].state.pc
         return self._group_of(lane).pc
 
     def lane_halted(self, lane: int) -> bool:
+        if self._delegates is not None:
+            return self._delegates[lane][0].state.halted
         return self._group_of(lane).halted
 
     # -- trace materialization ---------------------------------------------
@@ -1090,6 +1160,9 @@ class BatchExecutor:
 
     def lane_chunks(self, lane: int) -> Iterator[TraceChunk]:
         """This lane's trace, byte-identical to the serial fast engine."""
+        if self._delegates is not None:
+            yield from self._delegates[lane][1]
+            return
         g = self._group_of(lane)
         pc_all, addr_all, taken_all, addr_patches, taken_patches = \
             self._template(g)
@@ -1161,6 +1234,8 @@ class BatchExecutor:
         this lane's serial run (drain rows dropped, indirect-jump
         targets excluded from the memory stream).
         """
+        if self._delegates is not None:
+            return self._delegated_streams(lane, line_bytes)
         g = self._group_of(lane)
         pc_arr, addr_base, addr_valid, limit = self._base_arrays(g)
         _pc_all, _addr_all, _taken_all, addr_patches, _taken_patches = \
@@ -1186,3 +1261,24 @@ class BatchExecutor:
         keep = self._ijump_kind[pc_arr[mem_rows]] != K_JALR
         mem_lines = addr_arr[mem_rows[keep]] // np.uint64(line_bytes)
         return int(inst.sum()), pc_arr[inst], mem_lines
+
+    def _delegated_streams(self, lane: int, line_bytes: int):
+        """:meth:`lane_streams` over a delegated lane's stored chunks.
+
+        Committed rows only: drain rows (``-3 <= pc < 0``) and transient
+        rows (``pc <= -4``) are dropped, and indirect-jump targets stay
+        out of the memory stream, matching the vectorized path and the
+        serial :class:`~repro.security.observer.TraceObserver`.
+        """
+        kind_t = self._pred.kind
+        pcs: list[int] = []
+        lines: list[int] = []
+        for chunk in self._delegates[lane][1]:
+            for pc, addr in zip(chunk.pc, chunk.addr):
+                if pc < 0:
+                    continue
+                pcs.append(pc)
+                if addr >= 0 and kind_t[pc] != K_JALR:
+                    lines.append(addr // line_bytes)
+        return (len(pcs), np.array(pcs, dtype=np.int64),
+                np.array(lines, dtype=np.uint64))

@@ -34,7 +34,8 @@ from repro.isa.registers import NUM_REGS
 from repro.mem.memory import FlatMemory
 from repro.mem.scratchpad import ScratchpadMemory
 from repro.arch.state import ArchState, to_signed, to_unsigned
-from repro.arch.trace import DynInstr, DrainEvent, TraceRecord
+from repro.arch.trace import DynInstr, DrainEvent, TraceRecord, TransientInstr
+from repro.uarch.config import SpeculationConfig
 
 
 class SimulationError(Exception):
@@ -101,6 +102,8 @@ class Executor:
         jbtable: JumpBackTable | None = None,
         max_instructions: int = 50_000_000,
         strict: bool = False,
+        speculation: SpeculationConfig | None = None,
+        fence: bool = False,
     ) -> None:
         self.program = program
         self.sempe = sempe
@@ -108,6 +111,18 @@ class Executor:
         self.jbtable = jbtable if jbtable is not None else JumpBackTable()
         self.max_instructions = max_instructions
         self.strict = strict
+        # Transient execution: when the speculation knob is on, every
+        # eligible conditional branch forks and emits its squashed
+        # wrong-path stream (see _transient_rows).  ``fence`` mirrors
+        # the pipeline's fence defense: a SecPrefix'ed branch opens a
+        # serialized region (through its eosJMP join) in which the
+        # front end never runs ahead, so no wrong path ever executes.
+        self.speculation = (speculation
+                            if speculation is not None and speculation.enabled
+                            else None)
+        self.fence_mode = fence
+        self._fence_depth = 0
+        self._spec_pred = None
         self.state = ArchState(FlatMemory(program.initial_memory()))
         self.state.pc = program.entry
         self.result = ExecutionResult()
@@ -167,6 +182,7 @@ class Executor:
         is_store = False
         next_pc = pc + 1
         drains: list[DrainEvent] = []
+        transient_rows: list[tuple[int, int, int]] = ()
 
         opclass = inst.opclass
         if opclass is OpClass.ALU or opclass is OpClass.MUL or opclass is OpClass.DIV:
@@ -195,6 +211,14 @@ class Executor:
                 drains.extend(self._enter_secure_region(inst, taken))
                 next_pc = pc + 1           # NT path always first
             else:
+                if self.fence_mode and inst.secure:
+                    # Fence: the serialized region opens here; nothing
+                    # inside it (through the eosJMP join) speculates.
+                    self._fence_depth += 1
+                elif self.speculation is not None and not inst.secure \
+                        and self._fence_depth == 0:
+                    transient_rows = self._transient_rows(
+                        pc + 1 if taken else target)
                 if taken:
                     self.result.taken_branches += 1
                     next_pc = target
@@ -224,6 +248,10 @@ class Executor:
             if self.sempe and self._regions:
                 next_pc, eos_drains = self._handle_eosjmp(pc)
                 drains.extend(eos_drains)
+            elif self._fence_depth:
+                # Join of a fenced region: speculation re-enabled
+                # (mirrors the pipeline's fence_depth tracking).
+                self._fence_depth -= 1
             # else: NOP on legacy processors / outside secure regions.
         elif op is Op.NOP:
             pass
@@ -251,6 +279,23 @@ class Executor:
             drain.seq = self._seq
             self._seq += 1
             yield drain
+        if transient_rows:
+            instructions = self.program.instructions
+            for t_pc, t_addr, t_taken in transient_rows:
+                t_inst = instructions[t_pc]
+                t_class = t_inst.opclass
+                t_mem = t_class is OpClass.LOAD or t_class is OpClass.STORE
+                yield TransientInstr(
+                    seq=self._seq,
+                    pc=t_pc,
+                    op=t_inst.op,
+                    opclass=t_class,
+                    mem_addr=t_addr if t_addr >= 0 else None,
+                    mem_width=mem_width(t_inst.op) if t_mem else 0,
+                    is_store=t_class is OpClass.STORE,
+                    taken=None if t_taken < 0 else bool(t_taken),
+                )
+                self._seq += 1
 
         state.pc = next_pc
 
@@ -402,6 +447,201 @@ class Executor:
         if op is Op.BGEU:
             return to_unsigned(a) >= to_unsigned(b)
         raise SimulationError(f"not a branch: {op}")  # pragma: no cover
+
+    # -- transient execution (the speculation window) ---------------------------
+
+    def _transient_rows(self, wrong_pc: int) -> list[tuple[int, int, int]]:
+        """Walk the squashed wrong path from *wrong_pc*.
+
+        Returns ``(static_pc, mem_addr_or_-1, taken_-1/0/1)`` rows — the
+        columnar transient encoding — for up to ``speculation.window``
+        instructions.  The walk runs on a **forked** register file and a
+        store overlay: wrong-path stores never reach architectural
+        memory, wrong-path loads see them through the overlay, and a
+        wrong-path division by zero is squashed, never raised (transient
+        faults do not architecturally trap).  The walk ends at the
+        window limit, a PC out of range, HALT, or any secure branch or
+        ``eosJMP`` (speculation never crosses a region boundary).
+
+        Shared by the reference and fast engines so the two transient
+        streams can never drift apart.
+        """
+        from repro.isa.program import (
+            K_ADD, K_SUB, K_MUL, K_DIV, K_AND, K_OR, K_XOR,
+            K_SLL, K_SRL, K_SRA, K_SLT, K_SLTU, K_LUI,
+            K_LOAD, K_STORE,
+            K_BEQ, K_BNE, K_BLT, K_BLTU, K_BGEU,
+            K_JMP, K_JAL, K_JALR, K_CMOV, K_EOSJMP, K_NOP,
+            K_LAST_ALU, K_LAST_BRANCH,
+        )
+
+        MASK64 = (1 << 64) - 1
+        SIGN_BIT = 1 << 63
+        TWO64 = 1 << 64
+
+        pred = self._spec_pred
+        if pred is None:
+            pred = self._spec_pred = self.program.predecode(64)
+        kind_t = pred.kind
+        rd_t = pred.rd
+        rs1_t = pred.rs1
+        rs2_t = pred.rs2
+        imm_t = pred.imm
+        b_imm_t = pred.b_is_imm
+        tgt_t = pred.target
+        sec_t = pred.secure
+        w_t = pred.width
+        n_prog = pred.n
+
+        regs = list(self.state.regs)          # forked register file
+        mem_load = self.state.memory.load
+        overlay: dict[int, int] = {}          # byte addr -> wrong-path byte
+        rows: list[tuple[int, int, int]] = []
+        pc = wrong_pc
+        for _ in range(self.speculation.window):
+            if not 0 <= pc < n_prog:
+                break
+            if sec_t[pc]:
+                break                          # never cross an sJMP/fence
+            k = kind_t[pc]
+            next_pc = pc + 1
+
+            if k <= K_LAST_ALU:
+                r1 = rs1_t[pc]
+                a = regs[r1] & MASK64 if r1 >= 0 else 0
+                if b_imm_t[pc]:
+                    b = imm_t[pc]
+                else:
+                    r2 = rs2_t[pc]
+                    b = regs[r2] & MASK64 if r2 >= 0 else 0
+                if k == K_ADD:
+                    value = a + b
+                elif k == K_SUB:
+                    value = a - b
+                elif k == K_AND:
+                    value = a & b
+                elif k == K_OR:
+                    value = a | b
+                elif k == K_XOR:
+                    value = a ^ b
+                elif k == K_SLL:
+                    value = a << (b & 63)
+                elif k == K_SRL:
+                    value = a >> (b & 63)
+                elif k == K_SRA:
+                    sa = a - TWO64 if a >= SIGN_BIT else a
+                    value = sa >> (b & 63)
+                elif k == K_SLT:
+                    ub = b & MASK64
+                    sa = a - TWO64 if a >= SIGN_BIT else a
+                    sb = ub - TWO64 if ub >= SIGN_BIT else ub
+                    value = 1 if sa < sb else 0
+                elif k == K_SLTU:
+                    value = 1 if a < (b & MASK64) else 0
+                elif k == K_LUI:
+                    value = imm_t[pc]
+                elif k == K_MUL:
+                    sa = a - TWO64 if a >= SIGN_BIT else a
+                    ub = b & MASK64
+                    sb = ub - TWO64 if ub >= SIGN_BIT else ub
+                    value = sa * sb
+                else:  # K_DIV / K_REM: squashed, never strict-raises
+                    sa = a - TWO64 if a >= SIGN_BIT else a
+                    ub = b & MASK64
+                    sb = ub - TWO64 if ub >= SIGN_BIT else ub
+                    if sb == 0:
+                        value = -1 if k == K_DIV else sa
+                    else:
+                        quotient = abs(sa) // abs(sb)
+                        if (sa < 0) != (sb < 0):
+                            quotient = -quotient
+                        value = quotient if k == K_DIV else sa - quotient * sb
+                d = rd_t[pc]
+                if d > 0:
+                    regs[d] = value & MASK64
+                rows.append((pc, -1, -1))
+
+            elif k == K_LOAD:
+                addr = (regs[rs1_t[pc]] + imm_t[pc]) & MASK64
+                width = w_t[pc]
+                value = 0
+                for i in range(width):
+                    byte = overlay.get(addr + i)
+                    if byte is None:
+                        byte = mem_load(addr + i, 1)
+                    value |= byte << (8 * i)
+                d = rd_t[pc]
+                if d > 0:
+                    regs[d] = value & MASK64
+                rows.append((pc, addr, -1))
+
+            elif k == K_STORE:
+                addr = (regs[rs1_t[pc]] + imm_t[pc]) & MASK64
+                value = regs[rs2_t[pc]]
+                for i in range(w_t[pc]):
+                    overlay[addr + i] = (value >> (8 * i)) & 0xFF
+                rows.append((pc, addr, -1))
+
+            elif k <= K_LAST_BRANCH:
+                a = regs[rs1_t[pc]]
+                b = regs[rs2_t[pc]]
+                if k == K_BEQ:
+                    taken = a == b
+                elif k == K_BNE:
+                    taken = a != b
+                elif k == K_BLTU:
+                    taken = (a & MASK64) < (b & MASK64)
+                elif k == K_BGEU:
+                    taken = (a & MASK64) >= (b & MASK64)
+                else:
+                    a &= MASK64
+                    b &= MASK64
+                    sa = a - TWO64 if a >= SIGN_BIT else a
+                    sb = b - TWO64 if b >= SIGN_BIT else b
+                    taken = sa < sb if k == K_BLT else sa >= sb
+                rows.append((pc, -1, 1 if taken else 0))
+                if taken:
+                    next_pc = tgt_t[pc]
+
+            elif k == K_EOSJMP:
+                break                          # region join ends the window
+
+            elif k == K_JMP:
+                rows.append((pc, -1, 1))
+                next_pc = tgt_t[pc]
+
+            elif k == K_JAL:
+                d = rd_t[pc]
+                if d > 0:
+                    regs[d] = (pc + 1) & MASK64
+                rows.append((pc, -1, 1))
+                next_pc = tgt_t[pc]
+
+            elif k == K_JALR:
+                target = regs[rs1_t[pc]] & MASK64
+                d = rd_t[pc]
+                if d > 0:
+                    regs[d] = (pc + 1) & MASK64
+                rows.append((pc, -1, 1))
+                next_pc = target
+
+            elif k == K_CMOV:
+                d = rd_t[pc]
+                value = regs[rs1_t[pc]] if regs[rs2_t[pc]] != 0 \
+                    else (regs[d] if d >= 0 else 0)
+                if d > 0:
+                    regs[d] = value & MASK64
+                rows.append((pc, -1, -1))
+
+            elif k == K_NOP:
+                rows.append((pc, -1, -1))
+
+            else:  # K_HALT
+                rows.append((pc, -1, -1))
+                break
+
+            pc = next_pc
+        return rows
 
 
 def run_program(

@@ -30,7 +30,9 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.arch.executor import Executor, InstructionLimitError, SimulationError
-from repro.arch.trace import CHUNK_RECORDS, DRAIN_REASON_ID, TraceChunk
+from repro.arch.trace import (
+    CHUNK_RECORDS, DRAIN_REASON_ID, TRANSIENT_PC_BASE, TraceChunk,
+)
 from repro.isa.opcodes import NUM_OPS, OPS
 from repro.isa.program import (
     K_ADD, K_SUB, K_MUL, K_DIV, K_AND, K_OR, K_XOR,
@@ -68,6 +70,7 @@ class FastExecutor(Executor):
         self._consumed = True
 
         pred = self.program.predecode(line_bytes)
+        self._spec_pred = pred
         kind_t = pred.kind
         opid_t = pred.op_id
         rd_t = pred.rd
@@ -91,6 +94,17 @@ class FastExecutor(Executor):
         strict = self.strict
         max_instructions = self.max_instructions
         drain_id = DRAIN_REASON_ID
+        # Transient execution: forks happen at eligible conditional
+        # branches (never SecPrefix'ed ones, never inside a fenced
+        # region) and splice the wrong-path rows — encoded with
+        # ``pc = TRANSIENT_PC_BASE - static_pc`` — right after the
+        # branch row.  ``sec_t`` may be zeroed below for the sempe-off
+        # hoist, so eligibility reads the real secure column.
+        speculate = self.speculation is not None
+        fence_mode = self.fence_mode
+        real_sec_t = pred.secure
+        fence_depth = 0
+        transient_rows = self._transient_rows
         if not sempe:
             # Constant-per-run hoist: with SeMPE off no branch can open a
             # secure region, so the per-branch ``sec_t[pc]`` test can read
@@ -269,6 +283,15 @@ class FastExecutor(Executor):
                         elif taken:
                             taken_branches += 1
                             next_pc = tgt_t[pc]
+                        if fence_mode and real_sec_t[pc]:
+                            fence_depth += 1
+                        elif speculate and not real_sec_t[pc] \
+                                and fence_depth == 0:
+                            for t_pc, t_addr, t_tk in transient_rows(
+                                    pc + 1 if taken else tgt_t[pc]):
+                                ap(TRANSIENT_PC_BASE - t_pc)
+                                aa(t_addr)
+                                at(t_tk)
 
                     elif k == K_EOSJMP:
                         ap(pc); aa(-1); at(-1)
@@ -282,6 +305,9 @@ class FastExecutor(Executor):
                                 # Outermost region closed: bank its
                                 # instruction span (see secure_base).
                                 secure_icount += icount - secure_base
+                        elif fence_depth:
+                            # Join of a fenced region (see Executor).
+                            fence_depth -= 1
 
                     elif k == K_JMP:
                         branches += 1

@@ -101,7 +101,45 @@ class DrainEvent:
         )
 
 
-TraceRecord = DynInstr | DrainEvent
+class TransientInstr:
+    """One squashed wrong-path instruction (speculation window).
+
+    Emitted by the functional engines, immediately after the conditional
+    branch that forked it, only when
+    :class:`repro.uarch.config.SpeculationConfig` is enabled.  The
+    timing pipeline applies its cache touches when its predictor
+    mispredicted the branch (the wrong path *is* the predicted path
+    then) and discards it otherwise; it never retires, never counts as
+    a committed instruction, and never trains a predictor.
+    """
+
+    __slots__ = ("seq", "pc", "op", "opclass", "mem_addr", "mem_width",
+                 "is_store", "taken")
+
+    def __init__(self, seq: int, pc: int, op: Op, opclass: OpClass,
+                 mem_addr: int | None = None, mem_width: int = 0,
+                 is_store: bool = False, taken: bool | None = None) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.opclass = opclass
+        self.mem_addr = mem_addr
+        self.mem_width = mem_width
+        self.is_store = is_store
+        self.taken = taken
+
+    @property
+    def kind(self) -> str:
+        return "transient"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.mem_addr is not None:
+            extra = f" addr=0x{self.mem_addr:x}"
+        return f"<Transient #{self.seq} pc={self.pc} {self.op.value}{extra}>"
+
+
+TraceRecord = DynInstr | DrainEvent | TransientInstr
 
 
 # --------------------------------------------------------------------------
@@ -112,6 +150,12 @@ CHUNK_RECORDS = 4096
 
 DRAIN_REASONS = ("secblock-entry", "nt-path-end", "secblock-exit")
 DRAIN_REASON_ID = {reason: index for index, reason in enumerate(DRAIN_REASONS)}
+
+# Transient (wrong-path) rows ride in the same columns with
+# ``pc = TRANSIENT_PC_BASE - static_pc`` — disjoint from the drain codes
+# ``-1..-3`` because static PCs are non-negative, so ``pc <= -4`` always
+# decodes as transient and ``-3 <= pc < 0`` always as a drain.
+TRANSIENT_PC_BASE = -4
 
 _STORE_CLS = OpClass.STORE
 _IJUMP_CLS = OpClass.IJUMP
@@ -129,6 +173,9 @@ class TraceChunk:
       ``0`` or ``1``.
     * drain — ``pc`` is ``-(1 + reason_id)``; ``addr`` carries the SPM
       transfer cycles; ``taken`` carries the nesting level.
+    * transient — ``pc`` is ``TRANSIENT_PC_BASE - static_pc`` (always
+      ``<= -4``); ``addr``/``taken`` follow the instruction-row
+      convention for the squashed wrong-path instruction.
 
     ``seq0`` is the stream sequence number of the first record; record
     *i* has sequence ``seq0 + i`` (the reference executor numbers every
@@ -154,7 +201,21 @@ class TraceChunk:
         seq = self.seq0
         for pc, addr, taken in zip(self.pc, self.addr, self.taken):
             if pc < 0:
-                yield DrainEvent(seq, DRAIN_REASONS[-pc - 1], addr, taken)
+                if pc <= TRANSIENT_PC_BASE:
+                    spc = TRANSIENT_PC_BASE - pc
+                    opclass = OPCLASSES[pred.cls_id[spc]]
+                    yield TransientInstr(
+                        seq=seq,
+                        pc=spc,
+                        op=OPS[pred.op_id[spc]],
+                        opclass=opclass,
+                        mem_addr=None if addr < 0 else addr,
+                        mem_width=pred.width[spc],
+                        is_store=opclass is _STORE_CLS,
+                        taken=None if taken < 0 else bool(taken),
+                    )
+                else:
+                    yield DrainEvent(seq, DRAIN_REASONS[-pc - 1], addr, taken)
             else:
                 opclass = OPCLASSES[pred.cls_id[pc]]
                 dst = pred.dst[pc]

@@ -434,12 +434,19 @@ def cmd_attack(args: argparse.Namespace) -> int:
         modes = (("plain", "sempe") if args.mode == "both"
                  else (args.mode,))
     expected = {mode: expected_verdict(attacker, mode) for mode in modes}
+    config = None
+    if getattr(args, "speculation", False):
+        from repro.security.attackers import attack_config
+
+        config = attack_config()
+        config.speculation.enabled = True
     ok = True
     verdicts: dict[str, str] = {}
     from repro.defenses import sempe_machine
 
     for mode in modes:
-        report = run_attack(spec, mode, engine=args.engine).report
+        report = run_attack(spec, mode, config=config,
+                            engine=args.engine).report
         verdicts[mode] = report.verdict
         machine = ("baseline" if mode == "plain"
                    else "SeMPE" if sempe_machine(mode)
@@ -511,6 +518,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         set_store(ResultStore(args.store))
 
     config = _leak_config()
+    if getattr(args, "speculation", False):
+        config.speculation.enabled = True
     cells = [SweepCell("verify", VerifySpec(workload), defense, config)
              for workload in workloads for defense in defenses]
     stats = ensure_cells("verify", cells, jobs=args.jobs)
@@ -881,6 +890,10 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(key=value[,key=value...])")
     attack_parser.add_argument("--engine", choices=ENGINES, default=None,
                                help="functional engine for the victim runs")
+    attack_parser.add_argument("--speculation", action="store_true",
+                               help="give the victim machine an in-flight "
+                                    "speculation window (transient "
+                                    "attackers enable it automatically)")
     attack_parser.add_argument("--store", default=None,
                                help="cache attack reports in this result "
                                     "store directory")
@@ -910,6 +923,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--engine", choices=ENGINES, default=None,
                                help="functional engine for the dynamic "
                                     "side")
+    verify_parser.add_argument("--speculation", action="store_true",
+                               help="verify against a machine with an "
+                                    "in-flight speculation window (the "
+                                    "static side models wrong-path "
+                                    "leakage too)")
     verify_parser.add_argument("--cache-stats", action="store_true",
                                help="print run-cache and store counters")
     verify_parser.set_defaults(func=cmd_verify)
@@ -918,7 +936,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate a paper table/figure")
     experiments_parser.add_argument(
         "name", help="table1|table2|fig8|fig9|fig10a|fig10b|victims|"
-                     "leakmatrix|attacks|defensematrix|verify")
+                     "leakmatrix|attacks|defensematrix|verify|spectre")
     experiments_parser.add_argument("--w", type=int, default=3,
                                     help="max nesting depth for sweeps")
     experiments_parser.add_argument("--engine", choices=ENGINES,

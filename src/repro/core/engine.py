@@ -218,6 +218,8 @@ class SempeMachine:
                 spm=spm,
                 jbtable=jbtable,
                 max_instructions=max_instructions,
+                speculation=config.speculation,
+                fence=self.defense.fence_branches,
             )
             chunks = executor.run_chunks(
                 line_bytes=config.hierarchy.il1.line_bytes)
@@ -234,6 +236,8 @@ class SempeMachine:
                 spm=spm,
                 jbtable=jbtable,
                 max_instructions=max_instructions,
+                speculation=config.speculation,
+                fence=self.defense.fence_branches,
             )
             executor.run(line_bytes=config.hierarchy.il1.line_bytes)
             chunks = _lane_chunk_stream(executor, 0)
@@ -247,6 +251,8 @@ class SempeMachine:
                 spm=spm,
                 jbtable=jbtable,
                 max_instructions=max_instructions,
+                speculation=config.speculation,
+                fence=self.defense.fence_branches,
             )
             trace = _scale_drains(executor.run(), scale) if scale != 1.0 \
                 else executor.run()
@@ -310,13 +316,17 @@ def _scale_drains(trace, scale: float):
 
 
 def _scale_chunk_drains(chunks, scale: float):
-    """Chunked twin of :func:`_scale_drains` (drain rows have pc < 0 and
-    carry their SPM cycles in the addr column)."""
+    """Chunked twin of :func:`_scale_drains` (drain rows have
+    ``-3 <= pc < 0`` and carry their SPM cycles in the addr column;
+    transient rows sit at ``pc <= -4`` and carry memory addresses, so
+    they must never be scaled)."""
+    from repro.arch.trace import TRANSIENT_PC_BASE
+
     for chunk in chunks:
         pc = chunk.pc
         addr = chunk.addr
         for i in range(chunk.n):
-            if pc[i] < 0:
+            if TRANSIENT_PC_BASE < pc[i] < 0:
                 addr[i] = max(1, int(round(addr[i] * scale)))
         yield chunk
 

@@ -37,9 +37,14 @@ def plain():
          protects=CHANNELS)
 def sempe():
     """The paper's scheme: both paths of every secret branch execute
-    and commit, so no attacker-visible channel depends on the secret —
-    the claim covers every channel the observer defines, including ones
-    added after this registration."""
+    and commit, so no *committed-state* channel depends on the secret —
+    the claim is exactly :data:`~repro.security.leakage.CHANNELS`, the
+    architectural channel set.  It deliberately excludes
+    ``transient-memory``: dual-path execution restructures what the
+    program commits, while the transient channel is carried by
+    wrong-path accesses the commit stream never contains, so a
+    speculation window leaks through SeMPE unchanged (the spectre
+    victim demonstrates it)."""
     return {}
 
 
@@ -55,11 +60,15 @@ def cte():
 
 @defense(name="fence", title="serializing fences at secret branches",
          compile_mode="fence", sempe_machine=False, fence_branches=True,
-         protects=("branch-predictor",))
+         protects=("branch-predictor", "transient-memory"))
 def fence():
-    """Secret branches carry the SecPrefix and the front end serializes
-    on them: no prediction, no BTB/history update, no fetch past the
-    unresolved condition (the lfence-style software mitigation)."""
+    """Secret branches and double-fetch guards carry the SecPrefix and
+    the front end serializes on them: no prediction, no BTB/history
+    update, no fetch past the unresolved condition (the lfence-style
+    software mitigation).  Serialization also kills the speculation
+    window at the marked branch — the wrong path never issues — which
+    is why this is the one scheme here that closes the
+    ``transient-memory`` channel."""
     return {}
 
 

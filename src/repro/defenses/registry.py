@@ -148,13 +148,13 @@ def register(spec: DefenseSpec) -> DefenseSpec:
         raise DefenseError(
             f"defense {spec.name!r} declares unknown compile mode "
             f"{spec.compile_mode!r}; choose from {MODES}")
-    from repro.security.leakage import CHANNELS
+    from repro.security.leakage import ALL_CHANNELS
 
-    unknown = [c for c in spec.protects if c not in CHANNELS]
+    unknown = [c for c in spec.protects if c not in ALL_CHANNELS]
     if unknown:
         raise DefenseError(
             f"defense {spec.name!r} claims to protect unknown channels "
-            f"{unknown}; choose from {CHANNELS}")
+            f"{unknown}; choose from {ALL_CHANNELS}")
     _REGISTRY[spec.name] = spec
     return spec
 

@@ -51,7 +51,15 @@ from dataclasses import dataclass, field
 # records address different fingerprints entirely, so they age out as
 # clean misses; a v1 record that somehow lands on a v2 fingerprint is
 # invalidated by the schema check below.
-SCHEMA_VERSION = 2
+#
+# v3: the machine configuration grew the ``speculation`` sub-config
+# (the transient-execution window), so every descriptor with a config
+# changed shape — and cells whose reports can now *depend* on the
+# window (observation traces carry a transient digest, verify cells a
+# speculative site class) must not be served from pre-speculation
+# records even where the descriptor happened to stay stable
+# (``config: None`` cells).  The version bump rekeys everything.
+SCHEMA_VERSION = 3
 
 STORE_FORMAT = "repro-result-store-v1"
 

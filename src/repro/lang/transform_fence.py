@@ -23,10 +23,58 @@ from repro.lang import ast
 from repro.lang.taint import TaintInfo
 
 
+def _guards_double_fetch(stmt: ast.If) -> bool:
+    """Whether *stmt* is the bounds check of a double-fetch gadget.
+
+    The bounds-check-bypass pattern: the guarded body loads through a
+    computed index and feeds the loaded value into a second array
+    index.  On a machine with a speculation window a mistrained
+    predictor runs that body transiently with the check's *failing*
+    index, so the first load reads out of bounds and the second access
+    encodes the stolen value in its data line.  Serializing the guard
+    (marking it secure) keeps the wrong path from ever issuing the
+    first load, which is exactly the deployed ``lfence`` placement.
+
+    The criterion is syntactic but matches the IR-level detector
+    (:mod:`repro.analysis.speculative`): a value loaded from an array
+    inside the guarded subtree reaching another index inside it, or a
+    directly nested index (``probe[table[i]]``).  Plain data-dependent
+    ifs — compare-and-set bodies, accumulations — never trip it, so
+    gadget-free programs compile byte-identically to before.
+    """
+    loaded: set[str] = set()
+    for sub in ast.walk_stmts(stmt):
+        for expr in ast.stmt_exprs(sub):
+            if isinstance(sub, ast.Assign) and expr is sub.target:
+                if isinstance(expr, ast.Var) and any(
+                        isinstance(e, ast.Index)
+                        for e in ast.walk_exprs(sub.value)):
+                    loaded.add(expr.name)
+                continue
+            if isinstance(sub, ast.VarDeclStmt) and any(
+                    isinstance(e, ast.Index)
+                    for e in ast.walk_exprs(expr)):
+                loaded.add(sub.name)
+    for sub in ast.walk_stmts(stmt):
+        for expr in ast.stmt_exprs(sub):
+            for node in ast.walk_exprs(expr):
+                if not isinstance(node, ast.Index):
+                    continue
+                for inner in ast.walk_exprs(node.index):
+                    if isinstance(inner, ast.Index):
+                        return True
+                    if isinstance(inner, ast.Var) and inner.name in loaded:
+                        return True
+    return False
+
+
 def transform_fence(module: ast.Module, taint: TaintInfo) -> ast.Module:
-    """Mark every secret-dependent ``if`` secure, restructuring nothing."""
+    """Mark secret ``if``s and double-fetch guards secure; restructure
+    nothing."""
     for func in module.funcs:
         for stmt in ast.walk_stmts(func.body):
-            if isinstance(stmt, ast.If) and taint.is_secret_if(stmt):
+            if not isinstance(stmt, ast.If):
+                continue
+            if taint.is_secret_if(stmt) or _guards_double_fetch(stmt):
                 stmt.secure = True
     return module

@@ -42,6 +42,7 @@ out across the sweep pool.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import hashlib
 import random
@@ -311,6 +312,12 @@ def execute_attack(spec: AttackSpec, mode: str,
             f"applicable attackers: {applicable_attackers(workload)}")
     engine = _resolve_engine(engine)
     config = config or attack_config()
+    if attacker.channel == "transient-memory" \
+            and not config.speculation.enabled:
+        # The transient adversary only exists on a machine with a
+        # speculation window; enable it on a copy, like victim_report.
+        config = copy.deepcopy(config)
+        config.speculation.enabled = True
     # The batch engine produces byte-identical observations to the fast
     # engine, so it draws from the fast RNG stream too: a batch attack
     # cell is the same experiment as a fast one, only cheaper.
@@ -515,6 +522,25 @@ class PredictorProbeAttacker(Attacker):
         return trace.predictor_digest
 
 
+class MistrainReloadAttacker(Attacker):
+    """Mistraining plus flush-reload on the wrong path: the adversary
+    biases the predictor toward a bounds check's in-bounds direction
+    (the spectre victim compiles the training schedule in), then
+    flush-reloads the shared lines the *squashed* path touched.  The
+    observable is the transient-access digest — the line-granular
+    record of wrong-path loads and stores, which the squash does not
+    undo.  Only defined on machines with a speculation window
+    (:func:`execute_attack` enables one automatically)."""
+
+    name = "mistrain-reload"
+    channel = "transient-memory"
+    scalar = False
+    description = "predictor mistraining + wrong-path flush-reload probe"
+
+    def observable(self, trace: ObservationTrace) -> object:
+        return trace.transient_digest
+
+
 ATTACKERS: dict[str, Attacker] = {
     attacker.name: attacker
     for attacker in (
@@ -523,6 +549,7 @@ ATTACKERS: dict[str, Attacker] = {
         PrimeProbeAttacker(),
         FlushReloadAttacker(),
         PredictorProbeAttacker(),
+        MistrainReloadAttacker(),
     )
 }
 

@@ -31,6 +31,20 @@ CHANNELS = (
     "branch-predictor",
 )
 
+# The transient channel only exists on machines with a speculation
+# window (``MachineConfig.speculation.enabled``); reports include it only
+# then, so machines without the window keep their exact channel set (and
+# SeMPE's architectural guarantee — ``protects=CHANNELS`` — is not
+# claimed to cover wrong-path effects it never sees).
+ALL_CHANNELS = CHANNELS + ("transient-memory",)
+
+
+def active_channels(config: MachineConfig | None) -> tuple[str, ...]:
+    """The channel set the given machine actually exposes."""
+    if config is not None and config.speculation.enabled:
+        return ALL_CHANNELS
+    return CHANNELS
+
 
 def observation_key(value: object) -> object:
     """A stable, hashable dedupe key for one channel observation.
@@ -106,8 +120,7 @@ class NoninterferenceReport:
             f"program={self.program_name} sempe={self.sempe} "
             f"secret={self.secret_name}"
         ]
-        for name in CHANNELS:
-            report = self.channels[name]
+        for name, report in self.channels.items():
             verdict = "LEAKS" if report.leaks else "closed"
             lines.append(
                 f"  {name:18s} {verdict:7s} "
@@ -152,7 +165,7 @@ def noninterference_report(
             max_instructions=max_instructions,
             engine=engine,
         )
-    for channel in CHANNELS:
+    for channel in active_channels(config):
         channel_report = ChannelReport(channel=channel)
         for value, trace in traces.items():
             channel_report.observations[value] = trace.channels()[channel]
@@ -178,13 +191,26 @@ def victim_report(
     declared secret swept over the spec's representative values (or
     *secret_values*) — the generic form of the per-victim leak
     experiments, now covering the whole defense axis.
+
+    A workload that declares the ``transient-memory`` channel only
+    leaks on a machine with a speculation window, so the window is
+    enabled automatically for those (on a copy — the caller's config is
+    never mutated).  Everything else runs the exact machine it was
+    given, keeping the default-off invariance.
     """
+    import copy
+
     from repro.defenses.registry import get_defense
 
     if isinstance(spec, str):
         from repro.workloads.registry import get_workload
 
         spec = get_workload(spec)
+    if "transient-memory" in spec.channels and (
+            config is None or not config.speculation.enabled):
+        config = copy.deepcopy(config) if config is not None \
+            else MachineConfig()
+        config.speculation.enabled = True
     defense = get_defense(mode)
     params = spec.leak_resolve(param_overrides)
     compiled = spec.compile(defense.compile_mode, **params)
@@ -208,7 +234,8 @@ def distinguishing_channels(
     """Channels on which two observations differ."""
     channels_a = trace_a.channels()
     channels_b = trace_b.channels()
-    return [name for name in CHANNELS if channels_a[name] != channels_b[name]]
+    return [name for name in ALL_CHANNELS
+            if channels_a[name] != channels_b[name]]
 
 
 def mutual_information_bits(observations: list[object]) -> float:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.executor import Executor
 from repro.arch.fast_executor import FastExecutor
+from repro.arch.trace import TRANSIENT_PC_BASE
 from repro.core.engine import (
     _lane_chunk_stream,
     _resolve_engine,
@@ -45,6 +46,10 @@ class ObservationTrace:
     mem_digest: str
     cache_digest: str
     predictor_digest: str
+    # Wrong-path (speculation window) fetch/access stream.  The constant
+    # hash-of-nothing whenever speculation is disabled, so the channel is
+    # trivially closed on machines without a transient window.
+    transient_digest: str = ""
     pc_sequence: list[int] = field(default_factory=list, repr=False)
     mem_addresses: list[int] = field(default_factory=list, repr=False)
     # Per-set valid-line counts (IL1, DL1, L2) — the prime-and-probe
@@ -60,6 +65,7 @@ class ObservationTrace:
             "memory-address": self.mem_digest,
             "cache-state": self.cache_digest,
             "branch-predictor": self.predictor_digest,
+            "transient-memory": self.transient_digest,
         }
 
 
@@ -73,10 +79,20 @@ class TraceObserver:
         self.mem_addresses: list[int] = []
         self._pc_hash = hashlib.sha256()
         self._mem_hash = hashlib.sha256()
+        self._transient_hash = hashlib.sha256()
         self.instruction_count = 0
 
     def observe(self, record) -> None:
         if record.kind != "inst":
+            if record.kind == "transient":
+                # Wrong-path fetch + access stream: what a same-core
+                # attacker reconstructs from the cache lines the squashed
+                # instructions touched (flush+reload on the shared lines).
+                self._transient_hash.update(record.pc.to_bytes(8, "little"))
+                if record.mem_addr is not None:
+                    line = record.mem_addr // self.line_bytes
+                    self._transient_hash.update(
+                        line.to_bytes(8, "little", signed=False))
             return
         self.instruction_count += 1
         self._pc_hash.update(record.pc.to_bytes(8, "little"))
@@ -95,6 +111,10 @@ class TraceObserver:
     @property
     def mem_digest(self) -> str:
         return self._mem_hash.hexdigest()
+
+    @property
+    def transient_digest(self) -> str:
+        return self._transient_hash.hexdigest()
 
 
 def poke_secrets(memory, symbols: dict[str, int],
@@ -169,7 +189,9 @@ def collect_observation(
     config = spec.apply_config(config or MachineConfig())
     executor_cls = FastExecutor if engine == "fast" else Executor
     executor = executor_cls(program, sempe=sempe,
-                            max_instructions=max_instructions)
+                            max_instructions=max_instructions,
+                            speculation=config.speculation,
+                            fence=spec.fence_branches)
     symbol_table = symbols if symbols is not None else program.symbols
     poke_secrets(executor.state.memory, symbol_table, secret_values)
 
@@ -217,6 +239,7 @@ def collect_observation(
         mem_digest=observer.mem_digest,
         cache_digest=cache_digest,
         predictor_digest=predictor_digest,
+        transient_digest=observer.transient_digest,
         pc_sequence=observer.pc_sequence,
         mem_addresses=observer.mem_addresses,
         cache_occupancy=cache_occupancy,
@@ -283,20 +306,28 @@ def collect_observations_batch(
     symbol_table = symbols if symbols is not None else program.symbols
     n_lanes = len(secret_sets)
     executor = BatchExecutor(program, sempe=sempe_machine, n_lanes=n_lanes,
-                             max_instructions=max_instructions)
+                             max_instructions=max_instructions,
+                             speculation=config.speculation,
+                             fence=spec.fence_branches)
     for lane, secret_values in enumerate(secret_sets):
         poke_secrets(executor.memory.lane_view(lane), symbol_table,
                      secret_values)
     executor.run(line_bytes=config.hierarchy.il1.line_bytes)
 
     dl1_line_bytes = config.hierarchy.dl1.line_bytes
+    speculate = config.speculation.enabled
     observations = []
     for lane in range(n_lanes):
         pipeline = OutOfOrderPipeline(config, sempe=sempe_machine,
                                       fence=spec.fence_branches)
         # _lane_chunk_stream re-raises a lane fault after its flushed
         # chunks, exactly where the serial generator would.
-        stats = pipeline.run_chunks(_lane_chunk_stream(executor, lane))
+        chunk_stream = _lane_chunk_stream(executor, lane)
+        transient_hash = hashlib.sha256()
+        if speculate:
+            chunk_stream = _transient_tee(chunk_stream, transient_hash,
+                                          dl1_line_bytes)
+        stats = pipeline.run_chunks(chunk_stream)
         instruction_count, pc_values, mem_lines = executor.lane_streams(
             lane, dl1_line_bytes)
         pc_digest = hashlib.sha256(
@@ -315,8 +346,28 @@ def collect_observations_batch(
             mem_digest=mem_digest,
             cache_digest=cache_digest,
             predictor_digest=predictor_digest,
+            transient_digest=transient_hash.hexdigest(),
             pc_sequence=pc_values.tolist() if keep_streams else [],
             mem_addresses=mem_lines.tolist() if keep_streams else [],
             cache_occupancy=cache_occupancy,
         ))
     return observations
+
+
+def _transient_tee(chunks, transient_hash, line_bytes: int):
+    """Tee a chunk stream, hashing its transient rows column-wise.
+
+    Byte-identical to :meth:`TraceObserver.observe` on the
+    re-materialized records: static pc, then the touched data line for
+    rows that carry a memory address.
+    """
+    for chunk in chunks:
+        for pc, addr in zip(chunk.pc, chunk.addr):
+            if pc <= TRANSIENT_PC_BASE:
+                transient_hash.update(
+                    (TRANSIENT_PC_BASE - pc).to_bytes(8, "little"))
+                if addr >= 0:
+                    transient_hash.update(
+                        (addr // line_bytes).to_bytes(8, "little",
+                                                      signed=False))
+        yield chunk

@@ -9,6 +9,24 @@ from repro.mem.hierarchy import HierarchyConfig
 
 
 @dataclass
+class SpeculationConfig:
+    """The transient-execution window (off by default).
+
+    When ``enabled``, the functional engines fork at every eligible
+    conditional branch and emit the *wrong-path* instruction stream
+    (up to ``window`` instructions) as transient trace records; the
+    timing pipeline applies their cache/prefetcher touches whenever its
+    own predictor mispredicted that branch — the squashed wrong path
+    is exactly the predicted path then — and discards them otherwise.
+    Disabled, no transient records exist anywhere and every trace,
+    report, and golden is byte-identical to the pre-speculation model.
+    """
+
+    enabled: bool = False
+    window: int = 32               # max wrong-path instructions in flight
+
+
+@dataclass
 class MachineConfig:
     """All tunables of the simulated core and memory system.
 
@@ -54,6 +72,9 @@ class MachineConfig:
 
     # Memory system.
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    # Transient execution (the Spectre-class threat model).
+    speculation: SpeculationConfig = field(default_factory=SpeculationConfig)
 
     # SeMPE-specific hardware.
     jbtable_depth: int = 30

@@ -30,7 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.arch.trace import DynInstr, TraceChunk, TraceRecord
+from repro.arch.trace import (
+    DynInstr, TRANSIENT_PC_BASE, TraceChunk, TraceRecord, TransientInstr,
+)
 from repro.isa.instructions import INSTRUCTION_BYTES
 from repro.isa.opcodes import Op, OpClass, OPCLASSES, OPCLASS_ID, OP_ID
 from repro.isa.registers import NUM_REGS
@@ -58,6 +60,11 @@ class PipelineStats:
     il1_accesses: int = 0
     dl1_accesses: int = 0
     l2_accesses: int = 0
+    # Transient execution (speculation window): wrong-path instructions
+    # whose effects the pipeline applied (its predictor mispredicted the
+    # forking branch), and the cache accesses among them.
+    transient_instructions: int = 0
+    transient_accesses: int = 0
 
     @property
     def ipc(self) -> float:
@@ -153,7 +160,34 @@ class OutOfOrderPipeline:
         max_commit = 0
         index = 0
 
+        # Speculation window: transient records follow the conditional
+        # branch that forked them.  They are *applied* — their fetch and
+        # data accesses touch the cache hierarchy (and through it the
+        # prefetchers) — exactly when this pipeline's own predictor
+        # mispredicted that branch, because the squashed wrong path is
+        # then precisely the path the front end ran ahead on.  A
+        # correctly-predicted branch never ran the wrong path, so its
+        # block is discarded; the squash itself replays fetch from the
+        # resolved target (the existing redirect barrier).
+        transient_live = False
+        transient_line = -1
+
         for record in trace:
+            if record.kind == "transient":
+                if transient_live:
+                    t: TransientInstr = record
+                    t_bytes = t.pc * INSTRUCTION_BYTES
+                    t_line = t_bytes // line_bytes
+                    if t_line != transient_line:
+                        hierarchy.access_instruction(t_bytes)
+                        transient_line = t_line
+                    if t.mem_addr is not None and (
+                            t.opclass is OpClass.LOAD
+                            or t.opclass is OpClass.STORE):
+                        hierarchy.access_data(t.pc, t.mem_addr, t.is_store)
+                        self.stats.transient_accesses += 1
+                    self.stats.transient_instructions += 1
+                continue
             if record.kind == "drain":
                 # Rename/dispatch halts until the ROB drains and the SPM
                 # transfer completes.  Fetch and decode continue filling
@@ -243,6 +277,8 @@ class OutOfOrderPipeline:
             # ---- branch resolution ----
             if inst.taken is not None:
                 self.stats.branches += 1
+                transient_live = False
+                transient_line = -1
                 if inst.secure and self.sempe:
                     # sJMP: the front end always falls through to the NT
                     # path — fetch behaviour must not depend on the
@@ -272,6 +308,8 @@ class OutOfOrderPipeline:
                         current_line = -1
                 else:
                     redirect = self._branch_redirect(inst, complete)
+                    transient_live = (redirect is not None
+                                      and inst.opclass is OpClass.BRANCH)
                     if redirect is not None:
                         fetch_barrier = max(fetch_barrier, redirect)
                     elif inst.taken:
@@ -412,6 +450,12 @@ class OutOfOrderPipeline:
 
         branches = mispredicts = indirect_mispredicts = 0
         drains = drain_cycles = spm_cycles = 0
+        # Speculation window (see run()): a transient block is applied
+        # only when this pipeline mispredicted the branch it follows.
+        transient_base = TRANSIENT_PC_BASE
+        transient_live = False
+        transient_line = -1
+        transient_insts = transient_accs = 0
 
         pred = None
         for chunk in chunks:
@@ -432,6 +476,22 @@ class OutOfOrderPipeline:
                 p_lat = tuple(lat_by_cls[cls] for cls in p_cls)
             for pc, dyn_addr, tk in zip(chunk.pc, chunk.addr, chunk.taken):
                 if pc < 0:
+                    if pc <= transient_base:
+                        # Squashed wrong-path row (see run()).
+                        if transient_live:
+                            spc = transient_base - pc
+                            t_line = p_line[spc]
+                            if t_line != transient_line:
+                                fetch_latency(spc * INSTRUCTION_BYTES)
+                                transient_line = t_line
+                            t_cls = p_cls[spc]
+                            if dyn_addr >= 0 and (t_cls == cls_load
+                                                  or t_cls == cls_store):
+                                data_latency(spc, dyn_addr,
+                                             t_cls == cls_store)
+                                transient_accs += 1
+                            transient_insts += 1
+                        continue
                     # Drain: rename/dispatch halts until the ROB drains
                     # and the SPM transfer completes (see run()).
                     drain_end = max_commit + dyn_addr
@@ -534,6 +594,8 @@ class OutOfOrderPipeline:
                 # ---- branch resolution ----
                 if tk >= 0:
                     branches += 1
+                    transient_live = False
+                    transient_line = -1
                     if p_sec[pc] and sempe:
                         # sJMP: front end always falls through (§IV-E).
                         pass
@@ -567,6 +629,7 @@ class OutOfOrderPipeline:
                             if mispredicted:
                                 mispredicts += 1
                                 redirect = complete + mispredict_penalty
+                                transient_live = True
                         else:
                             op = p_op[pc]
                             if op == op_jal:
@@ -657,6 +720,8 @@ class OutOfOrderPipeline:
         stats.drains += drains
         stats.drain_cycles += drain_cycles
         stats.spm_cycles += spm_cycles
+        stats.transient_instructions += transient_insts
+        stats.transient_accesses += transient_accs
         self._collect_memory_stats()
         return stats
 

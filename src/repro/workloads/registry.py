@@ -48,6 +48,7 @@ _WORKLOAD_MODULES = (
     "repro.workloads.table_lookup",
     "repro.workloads.bsearch",
     "repro.workloads.gcd",
+    "repro.workloads.spectre",
 )
 
 _REGISTRY: dict[str, "WorkloadSpec"] = {}
@@ -181,13 +182,13 @@ def register(spec: WorkloadSpec) -> WorkloadSpec:
             raise WorkloadError(
                 f"workload {spec.name!r} declares unknown mode {mode!r}; "
                 f"choose from {MODES}")
-    from repro.security.leakage import CHANNELS
+    from repro.security.leakage import ALL_CHANNELS
 
-    unknown = [c for c in spec.channels if c not in CHANNELS]
+    unknown = [c for c in spec.channels if c not in ALL_CHANNELS]
     if unknown:
         raise WorkloadError(
             f"workload {spec.name!r} declares unknown channels {unknown}; "
-            f"choose from {CHANNELS}")
+            f"choose from {ALL_CHANNELS}")
     for overrides in spec.grid:
         spec.resolve(overrides)   # unknown grid keys fail registration
     _REGISTRY[spec.name] = spec

@@ -1,0 +1,117 @@
+"""Bounds-check bypass (Spectre v1): the transient-execution victim.
+
+The classic gadget: an attacker-controlled index is bounds-checked,
+and the guarded body both loads through it and uses the loaded value
+as a second array index.  Architecturally the program never reads the
+secret — every committed iteration passes the check.  On a machine
+with a speculation window the training iterations bias the predictor
+toward the in-bounds path, so the one out-of-bounds trial runs the
+body *transiently*: the first load reads past ``table`` — the data
+layout places the secret ``key`` in the very next slot — and the
+second access encodes ``key`` in which ``probe`` line the wrong path
+touches.  The squash undoes the registers, not the line stream.
+
+The training schedule is compiled in (``idx = t % n + (t / train) *
+n`` with ``train`` a multiple of ``n``): trials ``0..train-1`` stay in
+bounds, trial ``train`` lands exactly on ``table[n]`` — the secret —
+so a single static branch is mistrained in-program, no attacker
+scheduling needed.  ``stride`` spreads probe indices one cache line
+apart (8-byte elements, 64-byte lines), mirroring the element-per-line
+probe arrays of the original PoCs.
+
+The spec declares *only* the ``transient-memory`` channel: every
+committed-state channel is secret-independent (the verify cell checks
+exactly that), so this victim separates the transient threat model
+from the architectural ones — dual-path execution (SeMPE) and
+predication (CTE) do nothing for it, while the fence's serialize-at-
+guard removes the window itself.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import workload
+
+
+def spectre_tables(n: int, stride: int, mask: int) -> tuple[list, list]:
+    """The public ``table`` / ``probe`` contents the victim builds."""
+    table = [(i * 11 + 5) & mask for i in range(n)]
+    probe = [(i * 3) & 255 for i in range((mask + 1) * stride)]
+    return table, probe
+
+
+def _leak_values(params: dict) -> list:
+    mask = params["mask"]
+    return [1 & mask, 3 & mask, mask - 1]
+
+
+@workload(
+    name="spectre",
+    title="bounds-check bypass gadget (transient channel)",
+    secret="key",
+    channels=("transient-memory",),
+    params={"n": 8, "train": 16, "stride": 8, "mask": 7},
+    leak_values=_leak_values,
+    grid=({}, {"n": 16, "mask": 15}),
+    result="out",
+    reference=lambda params, secret: spectre_reference(
+        secret, n=params["n"], train=params["train"],
+        stride=params["stride"], mask=params["mask"]),
+)
+def spectre_source(n: int = 8, train: int = 16, stride: int = 8,
+                   mask: int = 7) -> str:
+    """mini-C source: train-then-bypass over ``table[n]``.
+
+    ``key`` is declared immediately after ``table``, so ``table[n]``
+    — the first out-of-bounds slot — *is* the secret (the code
+    generator lays globals out contiguously in declaration order).
+    """
+    if n & (n - 1) or n <= 0:
+        raise ValueError("n must be a power of two")
+    if train % n or train <= 0:
+        raise ValueError("train must be a positive multiple of n")
+    if mask & (mask + 1):
+        raise ValueError("mask must be a low-bit mask (2^k - 1)")
+    psize = (mask + 1) * stride
+    trials = train + 1
+    return f"""
+int table[{n}];
+secret int key = 0;
+int probe[{psize}];
+int out = 0;
+
+void main() {{
+  for (int i = 0; i < {n}; i = i + 1) {{
+    table[i] = (i * 11 + 5) & {mask};
+  }}
+  for (int j = 0; j < {psize}; j = j + 1) {{
+    probe[j] = (j * 3) & 255;
+  }}
+  int acc = 0;
+  for (int t = 0; t < {trials}; t = t + 1) {{
+    int idx = t % {n} + (t / {train}) * {n};
+    if (idx < {n}) {{
+      int val = table[idx];
+      acc = acc + probe[(val & {mask}) * {stride}];
+    }}
+  }}
+  out = acc;
+}}
+"""
+
+
+def spectre_reference(key: int, n: int = 8, train: int = 16,
+                      stride: int = 8, mask: int = 7) -> int:
+    """Python model of the committed path (the ``out`` global).
+
+    Committed execution never takes the out-of-bounds trial's body, so
+    the result is independent of *key* — which is the point: the
+    victim's architectural output carries nothing, the wrong path
+    carries everything.
+    """
+    table, probe = spectre_tables(n, stride, mask)
+    acc = 0
+    for t in range(train + 1):
+        idx = t % n + (t // train) * n
+        if idx < n:
+            acc += probe[(table[idx] & mask) * stride]
+    return acc

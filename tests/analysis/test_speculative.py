@@ -1,0 +1,217 @@
+"""Unit tests for the speculative-taint (double-fetch) static analysis.
+
+The detector's contract: a guarded load whose value feeds another
+access's address is a speculative site; programs without such chains
+have none — in particular every pre-existing victim, which is what
+keeps the speculation-off static goldens byte-identical.  The report
+layer turns sites into channels: speculative sites charge
+``SPECULATIVE_CHANNELS``, branch/address sites gain
+``transient-memory`` when the window is modeled, and only the fence's
+projection removes any of it.
+"""
+
+from repro.analysis.dataflow import TaintDataflow
+from repro.analysis.report import (
+    SITE_KINDS,
+    SPECULATIVE_CHANNELS,
+    build_report,
+    classify_sites,
+    project_sites,
+)
+from repro.analysis.speculative import SpeculativeFlow, speculative_sites
+from repro.defenses import get_defense
+from repro.lang.compiler import compile_source
+from repro.workloads.registry import get_workload, iter_workloads
+
+
+def _flow(source, mode="plain"):
+    compiled = compile_source(source, mode=mode)
+    return compiled, TaintDataflow(compiled.program, compiled.secrets)
+
+
+DOUBLE_FETCH = """
+int table[8];
+secret int key = 0;
+int probe[64];
+int out = 0;
+
+void main() {
+  for (int t = 0; t < 4; t = t + 1) {
+    int idx = t % 8;
+    if (idx < 8) {
+      out = out + probe[table[idx]];
+    }
+  }
+}
+"""
+
+SINGLE_FETCH = """
+int table[8];
+secret int key = 0;
+int out = 0;
+
+void main() {
+  for (int t = 0; t < 4; t = t + 1) {
+    int idx = t % 8;
+    if (idx < 8) {
+      out = out + table[idx] + 1;
+    }
+  }
+}
+"""
+
+
+def test_double_fetch_chain_detected():
+    _compiled, flow = _flow(DOUBLE_FETCH)
+    sites = speculative_sites(flow)
+    assert sites
+    assert any("double fetch" in detail for detail in sites.values())
+
+
+def test_value_use_alone_is_not_a_site():
+    """Loading through a variable index is a *source*; without a
+    second dependent access there is no double fetch."""
+    _compiled, flow = _flow(SINGLE_FETCH)
+    assert speculative_sites(flow) == {}
+
+
+def test_chain_through_stack_roundtrip_detected():
+    """The code generator spills locals to stack slots; the taint must
+    survive the store/reload hop (concrete-address memory)."""
+    _compiled, flow = _flow("""
+    int table[8];
+    secret int key = 0;
+    int probe[64];
+    int out = 0;
+
+    void main() {
+      for (int t = 0; t < 4; t = t + 1) {
+        int idx = t % 8;
+        if (idx < 8) {
+          int val = table[idx];
+          int scaled = val * 8;
+          out = out + probe[scaled];
+        }
+      }
+    }
+    """)
+    assert speculative_sites(flow)
+
+
+def test_constant_addresses_are_not_sources():
+    """Direct global accesses have compile-time-constant addresses: no
+    wrong path can redirect them, so nothing is speculative."""
+    _compiled, flow = _flow("""
+    secret int key = 0;
+    int a = 1;
+    int out = 0;
+
+    void main() {
+      int x = a + 2;
+      out = x * 3;
+    }
+    """)
+    assert speculative_sites(flow) == {}
+
+    # Even a literal double-fetch shape folds away when the index is a
+    # compile-time constant: the dataflow proves both addresses.
+    _compiled, flow = _flow("""
+    int table[8];
+    secret int key = 0;
+    int probe[64];
+    int out = 0;
+
+    void main() {
+      int idx = 3;
+      if (idx < 8) {
+        out = probe[table[idx]];
+      }
+    }
+    """)
+    assert speculative_sites(flow) == {}
+
+
+def test_preexisting_victims_have_no_sites():
+    """No registered architectural victim contains a double-fetch
+    chain — the invariant that keeps speculation-off static reports
+    (and their goldens) unchanged by this analysis."""
+    for spec in iter_workloads():
+        if spec.name == "spectre":
+            continue
+        compiled = spec.compile("plain", **spec.resolve())
+        flow = TaintDataflow(compiled.program, compiled.secrets)
+        assert speculative_sites(flow) == {}, spec.name
+
+
+def test_spectre_gadget_has_sites():
+    spec = get_workload("spectre")
+    compiled = spec.compile("plain", **spec.resolve())
+    flow = TaintDataflow(compiled.program, compiled.secrets)
+    sites = SpeculativeFlow(flow).sites
+    assert sites
+
+
+# -- report layer ----------------------------------------------------------
+
+
+def test_site_kinds_include_speculative():
+    assert "speculative" in SITE_KINDS
+    assert SPECULATIVE_CHANNELS == ("timing", "cache-state",
+                                    "transient-memory")
+
+
+def test_classification_off_is_golden():
+    """speculation=False (the default) must produce no speculative
+    sites and no transient-memory channel anywhere."""
+    compiled, flow = _flow(DOUBLE_FETCH)
+    sites = classify_sites(flow)
+    assert all(site.kind != "speculative" for site in sites)
+    assert all("transient-memory" not in site.channels
+               for site in sites)
+
+
+def test_classification_on_adds_speculative_sites_and_channels():
+    compiled, flow = _flow(DOUBLE_FETCH)
+    sites = classify_sites(flow, speculation=True)
+    speculative = [s for s in sites if s.kind == "speculative"]
+    assert speculative
+    for site in speculative:
+        assert site.channels == SPECULATIVE_CHANNELS
+    # Branch and address sites now also charge the transient channel:
+    # any mispredicted branch replays, any variable-address access
+    # can be replayed down a wrong path.
+    for site in sites:
+        if site.kind in ("branch", "address"):
+            assert "transient-memory" in site.channels, site
+
+
+def test_fence_projection_kills_marked_speculative_sites():
+    """Under the fence the double-fetch guard is SecPrefix'ed, the
+    window never opens inside it, and the projection drops the site
+    and the branch's transient charge."""
+    compiled, flow = _flow(DOUBLE_FETCH, mode="fence")
+    sites = classify_sites(flow, speculation=True)
+    assert any(s.kind == "speculative" for s in sites)
+    projected = project_sites(sites, get_defense("fence"))
+    assert all(s.kind != "speculative" for s in projected)
+    assert all("transient-memory" not in s.channels
+               for s in projected if s.kind == "branch" and s.secure)
+
+
+def test_nonfence_projection_keeps_speculative_sites():
+    """SeMPE/CTE are architectural answers: their projections must not
+    touch speculative sites."""
+    compiled, flow = _flow(DOUBLE_FETCH)
+    sites = classify_sites(flow, speculation=True)
+    for name in ("sempe", "cte", "flush-local"):
+        projected = project_sites(sites, get_defense(name))
+        assert any(s.kind == "speculative" for s in projected), name
+
+
+def test_build_report_spectre_predicts_transient():
+    spec = get_workload("spectre")
+    compiled = spec.compile("plain", **spec.resolve())
+    report = build_report(compiled.program, compiled.secrets,
+                          defense=get_defense("plain"),
+                          speculation=True)
+    assert "transient-memory" in report.predicted_channels()

@@ -1,0 +1,97 @@
+"""Engine parity with the speculation window enabled.
+
+The wrong-path fork lives in three places — the reference executor,
+the fast chunk loop, and the batched engine's vectorized step — and
+the bit-identical contract extends to all of it: reports (including
+the transient pipeline counters), observation traces (including the
+transient digest), and per-lane chunk streams must agree exactly with
+``speculation.enabled = True``, for the architectural victims and for
+the spectre gadget itself.
+"""
+
+import copy
+
+import pytest
+
+pytestmark = pytest.mark.parity
+
+from repro.core.engine import simulate
+from repro.security import collect_observation
+from repro.security.observer import collect_observations_batch
+from repro.workloads.registry import get_workload
+
+ENGINES = ("reference", "fast", "batch")
+
+
+def _spec_config(fast_config, window=32):
+    config = copy.deepcopy(fast_config)
+    config.speculation.enabled = True
+    config.speculation.window = window
+    return config
+
+
+@pytest.mark.parametrize("mode", ["plain", "sempe", "fence"])
+@pytest.mark.parametrize("name", ["gcd", "bsearch", "spectre"])
+def test_reports_identical_across_engines(name, mode, fast_config):
+    spec = get_workload(name)
+    program = spec.compile(mode, **spec.resolve()).program
+    config = _spec_config(fast_config)
+    reports = [simulate(program, defense=mode, config=config,
+                        engine=engine)
+               for engine in ENGINES]
+    assert reports[0] == reports[1] == reports[2], (name, mode)
+
+
+@pytest.mark.parametrize("name", ["gcd", "spectre"])
+def test_observations_identical_across_engines(name, fast_config):
+    """The attacker's view — every digest, transient included — cannot
+    depend on --engine with the window open."""
+    spec = get_workload(name)
+    params = spec.leak_resolve()
+    config = _spec_config(fast_config)
+    for secret in spec.secret_values(params)[:2]:
+        compiled = spec.compile("plain", **params)
+        serial = [collect_observation(
+                      compiled.program, defense="plain",
+                      secret_values={spec.secret: secret},
+                      config=config, engine=engine)
+                  for engine in ("reference", "fast")]
+        batched = collect_observations_batch(
+            compiled.program, [{spec.secret: secret}],
+            defense="plain", config=config)
+        assert serial[0] == serial[1], name
+        assert batched[0] == serial[0], name
+
+
+def test_spectre_transient_digest_distinguishes_secrets(fast_config):
+    """The channel itself: with the window open, different keys give
+    different wrong-path line streams — on every engine identically —
+    while all committed digests stay secret-independent."""
+    spec = get_workload("spectre")
+    params = spec.resolve()
+    compiled = spec.compile("plain", **params)
+    config = _spec_config(fast_config)
+    traces = {}
+    for key in (1, 5):
+        traces[key] = collect_observation(
+            compiled.program, defense="plain",
+            secret_values={"key": key}, config=config, engine="fast")
+    a, b = traces[1], traces[5]
+    assert a.transient_digest != b.transient_digest
+    assert a.pc_digest == b.pc_digest
+    assert a.mem_digest == b.mem_digest
+    assert a.cycles == b.cycles
+
+
+@pytest.mark.parametrize("window", [4, 32])
+def test_window_size_respected_identically(window, fast_config):
+    """Shrinking the window changes what the wrong path reaches; both
+    serial engines and the batch engine must agree on the cut."""
+    spec = get_workload("spectre")
+    program = spec.compile("plain", **spec.resolve()).program
+    config = _spec_config(fast_config, window=window)
+    reports = [simulate(program, defense="plain", config=config,
+                        engine=engine)
+               for engine in ENGINES]
+    assert reports[0] == reports[1] == reports[2]
+    assert reports[0].pipeline.transient_instructions > 0

@@ -56,6 +56,20 @@ def test_unknown_protected_channel_rejected():
     assert "dummy-chan" not in defense_names()
 
 
+def test_transient_memory_is_a_claimable_channel():
+    """Defense claims validate against ALL_CHANNELS, not just the
+    architectural set — the fence claims the transient channel."""
+    from repro.security.leakage import ALL_CHANNELS, CHANNELS
+
+    assert "transient-memory" in ALL_CHANNELS
+    assert "transient-memory" not in CHANNELS
+    assert get_defense("fence").protects_channel("transient-memory")
+    # The architectural schemes deliberately do NOT claim it.
+    for name in ("sempe", "cte"):
+        assert not get_defense(name).protects_channel(
+            "transient-memory"), name
+
+
 def test_sempe_machine_helper():
     # The one helper behind machine selection: only the sempe scheme
     # runs on the dual-path hardware.

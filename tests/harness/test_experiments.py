@@ -101,6 +101,46 @@ def test_registry_experiments_enumerated():
     assert "victims" in EXPERIMENTS
     assert "leakmatrix" in EXPERIMENTS
     assert "attacks" in EXPERIMENTS
+    assert "spectre" in EXPERIMENTS
+
+
+def test_spectre_experiment_cells_shape():
+    from repro.harness.experiments import ATTACK_ENGINES, spectre_cells
+    from repro.security.attackers import AttackSpec
+
+    cells = spectre_cells(("plain", "fence"))
+    attacks = [c for c in cells if c.kind == "attack"]
+    verifies = [c for c in cells if c.kind == "verify"]
+    assert len(attacks) == 2 * len(ATTACK_ENGINES)
+    assert len(verifies) == 2
+    assert all(isinstance(c.spec, AttackSpec)
+               and c.spec.workload == "spectre"
+               and c.spec.attacker == "mistrain-reload"
+               for c in attacks)
+
+
+@pytest.mark.slow
+def test_spectre_matrix_expected_shape():
+    """The transient acceptance matrix on its two hard-gated corners:
+    the baseline leaks and the attacker recovers; the fence closes the
+    channel and the attacker lands at chance — engines agreeing and
+    the verify differential sound on both.  ``all_expected`` is the
+    bit the spectre smoke lane gates CI on."""
+    from repro.harness.experiments import spectre_matrix
+
+    result = spectre_matrix(("plain", "fence"))
+    per_defense = result.series["defenses"]
+    assert per_defense["plain"]["transient_leaks"] is True
+    assert per_defense["plain"]["attack_verdict"] == "recovered"
+    assert per_defense["fence"]["transient_leaks"] is False
+    assert per_defense["fence"]["attack_verdict"] == "chance"
+    for mode in ("plain", "fence"):
+        assert per_defense[mode]["engines_agree"], mode
+        assert per_defense[mode]["verify_ok"], mode
+        assert per_defense[mode]["ok"], mode
+    assert result.series["all_expected"] is True
+    text = format_table(result.headers, result.rows)
+    assert "LEAKS" in text and "closed" in text
     cells = experiment_cells("victims")
     from repro.workloads.registry import iter_workloads
 
@@ -140,7 +180,14 @@ def test_victim_matrix_shape():
     assert set(result.series) == set(workload_names())
     for name, overheads in result.series.items():
         for overhead in overheads:
-            assert 1.0 < overhead < 10.0, (name, overhead)
+            # spectre's committed path is secret-independent by design
+            # (no secret branch, nothing for SeMPE to dual-path), so
+            # its overhead is exactly 1.0; every architectural victim
+            # pays a real but bounded cost.
+            if name == "spectre":
+                assert overhead == 1.0, (name, overhead)
+            else:
+                assert 1.0 < overhead < 10.0, (name, overhead)
 
 
 @pytest.mark.slow

@@ -1,0 +1,111 @@
+"""Fence transform: double-fetch guards get the SecPrefix mark.
+
+``transform_fence`` historically marked only secret-dependent
+branches.  The transient threat model adds a second criterion: a
+public guard whose body contains a double-fetch chain (a value loaded
+from an array feeding another index) must be serialized too — that is
+the branch the spectre gadget mistrains.  The criterion has to be
+precise: it runs at compile time regardless of the speculation knob,
+so marking anything in the pre-existing victims would change their
+fence binaries and break every golden.
+"""
+
+from repro.lang import ast
+from repro.lang.compiler import compile_source
+from repro.lang.parser import parse
+from repro.lang.transform_fence import _guards_double_fetch
+from repro.workloads.registry import get_workload, iter_workloads
+
+
+def _first_if(source):
+    module = parse(source)
+    for func in module.funcs:
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.If):
+                return stmt
+    raise AssertionError("no If in source")
+
+
+def test_directly_nested_index_is_a_double_fetch():
+    assert _guards_double_fetch(_first_if("""
+    int table[8];
+    int probe[64];
+    int out = 0;
+    void main() {
+      for (int t = 0; t < 4; t = t + 1) {
+        if (t < 8) { out = out + probe[table[t]]; }
+      }
+    }
+    """))
+
+
+def test_chain_through_local_is_a_double_fetch():
+    assert _guards_double_fetch(_first_if("""
+    int table[8];
+    int probe[64];
+    int out = 0;
+    void main() {
+      for (int t = 0; t < 4; t = t + 1) {
+        if (t < 8) {
+          int val = table[t];
+          out = out + probe[val * 8];
+        }
+      }
+    }
+    """))
+
+
+def test_single_fetch_guard_is_not_marked():
+    assert not _guards_double_fetch(_first_if("""
+    int table[8];
+    int out = 0;
+    void main() {
+      for (int t = 0; t < 4; t = t + 1) {
+        if (t < 8) { out = out + table[t]; }
+      }
+    }
+    """))
+
+
+def test_plain_computation_guard_is_not_marked():
+    assert not _guards_double_fetch(_first_if("""
+    int out = 0;
+    void main() {
+      for (int t = 0; t < 4; t = t + 1) {
+        if (t < 8) { out = out + t * 3; }
+      }
+    }
+    """))
+
+
+def test_spectre_fence_build_serializes_exactly_the_guard():
+    """The gadget's bounds check is *public* — ``is_secret_if`` alone
+    would never mark it; the double-fetch criterion must, and nothing
+    else in the program qualifies."""
+    spec = get_workload("spectre")
+    compiled = spec.compile("fence", **spec.resolve())
+    secure_branches = [inst for inst in compiled.program.instructions
+                       if inst.is_secure_branch]
+    assert len(secure_branches) == 1
+
+
+def test_preexisting_fence_binaries_unchanged():
+    """For every architectural victim the fence build must mark
+    exactly the secret-dependent branches — i.e. the double-fetch
+    criterion fires on none of them, keeping their binaries (and all
+    fence goldens) byte-identical to the pre-speculation compiler."""
+    for spec in iter_workloads():
+        if spec.name == "spectre":
+            continue
+        source = spec.builder(**spec.resolve())
+        module = parse(source)
+        from repro.lang.taint import analyze_taint
+
+        taint = analyze_taint(module, mode="fence")
+        for func in module.funcs:
+            for stmt in ast.walk_stmts(func.body):
+                if isinstance(stmt, ast.If) \
+                        and _guards_double_fetch(stmt):
+                    assert taint.is_secret_if(stmt), (
+                        spec.name, "double-fetch criterion fired on a "
+                        "public branch of a pre-existing victim")

@@ -32,7 +32,8 @@ SMOKE = AttackSpec("memcmp", "prime-probe", trials=16)
 
 def test_attacker_registry_contents():
     assert attacker_names() == ["branch-trace", "flush-reload",
-                                "predictor-probe", "prime-probe", "timing"]
+                                "mistrain-reload", "predictor-probe",
+                                "prime-probe", "timing"]
     for name, attacker in ATTACKERS.items():
         assert attacker.name == name
         assert attacker.channel
@@ -166,5 +167,12 @@ def test_attack_matrix_full_acceptance():
     assert result.rows, "matrix must not be empty"
     for (workload, attacker), outcome in result.series.items():
         assert outcome["baseline"] == "recovered", (workload, attacker)
-        assert outcome["sempe"] == "chance", (workload, attacker)
+        if attacker == "mistrain-reload":
+            # SeMPE's dual-path commit says nothing about the wrong
+            # path: the transient channel stays open and the adversary
+            # still recovers (the fence row owns closure — see
+            # tests/security/test_transient_attack.py).
+            assert outcome["sempe"] == "recovered", (workload, attacker)
+        else:
+            assert outcome["sempe"] == "chance", (workload, attacker)
         assert outcome["engines_agree"], (workload, attacker)

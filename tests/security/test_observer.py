@@ -1,5 +1,7 @@
 """Observation collection plumbing."""
 
+import hashlib
+
 import pytest
 
 from repro.lang.compiler import compile_source
@@ -31,8 +33,11 @@ def test_collect_observation_fields(fast_config):
     channels = trace.channels()
     assert set(channels) == {
         "timing", "instruction-count", "control-flow", "memory-address",
-        "cache-state", "branch-predictor",
+        "cache-state", "branch-predictor", "transient-memory",
     }
+    # Speculation is off by default, so the transient observable is the
+    # constant empty-stream digest.
+    assert channels["transient-memory"] == hashlib.sha256().hexdigest()
 
 
 def test_keep_streams_records_sequences(fast_config):

@@ -1,0 +1,72 @@
+"""The mistraining + flush-reload adversary on the spectre gadget.
+
+The attack engine's statistical machinery is channel-agnostic; this
+suite pins the transient instantiation: the ``mistrain-reload``
+attacker observes the wrong-path line-stream digest, recovers the key
+on every architectural machine (plain, SeMPE, CTE — the window is
+open under all of them), lands at chance under the fence (the only
+scheme that kills the window), and gets identical verdicts from all
+three engines.  ``execute_attack`` must open the window itself when
+handed a transient attacker and a speculation-off config.
+"""
+
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.attack]
+
+from repro.security.attackers import (
+    ATTACKERS,
+    AttackSpec,
+    execute_attack,
+    expected_verdict,
+    get_attacker,
+)
+
+TRIALS = 24
+SPEC = AttackSpec("spectre", "mistrain-reload", trials=TRIALS)
+
+
+def test_attacker_registered():
+    attacker = get_attacker("mistrain-reload")
+    assert attacker.channel == "transient-memory"
+    assert not attacker.scalar
+    assert "mistrain-reload" in ATTACKERS
+
+
+def test_expected_verdicts():
+    assert expected_verdict("mistrain-reload", "plain") == "recovered"
+    # fence declares the transient channel protected -> hard gate.
+    assert expected_verdict("mistrain-reload", "fence") == "chance"
+    # Architectural schemes make no claim about the wrong path.
+    assert expected_verdict("mistrain-reload", "sempe") is None
+    assert expected_verdict("mistrain-reload", "cte") is None
+
+
+@pytest.mark.parametrize("mode", ["plain", "sempe", "cte"])
+def test_recovers_under_architectural_machines(mode):
+    report = execute_attack(SPEC, mode, engine="fast")
+    assert report.verdict == "recovered", (mode, report)
+
+
+def test_chance_under_fence():
+    report = execute_attack(SPEC, "fence", engine="fast")
+    assert report.verdict == "chance", report
+
+
+def test_verdicts_identical_across_engines():
+    reports = {engine: execute_attack(SPEC, "plain", engine=engine)
+               for engine in ("reference", "fast", "batch")}
+    verdicts = {engine: r.verdict for engine, r in reports.items()}
+    assert set(verdicts.values()) == {"recovered"}, verdicts
+
+
+def test_auto_enables_speculation_without_mutating_config():
+    """A caller's speculation-off config must still see the attack —
+    on a private copy, never by mutating the caller's object."""
+    from repro.security.attackers import attack_config
+
+    config = attack_config()
+    assert not config.speculation.enabled
+    report = execute_attack(SPEC, "plain", config=config, engine="fast")
+    assert report.verdict == "recovered"
+    assert not config.speculation.enabled   # caller's object untouched

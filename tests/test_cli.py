@@ -276,9 +276,9 @@ def test_attack_list(capsys):
     assert main(["attack", "list"]) == 0
     out = capsys.readouterr().out
     for name in ("timing", "prime-probe", "flush-reload",
-                 "predictor-probe", "branch-trace"):
+                 "predictor-probe", "branch-trace", "mistrain-reload"):
         assert name in out
-    assert "5 attackers registered" in out
+    assert "6 attackers registered" in out
 
 
 @pytest.mark.attack

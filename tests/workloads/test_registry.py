@@ -55,6 +55,15 @@ def test_unknown_channel_rejected():
     assert "dummy-chan" not in workload_names()
 
 
+def test_transient_channel_is_declarable():
+    """Victim channel declarations validate against ALL_CHANNELS: the
+    spectre gadget declares only the transient channel."""
+    assert "spectre" in workload_names()
+    from repro.workloads.registry import get_workload
+
+    assert get_workload("spectre").channels == ("transient-memory",)
+
+
 def test_unknown_mode_rejected():
     with pytest.raises(WorkloadError, match="unknown mode"):
         registry.register(_dummy_spec("dummy-mode", modes=("turbo",)))
@@ -92,7 +101,12 @@ def test_workload_compiles_in_all_declared_modes(name):
         assert len(compiled.program) > 0
         assert spec.secret in compiled.program.symbols
         if mode == "sempe":
-            assert compiled.program.count_secure_branches() > 0
+            if name == "spectre":
+                # spectre's secret never reaches a branch — the leak is
+                # purely transient — so SeMPE has nothing to dual-path.
+                assert compiled.program.count_secure_branches() == 0
+            else:
+                assert compiled.program.count_secure_branches() > 0
     with pytest.raises(WorkloadError, match="does not support"):
         spec.compile("not-a-mode")
 
