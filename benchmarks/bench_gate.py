@@ -48,10 +48,14 @@ THRESHOLD = 0.15
 # Metrics under the gate.  fast_ips guards the serial hot loop,
 # batch_ips the single-lane batched path, campaign_ips the
 # many-trial aggregate that justifies the batched engine,
-# pipeline_ips the default (speculation-off) pipeline path, and
-# pipeline_spec_ips the wrong-path replay with the window enabled.
+# pipeline_ips the default (speculation-off) pipeline path,
+# pipeline_spec_ips the wrong-path replay with the window enabled,
+# campaign_cycles_ips the with-timing campaign through the batched
+# timing path (lane sharing + memoization), and pipeline_batch_ips
+# the batched timing model alone (pipeline_ips's batched counterpart).
 GATED_METRICS = ("fast_ips", "batch_ips", "campaign_ips",
-                 "pipeline_ips", "pipeline_spec_ips")
+                 "pipeline_ips", "pipeline_spec_ips",
+                 "campaign_cycles_ips", "pipeline_batch_ips")
 
 _CALIBRATION_OPS = 2_000_000
 

@@ -40,6 +40,7 @@ against both serial engines under every registered defense.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 try:
@@ -52,7 +53,12 @@ from repro.arch.executor import (
     InstructionLimitError,
     SimulationError,
 )
-from repro.arch.trace import CHUNK_RECORDS, TraceChunk
+from repro.arch.trace import (
+    CHUNK_RECORDS,
+    TraceChunk,
+    predecode_digest,
+    update_stream_digest,
+)
 from repro.core.jbtable import JbTableError, JumpBackTable
 from repro.isa.opcodes import NUM_OPS, OPS
 from repro.isa.program import (
@@ -353,12 +359,13 @@ class _Group:
         "spm_save_cycles", "spm_restore_cycles",
         "regions", "mstack", "jb",
         "seg", "row_count", "last_flush", "boundaries",
-        "_template", "_arrays",
+        "_template", "_arrays", "_timing_hasher",
     )
 
     def __init__(self) -> None:
         self._template = None
         self._arrays = None
+        self._timing_hasher = None
 
     @classmethod
     def root(cls, n_lanes: int, entry: int, jb_depth: int) -> "_Group":
@@ -499,6 +506,7 @@ class BatchExecutor:
                           else JumpBackTable().depth)
         self.memory = BatchMemory(n_lanes, program.initial_memory())
         self._pred = None
+        self._pred_digest = None
         self._ijump_kind = None
         self._groups: list[_Group] = []
         self._lane_group: dict[int, _Group] = {}
@@ -1194,6 +1202,89 @@ class BatchExecutor:
                 t_index += 1
             yield TraceChunk(low, col_pc, col_addr, col_taken, self._pred)
             low = high
+
+    # -- timing digests and lockstep-group views ---------------------------
+
+    def lane_group_ref(self, lane: int):
+        """Opaque identity of the lane's lockstep group.
+
+        Lanes sharing a ref have byte-identical control-flow/opclass
+        structure (the batch engine's divergence groups), so one
+        Phase-A branch schedule serves all of them.  Delegated lanes
+        (speculation mode) each form their own singleton group.
+        """
+        if self._delegates is not None:
+            return ("delegate", lane)
+        return id(self._group_of(lane))
+
+    def group_template_chunks(self, lane: int) -> Iterator[TraceChunk]:
+        """The lane's group-shared trace columns, unpatched.
+
+        One chunk over the scalar template — exactly the rows every
+        lane of the group commits, with per-lane divergences still at
+        their placeholders.  Sufficient for the Phase-A predictor pass:
+        the patched rows are SeMPE secure-branch outcomes (never read
+        by the predictors) and load/store addresses (not predictor
+        inputs); indirect-jump targets are group-uniform ints.  Not
+        available for delegated (speculation-mode) lanes, which have no
+        shared structure.
+        """
+        if self._delegates is not None:
+            raise RuntimeError(
+                "delegated lanes have no shared group template")
+        g = self._group_of(lane)
+        pc_all, addr_all, taken_all, _ap, _tp = self._template(g)
+        ends = self._chunk_ends(g)
+        limit = ends[-1] if ends else 0
+        if limit != len(pc_all):
+            pc_all = pc_all[:limit]
+            addr_all = addr_all[:limit]
+            taken_all = taken_all[:limit]
+        if limit:
+            yield TraceChunk(0, pc_all, addr_all, taken_all, self._pred)
+
+    def lane_timing_digest(self, lane: int) -> str:
+        """Content digest of this lane's timing-relevant stream.
+
+        Two lanes (of any batch, any cell) with equal digests feed the
+        timing pipeline byte-identical inputs: the digest covers the
+        static tables the model reads (:func:`predecode_digest`), the
+        dynamic ``(pc, addr, taken)`` columns, and the lane's address
+        patches in row order.  **Taken patches are excluded by
+        construction**: they exist only for SeMPE secure-branch
+        outcomes, which the timing model never consults (the front end
+        always falls through on an sJMP, §IV-E) — that is what lets
+        every lane of a SeMPE campaign share one digest, and one
+        memoized pipeline pass.
+        """
+        if self._pred_digest is None:
+            self._pred_digest = predecode_digest(self._pred)
+        if self._delegates is not None:
+            hasher = hashlib.sha256(self._pred_digest)
+            for chunk in self._delegates[lane][1]:
+                update_stream_digest(hasher, chunk.pc, chunk.addr,
+                                     chunk.taken)
+            return hasher.hexdigest()
+        g = self._group_of(lane)
+        ends = self._chunk_ends(g)
+        limit = ends[-1] if ends else 0
+        if g._timing_hasher is None:
+            hasher = hashlib.sha256(self._pred_digest)
+            pc_all, addr_all, taken_all, _ap, _tp = self._template(g)
+            if limit != len(pc_all):
+                update_stream_digest(hasher, pc_all[:limit],
+                                     addr_all[:limit], taken_all[:limit])
+            else:
+                update_stream_digest(hasher, pc_all, addr_all, taken_all)
+            g._timing_hasher = hasher
+        hasher = g._timing_hasher.copy()
+        addr_patches = self._template(g)[3]
+        for row, column, seg_lanes in addr_patches:
+            if row >= limit:
+                break
+            position = int(np.searchsorted(seg_lanes, lane))
+            hasher.update(b"%d=%d;" % (row, int(column[position])))
+        return hasher.hexdigest()
 
     def _base_arrays(self, g: _Group):
         """Group-shared vector columns over the *yielded* trace rows.

@@ -245,3 +245,47 @@ def chunk_records(chunks: Iterable[TraceChunk]) -> Iterator[TraceRecord]:
     """Flatten a chunk stream back into per-object trace records."""
     for chunk in chunks:
         yield from chunk.records()
+
+
+# --------------------------------------------------------------------------
+# Incremental stream digests (the timing-memoization key material).
+# --------------------------------------------------------------------------
+
+def update_stream_digest(hasher, pc: list[int], addr: list[int],
+                         taken: list[int]) -> None:
+    """Fold one chunk's dynamic columns into *hasher*.
+
+    Cheap and injective: each column is serialized via ``repr`` (C-speed
+    for int lists, and unambiguous — separators and signs make distinct
+    column contents produce distinct byte strings), with a per-column
+    tag so a value sliding between columns changes the digest.  Equal
+    digests therefore mean equal ``(pc, addr, taken)`` streams modulo a
+    SHA-256 collision.  Chunk boundaries are deliberately *not* folded
+    in: the timing model is row-ordered and boundary-blind, so streams
+    that differ only in chunking memoize to the same entry.
+    """
+    hasher.update(b"p")
+    hasher.update(repr(pc).encode())
+    hasher.update(b"a")
+    hasher.update(repr(addr).encode())
+    hasher.update(b"t")
+    hasher.update(repr(taken).encode())
+
+
+def predecode_digest(pred) -> bytes:
+    """Content identity of the static tables a timing pass consumes.
+
+    Covers every per-PC table the pipeline reads (opclass, op, sources,
+    destination, secure bit, icache line, static target, access width)
+    plus the line geometry, so two lanes only share a memoized timing
+    result when their *programs* agree wherever the model looks, not
+    just their dynamic streams.
+    """
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for table in (pred.cls_id, pred.op_id, pred.srcs, pred.dst,
+                  pred.secure, pred.line, pred.target, pred.width):
+        hasher.update(repr(table).encode())
+    hasher.update(repr(pred.line_bytes).encode())
+    return hasher.digest()

@@ -49,6 +49,11 @@ def _print_cache_stats() -> None:
     info = cache_info()
     print(f"run cache: hits={info['hits']} misses={info['misses']} "
           f"entries={info['entries']}")
+    from repro.uarch.batch_pipeline import memo_info
+
+    memo = memo_info()
+    print(f"pipeline memo: hits={memo['hits']} misses={memo['misses']} "
+          f"shared={memo['shared']} entries={memo['entries']}")
     store = get_store()
     if store is None:
         print("store: (none)")
@@ -149,8 +154,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     # --legacy runs the binary on the unprotected machine regardless of
     # how it was compiled (the backward-compatibility story).
     machine_defense = "plain" if args.legacy else defense.name
-    report = simulate(compiled.program, defense=machine_defense,
-                      engine=args.engine)
+    if args.profile_pipeline:
+        from repro.uarch.profile import profiled_pipeline
+
+        with profiled_pipeline():
+            report = simulate(compiled.program, defense=machine_defense,
+                              engine=args.engine)
+    else:
+        report = simulate(compiled.program, defense=machine_defense,
+                          engine=args.engine)
     machine = "SeMPE" if report.sempe else "baseline"
     print(f"defense:       {machine_defense} "
           f"(compiled as {defense.compile_mode})")
@@ -799,6 +811,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--collapse-ifs", action="store_true")
     run_parser.add_argument("--globals", default="",
                             help="comma-separated globals to print")
+    run_parser.add_argument("--profile-pipeline", action="store_true",
+                            help="cProfile the run and print a per-phase "
+                                 "time breakdown (fetch/memory/schedule)")
     run_parser.add_argument("--cache-stats", action="store_true",
                             help="print run-cache and store counters")
     run_parser.set_defaults(func=cmd_run)

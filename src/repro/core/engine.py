@@ -228,6 +228,7 @@ class SempeMachine:
             stats = pipeline.run_chunks(chunks)
         elif engine == "batch":
             from repro.arch.batch import BatchExecutor
+            from repro.uarch.batch_pipeline import lane_outcomes
 
             executor = BatchExecutor(
                 program,
@@ -240,10 +241,24 @@ class SempeMachine:
                 fence=self.defense.fence_branches,
             )
             executor.run(line_bytes=config.hierarchy.il1.line_bytes)
-            chunks = _lane_chunk_stream(executor, 0)
-            if scale != 1.0:
-                chunks = _scale_chunk_drains(chunks, scale)
-            stats = pipeline.run_chunks(chunks)
+            # The batched timing path: digest-keyed memoization plus
+            # lockstep lane sharing (one lane here, but repeated
+            # simulate() calls on the same machine/stream hit the memo).
+            # Flush-on-exit and drain scaling are applied inside, so the
+            # generic post-run blocks below must not repeat them.
+            outcome = lane_outcomes(
+                executor, config,
+                sempe=self.sempe,
+                fence=self.defense.fence_branches,
+                defense_fingerprint=self.defense.fingerprint(),
+                flush_penalty=flush_penalty_cycles(config)
+                if self.defense.flush_on_exit else 0,
+                drain_scale=scale,
+                rename_overhead=pipeline.rename_overhead,
+            )[0]
+            if outcome is None:
+                raise executor.lane_error(0)
+            stats = outcome.stats
         else:
             executor = Executor(
                 program,
@@ -257,24 +272,26 @@ class SempeMachine:
             trace = _scale_drains(executor.run(), scale) if scale != 1.0 \
                 else executor.run()
             stats = pipeline.run(trace)
-        if self.defense.flush_on_exit:
-            # Constant-cost exit flush; the residue itself is cleared so
-            # post-run observers see a secret-independent machine.
-            stats.cycles += flush_penalty_cycles(config)
-            pipeline.flush_transient_state()
         if engine == "batch":
             functional = executor.lane_result(0)
             final_regs = executor.lane_regs(0)
+            miss_rates = outcome.miss_rates
         else:
+            if self.defense.flush_on_exit:
+                # Constant-cost exit flush; the residue itself is cleared
+                # so post-run observers see a secret-independent machine.
+                stats.cycles += flush_penalty_cycles(config)
+                pipeline.flush_transient_state()
             functional = executor.result
             final_regs = executor.state.snapshot_regs()
+            miss_rates = pipeline.hierarchy.miss_rates()
         return SimulationReport(
             program_name=program.name,
             sempe=self.sempe,
             cycles=stats.cycles,
             functional=functional,
             pipeline=stats,
-            miss_rates=pipeline.hierarchy.miss_rates(),
+            miss_rates=miss_rates,
             final_regs=final_regs,
         )
 
@@ -316,19 +333,12 @@ def _scale_drains(trace, scale: float):
 
 
 def _scale_chunk_drains(chunks, scale: float):
-    """Chunked twin of :func:`_scale_drains` (drain rows have
-    ``-3 <= pc < 0`` and carry their SPM cycles in the addr column;
-    transient rows sit at ``pc <= -4`` and carry memory addresses, so
-    they must never be scaled)."""
-    from repro.arch.trace import TRANSIENT_PC_BASE
+    """Chunked twin of :func:`_scale_drains`; the canonical
+    implementation lives with the batched timing path so both the fast
+    and batch engines scale drains identically."""
+    from repro.uarch.batch_pipeline import scale_chunk_drains
 
-    for chunk in chunks:
-        pc = chunk.pc
-        addr = chunk.addr
-        for i in range(chunk.n):
-            if TRANSIENT_PC_BASE < pc[i] < 0:
-                addr[i] = max(1, int(round(addr[i] * scale)))
-        yield chunk
+    return scale_chunk_drains(chunks, scale)
 
 
 _SEMPE_UNSET = object()

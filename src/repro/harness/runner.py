@@ -109,11 +109,19 @@ def cell_descriptor(kind: str, spec, mode: str,
 # --------------------------------------------------------------------------
 
 def clear_cache() -> None:
-    """Drop all cached runs and reset the counters (used by tests)."""
+    """Drop all cached runs and reset the counters (used by tests).
+
+    Also clears the pipeline-level timing memo
+    (:mod:`repro.uarch.batch_pipeline`): tests that reset the run cache
+    expect the *whole* memo hierarchy cold, not just the report level.
+    """
     global _HITS, _MISSES
     _CACHE.clear()
     _HITS = 0
     _MISSES = 0
+    from repro.uarch.batch_pipeline import clear_memo
+
+    clear_memo()
 
 
 def cache_info() -> dict[str, int]:

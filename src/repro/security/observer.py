@@ -24,14 +24,13 @@ from dataclasses import dataclass, field
 
 from repro.arch.executor import Executor
 from repro.arch.fast_executor import FastExecutor
-from repro.arch.trace import TRANSIENT_PC_BASE
 from repro.core.engine import (
-    _lane_chunk_stream,
     _resolve_engine,
     flush_penalty_cycles,
     resolve_defense,
 )
 from repro.isa.program import Program
+from repro.uarch.batch_pipeline import lane_outcomes, residue_digests
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import OutOfOrderPipeline
 
@@ -247,31 +246,11 @@ def collect_observation(
 
 
 def _residue_digests(pipeline: OutOfOrderPipeline) -> tuple[str, tuple, str]:
-    """Post-run residue channels of one machine: cache digest, per-set
-    occupancy, predictor digest.
-
-    Residue channels expose the *attacker-facing* views: identical to
-    the ground truth on an undefended machine, narrowed by the cache
-    defenses (partitioning hides the reserved ways, randomization
-    denies per-set resolution).
-    """
-    caches = (pipeline.hierarchy.il1, pipeline.hierarchy.dl1,
-              pipeline.hierarchy.l2)
-    cache_state = tuple(
-        tuple(sorted(cache.attacker_resident_lines())) for cache in caches)
-    cache_digest = hashlib.sha256(repr(cache_state).encode()).hexdigest()
-    cache_occupancy = tuple(
-        tuple(cache.attacker_occupancy()) for cache in caches)
-    predictor_state = (
-        pipeline.predictor.state_digest(),
-        pipeline.btb.state_digest(),
-        pipeline.ittage.state_digest(),
-        pipeline.ras.state_digest(),
-    )
-    predictor_digest = hashlib.sha256(
-        repr(predictor_state).encode()
-    ).hexdigest()
-    return cache_digest, cache_occupancy, predictor_digest
+    """Post-run residue channels of one machine (see
+    :func:`repro.uarch.batch_pipeline.residue_digests`, the canonical
+    implementation the batched timing path memoizes)."""
+    return residue_digests(pipeline.hierarchy, pipeline.predictor,
+                           pipeline.btb, pipeline.ittage, pipeline.ras)
 
 
 def collect_observations_batch(
@@ -314,60 +293,44 @@ def collect_observations_batch(
                      secret_values)
     executor.run(line_bytes=config.hierarchy.il1.line_bytes)
 
+    # The batched timing path: one pipeline pass per *distinct* lane
+    # timing digest (SeMPE campaigns usually collapse to one), memoized
+    # across calls.  Flush-on-exit, the transient tee, and the residue
+    # digests all happen inside lane_outcomes, so a memo hit reproduces
+    # the full observation without touching a pipeline.
     dl1_line_bytes = config.hierarchy.dl1.line_bytes
-    speculate = config.speculation.enabled
+    outcomes = lane_outcomes(
+        executor, config,
+        sempe=sempe_machine,
+        fence=spec.fence_branches,
+        defense_fingerprint=spec.fingerprint(),
+        flush_penalty=flush_penalty_cycles(config)
+        if spec.flush_on_exit else 0,
+    )
     observations = []
-    for lane in range(n_lanes):
-        pipeline = OutOfOrderPipeline(config, sempe=sempe_machine,
-                                      fence=spec.fence_branches)
-        # _lane_chunk_stream re-raises a lane fault after its flushed
-        # chunks, exactly where the serial generator would.
-        chunk_stream = _lane_chunk_stream(executor, lane)
-        transient_hash = hashlib.sha256()
-        if speculate:
-            chunk_stream = _transient_tee(chunk_stream, transient_hash,
-                                          dl1_line_bytes)
-        stats = pipeline.run_chunks(chunk_stream)
+    for lane, outcome in enumerate(outcomes):
+        if outcome is None:
+            # Faulted lane: raise in lane order, exactly where the
+            # serial per-lane generator would have.
+            raise executor.lane_error(lane)
         instruction_count, pc_values, mem_lines = executor.lane_streams(
             lane, dl1_line_bytes)
         pc_digest = hashlib.sha256(
             pc_values.astype("<u8").tobytes()).hexdigest()
         mem_digest = hashlib.sha256(
             mem_lines.astype("<u8").tobytes()).hexdigest()
-        if spec.flush_on_exit:
-            stats.cycles += flush_penalty_cycles(config)
-            pipeline.flush_transient_state()
-        cache_digest, cache_occupancy, predictor_digest = \
-            _residue_digests(pipeline)
         observations.append(ObservationTrace(
-            cycles=stats.cycles,
+            cycles=outcome.stats.cycles,
             instruction_count=instruction_count,
             pc_digest=pc_digest,
             mem_digest=mem_digest,
-            cache_digest=cache_digest,
-            predictor_digest=predictor_digest,
-            transient_digest=transient_hash.hexdigest(),
+            cache_digest=outcome.cache_digest,
+            predictor_digest=outcome.predictor_digest,
+            transient_digest=outcome.transient_digest,
             pc_sequence=pc_values.tolist() if keep_streams else [],
             mem_addresses=mem_lines.tolist() if keep_streams else [],
-            cache_occupancy=cache_occupancy,
+            cache_occupancy=outcome.cache_occupancy,
         ))
     return observations
 
 
-def _transient_tee(chunks, transient_hash, line_bytes: int):
-    """Tee a chunk stream, hashing its transient rows column-wise.
-
-    Byte-identical to :meth:`TraceObserver.observe` on the
-    re-materialized records: static pc, then the touched data line for
-    rows that carry a memory address.
-    """
-    for chunk in chunks:
-        for pc, addr in zip(chunk.pc, chunk.addr):
-            if pc <= TRANSIENT_PC_BASE:
-                transient_hash.update(
-                    (TRANSIENT_PC_BASE - pc).to_bytes(8, "little"))
-                if addr >= 0:
-                    transient_hash.update(
-                        (addr // line_bytes).to_bytes(8, "little",
-                                                      signed=False))
-        yield chunk

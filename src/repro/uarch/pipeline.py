@@ -27,6 +27,7 @@ execution cost, drain overhead, cache locality, mispredictions).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -74,6 +75,25 @@ class PipelineStats:
     def cpi(self) -> float:
         return self.cycles / self.instructions if self.instructions else 0.0
 
+    @classmethod
+    def merge(cls, stats: "Iterable[PipelineStats]") -> "PipelineStats":
+        """Field-wise sum of per-lane stats, lane-order independent.
+
+        Every field is an int counter, so the merge is a plain sum —
+        commutative and associative by construction, which is what lets
+        batched aggregation (any lane order, any grouping) land on the
+        same totals as summing serial per-lane runs.  ``cycles`` merges
+        as a sum too: the aggregate is "total machine-cycles spent
+        across lanes", the quantity campaign throughput is measured in.
+        """
+        total = cls()
+        for entry in stats:
+            for field_ in dataclasses.fields(cls):
+                setattr(total, field_.name,
+                        getattr(total, field_.name)
+                        + getattr(entry, field_.name))
+        return total
+
 
 class _BandwidthTable:
     """cycle -> used-slots map with find-first-available semantics."""
@@ -84,6 +104,9 @@ class _BandwidthTable:
         self.width = width
         self._used: dict[int, int] = {}
         self._floor = 0
+
+    def __len__(self) -> int:
+        return len(self._used)
 
     def reserve(self, earliest: int) -> int:
         cycle = max(earliest, self._floor)
@@ -105,8 +128,50 @@ class _BandwidthTable:
             self._used = {c: n for c, n in self._used.items() if c >= before}
 
 
+class BranchSchedule:
+    """Phase A output: the front-end's branch actions for one stream.
+
+    ``codes`` holds one entry per branch event that reaches the
+    predictors (the non-SeMPE, non-fenced path): ``0`` = predicted
+    correctly, ``1`` = mispredicted (redirect at resolution).  The
+    misprediction counters ride along so the per-lane scheduling pass
+    (:meth:`OutOfOrderPipeline.run_chunks` with ``schedule=``) never
+    recounts them.
+
+    Every input the predictors consume — ``(pc, taken)`` pairs, static
+    branch targets, and indirect-jump targets (which are uniform inside
+    a lockstep batch group, or the group would have split) — is
+    identical across the lanes of a batch group, so one schedule is
+    computed per group and shared by every lane's scheduling pass.
+    """
+
+    __slots__ = ("codes", "mispredicts", "indirect_mispredicts")
+
+    def __init__(self) -> None:
+        self.codes: list[int] = []
+        self.mispredicts = 0
+        self.indirect_mispredicts = 0
+
+
 class OutOfOrderPipeline:
-    """The timing model.  Feed it a trace with :meth:`run`."""
+    """The timing model.  Feed it a trace with :meth:`run`.
+
+    The chunked path is split into two cooperating phases so a batched
+    caller (:mod:`repro.uarch.batch_pipeline`) can share work across
+    lockstep lanes:
+
+    * **Phase A** — :meth:`branch_schedule`: the branch-predictor pass
+      (TAGE/BTB/ITTAGE/RAS), whose inputs are structure-invariant
+      across the lanes of a batch group; run once per group.
+    * **Phase B** — :meth:`run_chunks` with ``schedule=``: the per-lane
+      scheduling + memory pass (fetch/dispatch/issue/commit cycles and
+      the whole cache hierarchy), which consumes Phase A's action codes
+      instead of running the predictors.
+
+    ``run_chunks`` without a schedule stays the fused single-pass form,
+    and :meth:`run` the per-object oracle — all three are bit-identical
+    on the same stream (the parity suites pin this).
+    """
 
     def __init__(self, config: MachineConfig | None = None,
                  sempe: bool = True, fence: bool = False) -> None:
@@ -125,6 +190,10 @@ class OutOfOrderPipeline:
         self.stats = PipelineStats()
         # LRS-style mechanisms add a per-instruction rename penalty.
         self.rename_overhead = 0.0
+        # High-water marks of the internal cycle->slots and
+        # store-forwarding maps, sampled at each prune checkpoint; the
+        # bounded-memory regression test reads these after long runs.
+        self.table_high_water = {"issue": 0, "load": 0, "store": 0}
 
     # -- main loop ---------------------------------------------------------------
 
@@ -351,6 +420,13 @@ class OutOfOrderPipeline:
 
             index += 1
             if index % 8192 == 0:
+                high_water = self.table_high_water
+                if len(issue_bw) > high_water["issue"]:
+                    high_water["issue"] = len(issue_bw)
+                if len(load_bw) > high_water["load"]:
+                    high_water["load"] = len(load_bw)
+                if len(store_ready) > high_water["store"]:
+                    high_water["store"] = len(store_ready)
                 issue_bw.prune(this_fetch - 64)
                 load_bw.prune(this_fetch - 64)
                 floor = this_fetch - 512
@@ -370,7 +446,8 @@ class OutOfOrderPipeline:
 
     # -- chunked fast path -------------------------------------------------------
 
-    def run_chunks(self, chunks: Iterable[TraceChunk]) -> PipelineStats:
+    def run_chunks(self, chunks: Iterable[TraceChunk],
+                   schedule: BranchSchedule | None = None) -> PipelineStats:
         """Timing model over a columnar chunk stream (the fast engine).
 
         Cycle-for-cycle identical to :meth:`run` on the equivalent
@@ -379,6 +456,15 @@ class OutOfOrderPipeline:
         together.  The duplication buys the hot loop int comparisons,
         table lookups and hoisted locals instead of Enum/attribute
         traffic; keep any change here in lockstep with :meth:`run`.
+
+        With ``schedule=`` (Phase B of the split pass) the loop consumes
+        the precomputed branch action codes instead of running the
+        predictors; this pipeline's own predictor structures are left
+        untouched, and the schedule's misprediction counters are folded
+        into the stats.  The stream must be the one (or, for a batch
+        group, structurally identical to the one) the schedule was
+        computed from — a code-count mismatch raises rather than
+        silently desynchronizing.
         """
         config = self.config
         hierarchy = self.hierarchy
@@ -424,6 +510,8 @@ class OutOfOrderPipeline:
         btb_update = self.btb.update
         ras = self.ras
         ittage = self.ittage
+        codes = schedule.codes if schedule is not None else None
+        code_index = 0
 
         rob_commits = [0] * rob_entries
         iq_issues = [0] * int_issue_buffer
@@ -615,6 +703,20 @@ class OutOfOrderPipeline:
                             fetch_cycle = max(fetch_cycle, this_fetch) + 1
                             fetch_slots = fetch_width
                             current_line = -1
+                    elif codes is not None:
+                        # Phase B: the schedule already ran the
+                        # predictors for this stream; replay its verdict.
+                        if codes[code_index]:
+                            barrier = complete + mispredict_penalty
+                            if barrier > fetch_barrier:
+                                fetch_barrier = barrier
+                            if cls == cls_branch:
+                                transient_live = True
+                        elif tk:
+                            fetch_cycle = max(fetch_cycle, this_fetch) + 1
+                            fetch_slots = fetch_width
+                            current_line = -1
+                        code_index += 1
                     else:
                         pc_bytes = pc * INSTRUCTION_BYTES
                         redirect = None
@@ -692,6 +794,13 @@ class OutOfOrderPipeline:
 
                 index += 1
                 if index % 8192 == 0:
+                    high_water = self.table_high_water
+                    if len(issue_used) > high_water["issue"]:
+                        high_water["issue"] = len(issue_used)
+                    if len(load_used) > high_water["load"]:
+                        high_water["load"] = len(load_used)
+                    if len(store_ready) > high_water["store"]:
+                        high_water["store"] = len(store_ready)
                     floor = this_fetch - 64
                     if floor > issue_floor:
                         issue_floor = floor
@@ -711,6 +820,13 @@ class OutOfOrderPipeline:
                                        if c >= floor}
                         store_ready_get = store_ready.get
 
+        if schedule is not None:
+            if code_index != len(codes):
+                raise ValueError(
+                    f"branch schedule desynchronized: stream consumed "
+                    f"{code_index} of {len(codes)} predictor actions")
+            mispredicts += schedule.mispredicts
+            indirect_mispredicts += schedule.indirect_mispredicts
         stats = self.stats
         stats.instructions = index
         stats.cycles = max_commit
@@ -724,6 +840,119 @@ class OutOfOrderPipeline:
         stats.transient_accesses += transient_accs
         self._collect_memory_stats()
         return stats
+
+    # -- shareable phase (Phase A) -----------------------------------------------
+
+    def branch_schedule(self,
+                        chunks: Iterable[TraceChunk]) -> BranchSchedule:
+        """Phase A of the split timing pass: the predictor schedule.
+
+        Walks only the branch-relevant rows of a chunk stream through
+        this pipeline's front-end predictors and records, per branch
+        event the predictors see, whether it mispredicted.  The
+        condition structure mirrors the branch-resolution block of
+        :meth:`run_chunks` exactly (SeMPE secure branches and fenced
+        regions never reach the predictors, so they emit no code) —
+        keep the two in lockstep, the scheduled pass consumes exactly
+        one code per predictor-visible branch.
+
+        Everything consumed here is identical across the lanes of a
+        lockstep batch group: ``(pc, taken)`` pairs (the only per-lane
+        ``taken`` values are SeMPE secure-branch outcomes, which this
+        path never reads), static targets, and indirect-jump targets
+        (per-lane indirect targets split the group in the executor).
+        Leaves ``self``'s predictor structures in their post-run state:
+        they are the group-shared predictor residue.
+        """
+        cls_branch = OPCLASS_ID[OpClass.BRANCH]
+        cls_eosjmp = OPCLASS_ID[OpClass.EOSJMP]
+        op_jal = OP_ID[Op.JAL]
+        op_jalr = OP_ID[Op.JALR]
+        sempe = self.sempe
+        fence = self.fence
+
+        predictor = self.predictor
+        predict = predictor.predict
+        predictor_update = predictor.update
+        predictor_record = predictor.record
+        btb_update = self.btb.update
+        ras = self.ras
+        ittage = self.ittage
+
+        schedule = BranchSchedule()
+        append = schedule.codes.append
+        mispredicts = indirect_mispredicts = 0
+        fence_depth = 0
+
+        pred = None
+        for chunk in chunks:
+            if chunk.pred is not pred:
+                pred = chunk.pred
+                p_cls = pred.cls_id
+                p_op = pred.op_id
+                p_sec = pred.secure
+                p_tgt = pred.target
+                p_dst = pred.dst
+            for pc, dyn_addr, tk in zip(chunk.pc, chunk.addr, chunk.taken):
+                if pc < 0:
+                    # Drain and transient rows never touch a predictor.
+                    continue
+                cls = p_cls[pc]
+                if fence_depth and cls == cls_eosjmp:
+                    fence_depth -= 1
+                if tk < 0:
+                    continue
+                if p_sec[pc] and sempe:
+                    # sJMP: never consulted, never trained (§IV-E).
+                    continue
+                if fence and (p_sec[pc] or fence_depth > 0):
+                    # Fenced region: no prediction structure touched.
+                    if p_sec[pc]:
+                        fence_depth += 1
+                    continue
+                pc_bytes = pc * INSTRUCTION_BYTES
+                if cls == cls_branch:
+                    predicted = predict(pc_bytes)
+                    taken_b = bool(tk)
+                    predictor_update(pc_bytes, taken_b)
+                    mispredicted = predictor_record(predicted, taken_b)
+                    if tk:
+                        btb_update(pc_bytes, p_tgt[pc])
+                    if mispredicted:
+                        mispredicts += 1
+                        append(1)
+                    else:
+                        append(0)
+                else:
+                    op = p_op[pc]
+                    if op == op_jal:
+                        if p_dst[pc] >= 0:
+                            ras.push(pc + 1)
+                        btb_update(pc_bytes, p_tgt[pc])
+                        append(0)
+                    elif op == op_jalr:
+                        target = dyn_addr
+                        ras_prediction = ras.pop()
+                        ittage_prediction = ittage.predict(pc_bytes)
+                        ittage.update(pc_bytes, target)
+                        predicted_target = (
+                            ras_prediction
+                            if ras_prediction is not None
+                            else ittage_prediction
+                        )
+                        if predicted_target != target:
+                            indirect_mispredicts += 1
+                            mispredicts += 1
+                            append(1)
+                        else:
+                            append(0)
+                    else:
+                        # Direct jump: decoded in the front end, never
+                        # predicted, never mispredicts.
+                        append(0)
+        schedule.mispredicts = mispredicts
+        schedule.indirect_mispredicts = indirect_mispredicts
+        return schedule
 
     # -- helpers ---------------------------------------------------------------
 
